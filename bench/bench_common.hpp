@@ -1,0 +1,58 @@
+// Shared helpers for the experiment binaries.
+//
+// Each bench prints one or more tables in the uniform Table format with a
+// header naming the paper exhibit it reproduces, so the collected output
+// (bench_output.txt) reads as the paper's evaluation section.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "core/game.hpp"
+#include "core/instance.hpp"
+#include "core/rand_pr.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "util/rng.hpp"
+
+namespace osp::bench {
+
+/// Prints the standard experiment banner.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "\n=== " << id << " ===\n" << claim << "\n\n";
+}
+
+/// Mean benefit (with CI) of randPr over `trials` independent runs.
+inline RunningStat measure_randpr(const Instance& inst, Rng& master,
+                                  int trials,
+                                  RandPrOptions options = {}) {
+  RunningStat stat;
+  for (int t = 0; t < trials; ++t) {
+    RandPr alg(master.split(static_cast<std::uint64_t>(t)), options);
+    stat.add(play(inst, alg).benefit);
+  }
+  return stat;
+}
+
+/// Mean benefit of an arbitrary algorithm factory over `trials` runs.
+inline RunningStat measure(
+    const Instance& inst,
+    const std::function<std::unique_ptr<OnlineAlgorithm>(std::uint64_t)>&
+        make_alg,
+    int trials) {
+  RunningStat stat;
+  for (int t = 0; t < trials; ++t) {
+    auto alg = make_alg(static_cast<std::uint64_t>(t));
+    stat.add(play(inst, *alg).benefit);
+  }
+  return stat;
+}
+
+/// "12.3 ±0.4" formatting for a measured mean.
+inline std::string fmt_mean_ci(const RunningStat& s, int precision = 2) {
+  return fmt(s.mean(), precision) + " ±" +
+         fmt(s.ci95_halfwidth(), precision);
+}
+
+}  // namespace osp::bench

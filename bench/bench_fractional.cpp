@@ -1,0 +1,70 @@
+// E12 — the related-work comparator: online FRACTIONAL packing.
+//
+// The paper positions osp against Buchbinder–Naor-style online packing
+// [5], where constraint rows arrive online but the primal is fractional
+// and pays continuously.  On the same instances we measure the chain
+//
+//     E[w(randPr)]  <=  opt (integral)  <=  LP optimum
+//                        fractional-online  <=  LP optimum
+//
+// The gap between fractional-online and E[w(randPr)] is the measured
+// price of integrality-plus-all-or-nothing-payoff — the exact modelling
+// difference the paper's introduction highlights.
+#include <iostream>
+
+#include "algos/fractional.hpp"
+#include "algos/offline.hpp"
+#include "bench_common.hpp"
+#include "gen/random_instances.hpp"
+
+namespace osp {
+namespace {
+
+void run() {
+  Table table({"m", "n", "k", "smax", "E[randPr]", "opt (int)",
+               "frac-online", "LP opt", "frac/randPr"});
+  Rng master(112358);
+  const int trials = 500;
+
+  struct Row {
+    std::size_t m, n, k;
+    bool weighted;
+  };
+  for (Row r : {Row{12, 30, 2, false}, Row{16, 30, 3, false},
+                Row{20, 30, 4, false}, Row{24, 12, 3, false},
+                Row{16, 24, 3, true}, Row{24, 16, 3, true}}) {
+    Rng gen = master.split(r.m * 10 + r.k + (r.weighted ? 1000 : 0));
+    WeightModel wm =
+        r.weighted ? WeightModel::uniform(1, 8) : WeightModel::unit();
+    Instance inst = random_instance(r.m, r.n, r.k, wm, gen);
+    InstanceStats st = inst.stats();
+
+    Rng runs = master.split(999 + r.m);
+    RunningStat alg = bench::measure_randpr(inst, runs, trials);
+    OfflineResult opt = exact_optimum(inst);
+    FractionalOutcome frac = fractional_online(inst);
+    double lp = lp_upper_bound(inst);
+
+    table.row({fmt(r.m), fmt(inst.num_elements()), fmt(r.k),
+               fmt(st.sigma_max), bench::fmt_mean_ci(alg),
+               fmt(opt.value, 2), fmt(frac.value, 2), fmt(lp, 2),
+               fmt(frac.value / alg.mean(), 2) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: frac-online <= LP always; the "
+               "frac/randPr column is the measured price of integral "
+               "all-or-nothing payoff — it grows with density (smax), "
+               "mirroring the sqrt(smax) in Corollary 6.\n";
+}
+
+}  // namespace
+}  // namespace osp
+
+int main() {
+  osp::bench::banner(
+      "E12 / related-work comparator (fractional rows-online packing)",
+      "The same instances under the Buchbinder-Naor-style fractional "
+      "model vs the paper's integral all-or-nothing model.");
+  osp::run();
+  return 0;
+}

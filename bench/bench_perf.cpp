@@ -1,0 +1,113 @@
+// E9 — engineering throughput micro-benchmarks (google-benchmark).
+//
+// Not a paper exhibit: measures that the library is fast enough to be a
+// practical drop-policy (decisions per element are O(σ log σ) with tiny
+// constants) and tracks construction costs of the heavy substrates.
+#include <benchmark/benchmark.h>
+
+#include "algos/offline.hpp"
+#include "core/game.hpp"
+#include "core/rand_pr.hpp"
+#include "design/lower_bounds.hpp"
+#include "field/gf.hpp"
+#include "gen/random_instances.hpp"
+#include "gen/traffic.hpp"
+#include "net/router_sim.hpp"
+
+namespace osp {
+namespace {
+
+void BM_RandPrGame(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng gen(42);
+  Instance inst = random_instance(m, m * 2, 4, WeightModel::unit(), gen);
+  Rng master(1);
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    RandPr alg(master.split(t++));
+    benchmark::DoNotOptimize(play(inst, alg).benefit);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.num_elements()));
+}
+BENCHMARK(BM_RandPrGame)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_HashedRandPrGame(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng gen(42);
+  Instance inst = random_instance(m, m * 2, 4, WeightModel::unit(), gen);
+  Rng master(2);
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    Rng r = master.split(t++);
+    auto alg = HashedRandPr::with_polynomial(8, r);
+    benchmark::DoNotOptimize(play(inst, *alg).benefit);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.num_elements()));
+}
+BENCHMARK(BM_HashedRandPrGame)->Arg(256)->Arg(1024);
+
+void BM_PrioritySample(benchmark::State& state) {
+  Rng rng(3);
+  double w = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_rw_key(w, rng));
+    w = w < 64 ? w * 1.001 : 1.0;
+  }
+}
+BENCHMARK(BM_PrioritySample);
+
+void BM_ExactOptimum(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng gen(4);
+  Instance inst = random_instance(m, m, 3, WeightModel::unit(), gen);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(exact_optimum(inst).value);
+}
+BENCHMARK(BM_ExactOptimum)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_LpUpperBound(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng gen(5);
+  Instance inst = random_instance(m, m, 3, WeightModel::unit(), gen);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(lp_upper_bound(inst));
+}
+BENCHMARK(BM_LpUpperBound)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Lemma9Construction(benchmark::State& state) {
+  const auto ell = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(build_lemma9_instance(ell, rng).instance
+                                 .num_elements());
+}
+BENCHMARK(BM_Lemma9Construction)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_FiniteFieldConstruction(benchmark::State& state) {
+  const auto q = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    FiniteField f(q);
+    benchmark::DoNotOptimize(f.mul(1, 1));
+  }
+}
+BENCHMARK(BM_FiniteFieldConstruction)->Arg(64)->Arg(81)->Arg(256);
+
+void BM_RouterSimulation(benchmark::State& state) {
+  Rng gen(7);
+  PoissonBursts bursts(3.0);
+  FrameSchedule sched = bursty_schedule(bursts, 500, 3, gen);
+  Rng master(8);
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    RandPr alg(master.split(t++));
+    benchmark::DoNotOptimize(simulate_router(sched, alg, 1).frames_delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sched.total_packets()));
+}
+BENCHMARK(BM_RouterSimulation);
+
+}  // namespace
+}  // namespace osp

@@ -1,0 +1,211 @@
+// E7 — the networking motivation (Section 1): video frames through a
+// bottleneck router.
+//
+// Three tables:
+//  (a) unbuffered drop policies on the GOP video workload across traffic
+//      intensities — randPr vs the natural deterministic heuristics,
+//      in delivered frame VALUE (an I frame is worth 4 P frames);
+//  (b) buffered router (open problem 2): goodput vs buffer size per
+//      ranking policy;
+//  (c) burstiness sweep with on/off traffic: burstier arrivals (larger
+//      σmax) hurt everyone, randPr degrades most gracefully in value.
+#include <iostream>
+
+#include "algos/baselines.hpp"
+#include "bench_common.hpp"
+#include "core/rand_pr.hpp"
+#include "gen/traffic.hpp"
+#include "gen/video.hpp"
+#include "net/router_sim.hpp"
+
+namespace osp {
+namespace {
+
+void unbuffered_video() {
+  std::cout << "-- (a) unbuffered router, GOP video workload --\n";
+  Table table({"streams", "policy", "frames ok", "of", "value ok", "of",
+               "goodput"});
+  Rng master(100);
+  const int draws = 25;
+  for (std::size_t streams : {4, 8, 12}) {
+    // Accumulate per policy across workload draws.
+    struct Acc {
+      std::string name;
+      double frames = 0, value = 0, total_frames = 0, total_value = 0;
+    };
+    std::vector<Acc> accs;
+    auto acc_for = [&](const std::string& name) -> Acc& {
+      for (auto& a : accs)
+        if (a.name == name) return a;
+      accs.push_back({name, 0, 0, 0, 0});
+      return accs.back();
+    };
+
+    for (int d = 0; d < draws; ++d) {
+      VideoParams params;
+      params.num_streams = streams;
+      params.frames_per_stream = 24;
+      Rng wl_rng = master.split(streams * 100 + d);
+      VideoWorkload vw = make_video_workload(params, wl_rng);
+
+      auto run_policy = [&](OnlineAlgorithm& alg) {
+        RouterStats st = simulate_router(vw.schedule, alg, 1);
+        Acc& a = acc_for(alg.name());
+        a.frames += static_cast<double>(st.frames_delivered);
+        a.value += st.value_delivered;
+        a.total_frames += static_cast<double>(st.frames_total);
+        a.total_value += st.value_total;
+      };
+
+      RandPr rp(master.split(50000 + streams * 100 + d));
+      run_policy(rp);
+      RandPr rpf(master.split(60000 + streams * 100 + d),
+                 {.filter_dead = true});
+      run_policy(rpf);
+      UniformRandomChoice ur(master.split(70000 + streams * 100 + d));
+      run_policy(ur);
+      const std::size_t num_algs = make_deterministic_baselines().size();
+      for (std::size_t ai = 0; ai < num_algs; ++ai) {
+        auto alg = std::move(make_deterministic_baselines()[ai]);
+        run_policy(*alg);
+      }
+    }
+    for (const Acc& a : accs)
+      table.row({fmt(streams), a.name, fmt(a.frames / draws, 1),
+                 fmt(a.total_frames / draws, 0), fmt(a.value / draws, 1),
+                 fmt(a.total_value / draws, 0),
+                 fmt(a.value / a.total_value, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "Expected shape: randPr beats the memoryless randomized "
+               "baselines (uniform-random, round-robin) at every load.  "
+               "The dead-set-filtering variant (randPr/filt) closes most "
+               "of the gap to the greedy heuristics, which win on this "
+               "benign average-case traffic — but are catastrophically "
+               "fragile in the worst case (see E4/E5): randPr trades a "
+               "little average goodput for its k*sqrt(smax) guarantee.\n\n";
+}
+
+void buffered_sweep() {
+  std::cout << "-- (b) buffered router (open problem 2) --\n";
+  Table table({"buffer", "policy", "goodput"});
+  Rng master(200);
+  const int draws = 25;
+  for (std::size_t buf : {0, 2, 4, 8, 16}) {
+    struct Acc {
+      std::string name;
+      double good = 0;
+    };
+    std::vector<Acc> accs;
+    auto add = [&](const std::string& name, double g) {
+      for (auto& a : accs)
+        if (a.name == name) {
+          a.good += g;
+          return;
+        }
+      accs.push_back({name, g});
+    };
+    for (int d = 0; d < draws; ++d) {
+      VideoParams params;
+      params.num_streams = 10;
+      params.frames_per_stream = 24;
+      Rng wl_rng = master.split(buf * 100 + d);
+      VideoWorkload vw = make_video_workload(params, wl_rng);
+      BufferedRouterParams rp{.service_rate = 1,
+                              .buffer_size = buf,
+                              .drop_dead_frames = true};
+
+      RandPrRanker randpr(master.split(90000 + buf * 100 + d));
+      add("randPr", simulate_buffered_router(vw.schedule, randpr, rp).goodput());
+      WeightRanker weight;
+      add("by-weight",
+          simulate_buffered_router(vw.schedule, weight, rp).goodput());
+      FifoRanker fifo;
+      add("drop-tail",
+          simulate_buffered_router(vw.schedule, fifo, rp).goodput());
+      RandomRanker rnd(master.split(95000 + buf * 100 + d));
+      add("random-drop",
+          simulate_buffered_router(vw.schedule, rnd, rp).goodput());
+    }
+    for (const Acc& a : accs)
+      table.row({fmt(buf), a.name, fmt(a.good / draws, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "Expected shape: goodput rises with buffer size for every "
+               "policy; the policy gap narrows as buffering absorbs "
+               "bursts (the effect the paper leaves open).\n\n";
+}
+
+void burstiness_sweep() {
+  std::cout << "-- (c) burstiness sweep (on/off traffic, frames of 3 "
+               "packets) --\n";
+  Table table({"burst profile", "smax", "policy", "value ok", "of",
+               "goodput"});
+  Rng master(300);
+  const int draws = 25;
+
+  struct Profile {
+    std::string name;
+    double p_on_off, p_off_on, rate_on, rate_off;
+  };
+  for (const Profile& prof :
+       {Profile{"mild (poissonish)", 0.5, 0.5, 1.5, 1.5},
+        Profile{"moderate", 0.3, 0.3, 3.0, 0.5},
+        Profile{"savage", 0.15, 0.1, 6.0, 0.1}}) {
+    struct Acc {
+      std::string name;
+      double value = 0, total = 0;
+    };
+    std::vector<Acc> accs;
+    auto add = [&](const std::string& name, double v, double tot) {
+      for (auto& a : accs)
+        if (a.name == name) {
+          a.value += v;
+          a.total += tot;
+          return;
+        }
+      accs.push_back({name, v, tot});
+    };
+    double smax_acc = 0;
+    for (int d = 0; d < draws; ++d) {
+      Rng wl_rng = master.split(d * 17 + static_cast<std::uint64_t>(
+                                              prof.rate_on * 10));
+      OnOffBursts bursts(prof.p_on_off, prof.p_off_on, prof.rate_on,
+                         prof.rate_off);
+      FrameSchedule sched = bursty_schedule(bursts, 80, 3, wl_rng, 1.0);
+      smax_acc += static_cast<double>(sched.max_burst());
+
+      RandPr rp(master.split(110000 + d));
+      RouterStats a = simulate_router(sched, rp, 1);
+      add("randPr", a.value_delivered, a.value_total);
+      GreedyMostProgress gp;
+      RouterStats b = simulate_router(sched, gp, 1);
+      add("greedy-progress", b.value_delivered, b.value_total);
+      GreedyFirst gf;
+      RouterStats c = simulate_router(sched, gf, 1);
+      add("greedy-first", c.value_delivered, c.value_total);
+    }
+    for (const Acc& a : accs)
+      table.row({prof.name, fmt(smax_acc / draws, 1), a.name,
+                 fmt(a.value / draws, 1), fmt(a.total / draws, 0),
+                 fmt(a.value / a.total, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "Expected shape: goodput falls with burstiness for all "
+               "policies (sqrt(smax) in the bound); the ordering among "
+               "policies is preserved.\n";
+}
+
+}  // namespace
+}  // namespace osp
+
+int main() {
+  osp::bench::banner(
+      "E7 / Section 1 motivation (bottleneck router, video frames)",
+      "Frame-aware random priorities vs classic drop heuristics on the "
+      "simulated router; plus the buffering extension.");
+  osp::unbuffered_video();
+  osp::buffered_sweep();
+  osp::burstiness_sweep();
+  return 0;
+}

@@ -1,0 +1,242 @@
+// osp_cli — command-line driver for the library.
+//
+//   osp_cli gen <family> [--out FILE] [--seed S] [--m M] [--n N] [--k K]
+//                        [--sigma SIGMA] [--ell ELL] [--t T] [--weights W]
+//   osp_cli stats <file>
+//   osp_cli run <file> [--alg NAME] [--seed S] [--trials T]
+//   osp_cli solve <file>
+//
+// Families: random, regular, fixedload, video, multihop, weaklb, lemma9.
+// Algorithms: randpr, randpr-filt, hashpr, greedy-first, greedy-maxw,
+//             greedy-progress, greedy-srpt, greedy-density, round-robin,
+//             uniform-random.
+// Weights: unit, uniform, zipf, exp.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "algos/baselines.hpp"
+#include "algos/offline.hpp"
+#include "core/bounds.hpp"
+#include "core/game.hpp"
+#include "core/io.hpp"
+#include "core/rand_pr.hpp"
+#include "design/lower_bounds.hpp"
+#include "gen/multihop.hpp"
+#include "gen/random_instances.hpp"
+#include "gen/video.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "util/require.hpp"
+
+namespace osp::cli {
+namespace {
+
+struct Args {
+  std::string command;
+  std::string positional;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  std::size_t get_num(const std::string& key, std::size_t fallback) const {
+    auto it = options.find(key);
+    return it == options.end()
+               ? fallback
+               : static_cast<std::size_t>(std::stoull(it->second));
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  OSP_REQUIRE_MSG(argc >= 2, "usage: osp_cli <command> ... (see --help)");
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string word = argv[i];
+    if (word.rfind("--", 0) == 0) {
+      OSP_REQUIRE_MSG(i + 1 < argc, "missing value for " << word);
+      args.options[word.substr(2)] = argv[++i];
+    } else {
+      OSP_REQUIRE_MSG(args.positional.empty(),
+                      "unexpected extra argument " << word);
+      args.positional = word;
+    }
+  }
+  return args;
+}
+
+WeightModel weights_from(const std::string& name) {
+  if (name == "unit") return WeightModel::unit();
+  if (name == "uniform") return WeightModel::uniform(1, 10);
+  if (name == "zipf") return WeightModel::zipf(1.2);
+  if (name == "exp") return WeightModel::exponential(1.0);
+  OSP_REQUIRE_MSG(false, "unknown weight model '" << name << "'");
+  return {};
+}
+
+Instance generate(const Args& args) {
+  Rng rng(args.get_num("seed", 1));
+  WeightModel wm = weights_from(args.get("weights", "unit"));
+  const std::string family = args.positional;
+  const std::size_t m = args.get_num("m", 24);
+  const std::size_t n = args.get_num("n", 30);
+  const std::size_t k = args.get_num("k", 3);
+  const std::size_t sigma = args.get_num("sigma", 4);
+
+  if (family == "random") return random_instance(m, n, k, wm, rng);
+  if (family == "regular") return regular_instance(m, k, sigma, wm, rng);
+  if (family == "fixedload")
+    return fixed_load_instance(m, n, sigma, wm, rng);
+  if (family == "video") {
+    VideoParams params;
+    params.num_streams = args.get_num("streams", 8);
+    params.frames_per_stream = args.get_num("frames", 24);
+    return make_video_workload(params, rng).schedule.to_instance(
+        static_cast<Capacity>(args.get_num("capacity", 1)));
+  }
+  if (family == "multihop") {
+    MultiHopParams params;
+    params.num_packets = args.get_num("packets", 80);
+    params.num_switches = args.get_num("switches", 6);
+    return make_multihop_workload(params, rng).instance;
+  }
+  if (family == "weaklb")
+    return build_weak_lb_instance(args.get_num("t", 8), rng).instance;
+  if (family == "lemma9")
+    return build_lemma9_instance(args.get_num("ell", 3), rng).instance;
+  OSP_REQUIRE_MSG(false, "unknown family '" << family << "'");
+  return InstanceBuilder{}.build();
+}
+
+std::unique_ptr<OnlineAlgorithm> make_algorithm(const std::string& name,
+                                                Rng seed) {
+  if (name == "randpr") return std::make_unique<RandPr>(seed);
+  if (name == "randpr-filt")
+    return std::make_unique<RandPr>(seed,
+                                    RandPrOptions{.filter_dead = true});
+  if (name == "hashpr") {
+    Rng r = seed;
+    return HashedRandPr::with_polynomial(8, r);
+  }
+  if (name == "uniform-random")
+    return std::make_unique<UniformRandomChoice>(seed);
+  for (auto& alg : make_deterministic_baselines())
+    if (alg->name() == name) return std::move(alg);
+  OSP_REQUIRE_MSG(false, "unknown algorithm '" << name << "'");
+  return nullptr;
+}
+
+int cmd_gen(const Args& args) {
+  Instance inst = generate(args);
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    write_instance(std::cout, inst);
+  } else {
+    save_instance(out, inst);
+    std::cerr << "wrote " << inst.describe() << " to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  OSP_REQUIRE_MSG(!args.positional.empty(), "stats needs a file");
+  Instance inst = load_instance(args.positional);
+  InstanceStats st = inst.stats();
+  Table t({"quantity", "value"});
+  t.row({"sets (m)", fmt(st.num_sets)});
+  t.row({"elements (n)", fmt(st.num_elements)});
+  t.row({"total weight", fmt(st.total_weight, 3)});
+  t.row({"kmax", fmt(st.k_max)});
+  t.row({"k avg", fmt(st.k_avg, 3)});
+  t.row({"sigma max", fmt(st.sigma_max)});
+  t.row({"sigma avg", fmt(st.sigma_avg, 3)});
+  t.row({"nu avg (adjusted)", fmt(st.nu_avg, 3)});
+  t.row({"uniform size", st.uniform_size ? "yes" : "no"});
+  t.row({"uniform load", st.uniform_load ? "yes" : "no"});
+  t.row({"unit capacity", st.unit_capacity ? "yes" : "no"});
+  t.row({"Theorem 1 bound", fmt(theorem1_bound(st), 3)});
+  t.row({"Corollary 6 bound", fmt(corollary6_bound(st), 3)});
+  if (!st.unit_capacity) t.row({"Theorem 4 bound", fmt(theorem4_bound(st), 3)});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  OSP_REQUIRE_MSG(!args.positional.empty(), "run needs a file");
+  Instance inst = load_instance(args.positional);
+  const std::string name = args.get("alg", "randpr");
+  const std::size_t trials = args.get_num("trials", 1);
+  Rng master(args.get_num("seed", 1));
+
+  RunningStat benefit;
+  std::size_t completed = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    auto alg = make_algorithm(name, master.split(t));
+    Outcome out = play(inst, *alg);
+    benefit.add(out.benefit);
+    completed = out.completed.size();
+  }
+  if (trials == 1) {
+    std::cout << name << ": completed " << completed << " sets, benefit "
+              << benefit.mean() << "\n";
+  } else {
+    std::cout << name << " over " << trials
+              << " trials: E[benefit] = " << benefit.mean() << " +/- "
+              << benefit.ci95_halfwidth() << "\n";
+  }
+  return 0;
+}
+
+int cmd_solve(const Args& args) {
+  OSP_REQUIRE_MSG(!args.positional.empty(), "solve needs a file");
+  Instance inst = load_instance(args.positional);
+  OfflineResult greedy = greedy_offline(inst);
+  OfflineResult opt = exact_optimum(inst);
+  double lp = inst.num_sets() <= 120 ? lp_upper_bound(inst) : -1;
+  Table t({"solver", "value", "note"});
+  t.row({"greedy offline", fmt(greedy.value, 3), "k-approximation"});
+  t.row({"branch & bound", fmt(opt.value, 3),
+         opt.exact ? "exact" : "node limit hit (lower bound)"});
+  if (lp >= 0) t.row({"LP relaxation", fmt(lp, 3), "upper bound"});
+  t.print(std::cout);
+  return 0;
+}
+
+int usage() {
+  std::cerr <<
+      R"(osp_cli — online set packing toolbox
+  osp_cli gen <family> [--out FILE] [--seed S] [--m M] [--n N] [--k K]
+                       [--sigma SIGMA] [--ell ELL] [--t T] [--weights W]
+  osp_cli stats <file>
+  osp_cli run <file> [--alg NAME] [--seed S] [--trials T]
+  osp_cli solve <file>
+families: random regular fixedload video multihop weaklb lemma9
+algs: randpr randpr-filt hashpr greedy-first greedy-maxw greedy-progress
+      greedy-srpt greedy-density round-robin uniform-random
+weights: unit uniform zipf exp
+)";
+  return 2;
+}
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    Args args = parse(argc, argv);
+    if (args.command == "gen") return cmd_gen(args);
+    if (args.command == "stats") return cmd_stats(args);
+    if (args.command == "run") return cmd_run(args);
+    if (args.command == "solve") return cmd_solve(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace
+}  // namespace osp::cli
+
+int main(int argc, char** argv) { return osp::cli::main(argc, argv); }

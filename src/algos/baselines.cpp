@@ -1,0 +1,120 @@
+#include "algos/baselines.hpp"
+
+#include <algorithm>
+
+namespace osp {
+
+std::vector<SetId> ScoredBaseline::on_element(
+    ElementId, Capacity capacity, const std::vector<SetId>& candidates) {
+  // Partition candidates into active and dead; rank actives by score.
+  std::vector<SetId> active;
+  std::vector<SetId> dead;
+  for (SetId s : candidates)
+    (is_active(s) ? active : dead).push_back(s);
+
+  std::stable_sort(active.begin(), active.end(), [&](SetId a, SetId b) {
+    double sa = score(a), sb = score(b);
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+
+  std::vector<SetId> chosen;
+  for (SetId s : active) {
+    if (chosen.size() == capacity) break;
+    chosen.push_back(s);
+  }
+  // Filling leftover capacity with dead sets is harmless; doing so keeps
+  // the policy total (it always uses the full capacity, like a real link).
+  for (SetId s : dead) {
+    if (chosen.size() == capacity) break;
+    chosen.push_back(s);
+  }
+  record(candidates, chosen);
+  return chosen;
+}
+
+double GreedyFirst::score(SetId s) const {
+  return -static_cast<double>(s);
+}
+
+double GreedyMaxWeight::score(SetId s) const { return meta()[s].weight; }
+
+double GreedyMostProgress::score(SetId s) const {
+  return static_cast<double>(progress(s));
+}
+
+double GreedyFewestRemaining::score(SetId s) const {
+  return -static_cast<double>(remaining(s));
+}
+
+double GreedyDensity::score(SetId s) const {
+  double rem = static_cast<double>(remaining(s));
+  // A set with nothing left to come is a guaranteed completion if chosen
+  // now; give it the highest density.
+  return meta()[s].weight / (rem > 0 ? rem : 0.5);
+}
+
+void RoundRobin::start(const std::vector<SetMeta>& sets) {
+  ActiveTracking::start(sets);
+  cursor_ = 0;
+}
+
+std::vector<SetId> RoundRobin::on_element(
+    ElementId, Capacity capacity, const std::vector<SetId>& candidates) {
+  std::vector<SetId> active;
+  std::vector<SetId> dead;
+  for (SetId s : candidates) (is_active(s) ? active : dead).push_back(s);
+
+  // Rotate: candidates with id >= cursor first, then wrap-around.
+  std::stable_sort(active.begin(), active.end(), [&](SetId a, SetId b) {
+    bool wa = a >= cursor_, wb = b >= cursor_;
+    if (wa != wb) return wa;
+    return a < b;
+  });
+
+  std::vector<SetId> chosen;
+  for (SetId s : active) {
+    if (chosen.size() == capacity) break;
+    chosen.push_back(s);
+  }
+  for (SetId s : dead) {
+    if (chosen.size() == capacity) break;
+    chosen.push_back(s);
+  }
+  if (!chosen.empty()) cursor_ = chosen.front() + 1;
+  if (cursor_ >= meta().size()) cursor_ = 0;
+  record(candidates, chosen);
+  return chosen;
+}
+
+std::vector<SetId> UniformRandomChoice::on_element(
+    ElementId, Capacity capacity, const std::vector<SetId>& candidates) {
+  std::vector<SetId> pool;
+  for (SetId s : candidates)
+    if (is_active(s)) pool.push_back(s);
+  if (pool.empty()) pool = candidates;
+
+  std::vector<SetId> chosen;
+  // Partial Fisher–Yates: draw up to `capacity` distinct sets.
+  for (std::size_t i = 0; i < pool.size() && chosen.size() < capacity; ++i) {
+    std::size_t j = i + static_cast<std::size_t>(
+                            rng_.below(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+    chosen.push_back(pool[i]);
+  }
+  record(candidates, chosen);
+  return chosen;
+}
+
+std::vector<std::unique_ptr<OnlineAlgorithm>> make_deterministic_baselines() {
+  std::vector<std::unique_ptr<OnlineAlgorithm>> out;
+  out.push_back(std::make_unique<GreedyFirst>());
+  out.push_back(std::make_unique<GreedyMaxWeight>());
+  out.push_back(std::make_unique<GreedyMostProgress>());
+  out.push_back(std::make_unique<GreedyFewestRemaining>());
+  out.push_back(std::make_unique<GreedyDensity>());
+  out.push_back(std::make_unique<RoundRobin>());
+  return out;
+}
+
+}  // namespace osp

@@ -1,0 +1,112 @@
+// Deterministic (and one memoryless randomized) online baselines.
+//
+// These are the natural policies a router implementer would try first; the
+// paper's Theorem 3 shows every deterministic policy has competitive ratio
+// at least σmax^(kmax-1), and bench_det_lb drives each of these through the
+// adaptive adversary to demonstrate it.
+//
+// All baselines prefer sets that are still completable ("active"): choosing
+// a set that already lost an element can never increase the benefit.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/algorithm.hpp"
+#include "util/rng.hpp"
+
+namespace osp {
+
+/// Ranks active candidates by a policy-specific score and assigns the
+/// element to the top b(u); dead candidates are used only as filler (they
+/// cannot matter).  Subclasses implement score(); higher wins, ties break
+/// toward lower set id.
+class ScoredBaseline : public ActiveTracking {
+ public:
+  std::vector<SetId> on_element(ElementId u, Capacity capacity,
+                                const std::vector<SetId>& candidates) override;
+
+ protected:
+  /// Score of candidate s for the current element; higher is better.
+  virtual double score(SetId s) const = 0;
+};
+
+/// Picks the earliest-id active candidates ("first listed").
+class GreedyFirst final : public ScoredBaseline {
+ public:
+  std::string name() const override { return "greedy-first"; }
+
+ protected:
+  double score(SetId s) const override;
+};
+
+/// Picks active candidates with maximal weight.
+class GreedyMaxWeight final : public ScoredBaseline {
+ public:
+  std::string name() const override { return "greedy-maxw"; }
+
+ protected:
+  double score(SetId s) const override;
+};
+
+/// Picks active candidates that already received the most elements
+/// ("sunk cost": protect the most-invested frames).
+class GreedyMostProgress final : public ScoredBaseline {
+ public:
+  std::string name() const override { return "greedy-progress"; }
+
+ protected:
+  double score(SetId s) const override;
+};
+
+/// Picks active candidates with the fewest elements still to come
+/// ("shortest remaining": finish what is closest to done).
+class GreedyFewestRemaining final : public ScoredBaseline {
+ public:
+  std::string name() const override { return "greedy-srpt"; }
+
+ protected:
+  double score(SetId s) const override;
+};
+
+/// Picks active candidates by maximal weight-per-remaining-element
+/// (value density).
+class GreedyDensity final : public ScoredBaseline {
+ public:
+  std::string name() const override { return "greedy-density"; }
+
+ protected:
+  double score(SetId s) const override;
+};
+
+/// Deterministic rotation: prefers active candidates with ids at or after
+/// a pointer that advances with every arrival.
+class RoundRobin final : public ActiveTracking {
+ public:
+  std::string name() const override { return "round-robin"; }
+  void start(const std::vector<SetMeta>& sets) override;
+  std::vector<SetId> on_element(ElementId u, Capacity capacity,
+                                const std::vector<SetId>& candidates) override;
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+/// Memoryless randomized control: a uniformly random admissible choice at
+/// each element.  Not set-consistent, hence much weaker than randPr.
+class UniformRandomChoice final : public ActiveTracking {
+ public:
+  explicit UniformRandomChoice(Rng rng) : rng_(rng) {}
+  std::string name() const override { return "uniform-random"; }
+  std::vector<SetId> on_element(ElementId u, Capacity capacity,
+                                const std::vector<SetId>& candidates) override;
+
+ private:
+  Rng rng_;
+};
+
+/// All deterministic baselines, freshly constructed (for benchmark loops).
+std::vector<std::unique_ptr<OnlineAlgorithm>> make_deterministic_baselines();
+
+}  // namespace osp

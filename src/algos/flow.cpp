@@ -1,0 +1,77 @@
+#include "algos/flow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/require.hpp"
+
+namespace osp {
+
+FlowNetwork::FlowNetwork(std::size_t num_nodes) : graph_(num_nodes) {}
+
+std::size_t FlowNetwork::add_edge(std::size_t u, std::size_t v,
+                                  std::int64_t capacity) {
+  OSP_REQUIRE(u < graph_.size() && v < graph_.size());
+  OSP_REQUIRE(capacity >= 0);
+  graph_[u].push_back(Edge{v, graph_[v].size(), capacity, capacity});
+  graph_[v].push_back(Edge{u, graph_[u].size() - 1, 0, 0});
+  edge_index_.emplace_back(u, graph_[u].size() - 1);
+  return edge_index_.size() - 1;
+}
+
+bool FlowNetwork::bfs(std::size_t s, std::size_t t) {
+  level_.assign(graph_.size(), -1);
+  std::queue<std::size_t> queue;
+  level_[s] = 0;
+  queue.push(s);
+  while (!queue.empty()) {
+    std::size_t v = queue.front();
+    queue.pop();
+    for (const Edge& e : graph_[v]) {
+      if (e.cap > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        queue.push(e.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+std::int64_t FlowNetwork::dfs(std::size_t v, std::size_t t,
+                              std::int64_t pushed) {
+  if (v == t) return pushed;
+  for (std::size_t& i = iter_[v]; i < graph_[v].size(); ++i) {
+    Edge& e = graph_[v][i];
+    if (e.cap <= 0 || level_[e.to] != level_[v] + 1) continue;
+    std::int64_t d = dfs(e.to, t, std::min(pushed, e.cap));
+    if (d > 0) {
+      e.cap -= d;
+      graph_[e.to][e.rev].cap += d;
+      return d;
+    }
+  }
+  return 0;
+}
+
+std::int64_t FlowNetwork::max_flow(std::size_t s, std::size_t t) {
+  OSP_REQUIRE(s < graph_.size() && t < graph_.size());
+  OSP_REQUIRE(s != t);
+  std::int64_t flow = 0;
+  while (bfs(s, t)) {
+    iter_.assign(graph_.size(), 0);
+    while (std::int64_t pushed =
+               dfs(s, t, std::numeric_limits<std::int64_t>::max()))
+      flow += pushed;
+  }
+  return flow;
+}
+
+std::int64_t FlowNetwork::flow_on(std::size_t edge_id) const {
+  OSP_REQUIRE(edge_id < edge_index_.size());
+  auto [node, slot] = edge_index_[edge_id];
+  const Edge& e = graph_[node][slot];
+  return e.original_cap - e.cap;
+}
+
+}  // namespace osp

@@ -1,0 +1,52 @@
+// Dinic's maximum-flow algorithm on integer capacities.
+//
+// Substrate for the partial-credit extension (the paper's open problem 3):
+// deciding whether a chosen collection of sets can each claim all-but-r of
+// their elements within element capacities is a bipartite b-matching
+// feasibility question, which we answer with max-flow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace osp {
+
+/// Max-flow on a directed graph with integer capacities (Dinic).
+class FlowNetwork {
+ public:
+  /// Creates a network with `num_nodes` nodes (0-based ids).
+  explicit FlowNetwork(std::size_t num_nodes);
+
+  /// Adds a directed edge u -> v with the given capacity; returns an edge
+  /// id usable with flow_on().  A reverse edge of capacity 0 is added
+  /// automatically.
+  std::size_t add_edge(std::size_t u, std::size_t v, std::int64_t capacity);
+
+  /// Computes the maximum s-t flow.  May be called once per network
+  /// (subsequent calls continue from the current flow, which is only
+  /// useful for incremental capacity additions).
+  std::int64_t max_flow(std::size_t s, std::size_t t);
+
+  /// Flow currently routed through the edge returned by add_edge.
+  std::int64_t flow_on(std::size_t edge_id) const;
+
+  std::size_t num_nodes() const { return graph_.size(); }
+
+ private:
+  struct Edge {
+    std::size_t to;
+    std::size_t rev;  // index of reverse edge in graph_[to]
+    std::int64_t cap;
+    std::int64_t original_cap;
+  };
+
+  bool bfs(std::size_t s, std::size_t t);
+  std::int64_t dfs(std::size_t v, std::size_t t, std::int64_t pushed);
+
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+  std::vector<std::pair<std::size_t, std::size_t>> edge_index_;  // (node, slot)
+};
+
+}  // namespace osp

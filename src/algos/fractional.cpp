@@ -1,0 +1,45 @@
+#include "algos/fractional.hpp"
+
+#include "util/require.hpp"
+
+namespace osp {
+
+FractionalOutcome fractional_online(const Instance& inst) {
+  FractionalOutcome out;
+  out.x.assign(inst.num_sets(), inst.num_sets() ? 1.0 : 0.0);
+
+  for (ElementId u = 0; u < inst.num_elements(); ++u) {
+    const Arrival& a = inst.arrival(u);
+    if (a.parents.empty()) continue;
+    double row = 0;
+    for (SetId s : a.parents) row += out.x[s];
+    double cap = static_cast<double>(a.capacity);
+    if (row <= cap) continue;
+    // Uniform rescale of the participating sets is the optimal myopic
+    // repair: it satisfies the row exactly while losing the least total
+    // x among scalings proportional to current mass.
+    double factor = cap / row;
+    for (SetId s : a.parents) out.x[s] *= factor;
+    ++out.scaled_rows;
+  }
+
+  for (SetId s = 0; s < inst.num_sets(); ++s)
+    out.value += inst.weight(s) * out.x[s];
+  return out;
+}
+
+bool fractional_feasible(const Instance& inst, const std::vector<double>& x,
+                         double eps) {
+  if (x.size() != inst.num_sets()) return false;
+  for (double v : x)
+    if (v < -eps || v > 1.0 + eps) return false;
+  for (ElementId u = 0; u < inst.num_elements(); ++u) {
+    double row = 0;
+    for (SetId s : inst.arrival(u).parents) row += x[s];
+    if (row > static_cast<double>(inst.arrival(u).capacity) + eps)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace osp

@@ -1,0 +1,42 @@
+// Online FRACTIONAL packing — the related-work comparator.
+//
+// Buchbinder and Naor's primal-dual framework [5 in the paper] solves
+// packing LPs online when constraint rows arrive one by one, but it
+// maintains a FRACTIONAL primal and collects value continuously; osp's
+// difficulty is integrality plus all-or-nothing payoff.  This module
+// implements the row-arrival multiplicative-weights algorithm so the two
+// models can be compared on the same instances: the fractional benefit is
+// an (online-achievable) upper reference point between E[w(alg)] and the
+// LP optimum.
+//
+// Algorithm (standard multiplicative decrease): start with x_S = 1 for
+// every set.  When element u arrives with capacity b(u), while the row
+// Σ_{S∋u} x_S > b(u), scale every x_S, S ∋ u, by a factor < 1 until the
+// row is satisfied.  Decisions are irrevocable downwards (x only
+// decreases), mirroring how osp can only lose sets as elements arrive.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace osp {
+
+/// Result of an online fractional run.
+struct FractionalOutcome {
+  std::vector<double> x;   // final fractional solution, in [0, 1]
+  double value = 0;        // w · x
+  std::size_t scaled_rows = 0;  // rows that forced a decrease
+};
+
+/// Runs the row-arrival fractional packing algorithm over the instance's
+/// arrival order.  The returned x satisfies every element constraint and
+/// x_S <= 1; value is the fractional benefit.
+FractionalOutcome fractional_online(const Instance& inst);
+
+/// Verifies that x is feasible for the instance's packing LP (within
+/// eps); exposed for tests.
+bool fractional_feasible(const Instance& inst, const std::vector<double>& x,
+                         double eps = 1e-9);
+
+}  // namespace osp

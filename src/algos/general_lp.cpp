@@ -1,0 +1,33 @@
+#include "algos/general_lp.hpp"
+
+#include "algos/simplex.hpp"
+#include "util/require.hpp"
+
+namespace osp {
+
+double general_lp_upper_bound(const GeneralInstance& inst) {
+  const std::size_t m = inst.num_sets();
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;
+  for (ElementId u = 0; u < inst.num_elements(); ++u) {
+    const GeneralArrival& arr = inst.arrival(u);
+    std::vector<double> row(m, 0.0);
+    for (const UnitDemand& d : arr.demands)
+      row[d.set] = static_cast<double>(d.units);
+    a.push_back(std::move(row));
+    b.push_back(static_cast<double>(arr.capacity));
+  }
+  for (SetId s = 0; s < m; ++s) {
+    std::vector<double> row(m, 0.0);
+    row[s] = 1.0;
+    a.push_back(std::move(row));
+    b.push_back(1.0);
+  }
+  std::vector<double> c(m);
+  for (SetId s = 0; s < m; ++s) c[s] = inst.weight(s);
+  LpResult lp = simplex_maximize(a, b, c);
+  OSP_REQUIRE(lp.status == LpResult::Status::kOptimal);
+  return lp.value;
+}
+
+}  // namespace osp

@@ -1,0 +1,12 @@
+// LP relaxation bound for the general packing model (open problem 1).
+#pragma once
+
+#include "core/general.hpp"
+
+namespace osp {
+
+/// Objective value of  max w·x  s.t.  Σ_S d(S,u)·x_S <= b(u),
+/// 0 <= x <= 1  — a certified upper bound on the general packing optimum.
+double general_lp_upper_bound(const GeneralInstance& inst);
+
+}  // namespace osp

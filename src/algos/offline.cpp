@@ -1,0 +1,173 @@
+#include "algos/offline.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "algos/simplex.hpp"
+#include "util/require.hpp"
+
+namespace osp {
+
+bool is_feasible(const Instance& inst, const std::vector<SetId>& chosen) {
+  std::vector<std::size_t> used(inst.num_elements(), 0);
+  std::vector<bool> seen(inst.num_sets(), false);
+  for (SetId s : chosen) {
+    if (s >= inst.num_sets() || seen[s]) return false;
+    seen[s] = true;
+    for (ElementId u : inst.elements_of(s))
+      if (++used[u] > inst.arrival(u).capacity) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Shared state of the branch & bound search.
+struct Search {
+  const Instance& inst;
+  std::vector<SetId> order;            // sets by descending weight
+  std::vector<Weight> suffix;          // suffix weight sums over `order`
+  std::vector<std::size_t> slack;      // remaining capacity per element
+  std::vector<SetId> current;
+  std::vector<SetId> best;
+  Weight best_value = -1;
+  std::uint64_t nodes = 0;
+  std::uint64_t node_limit;
+  bool truncated = false;
+
+  Search(const Instance& i, std::uint64_t limit)
+      : inst(i), node_limit(limit) {
+    order.resize(inst.num_sets());
+    std::iota(order.begin(), order.end(), SetId{0});
+    std::sort(order.begin(), order.end(), [&](SetId a, SetId b) {
+      if (inst.weight(a) != inst.weight(b))
+        return inst.weight(a) > inst.weight(b);
+      return inst.set_size(a) < inst.set_size(b);
+    });
+    suffix.assign(order.size() + 1, 0);
+    for (std::size_t i2 = order.size(); i2-- > 0;)
+      suffix[i2] = suffix[i2 + 1] + inst.weight(order[i2]);
+    slack.resize(inst.num_elements());
+    for (ElementId u = 0; u < inst.num_elements(); ++u)
+      slack[u] = inst.arrival(u).capacity;
+  }
+
+  bool addable(SetId s) const {
+    for (ElementId u : inst.elements_of(s))
+      if (slack[u] == 0) return false;
+    return true;
+  }
+
+  void add(SetId s) {
+    for (ElementId u : inst.elements_of(s)) --slack[u];
+    current.push_back(s);
+  }
+
+  void remove(SetId s) {
+    for (ElementId u : inst.elements_of(s)) ++slack[u];
+    current.pop_back();
+  }
+
+  void recurse(std::size_t idx, Weight value) {
+    if (++nodes > node_limit) {
+      truncated = true;
+      return;
+    }
+    if (value > best_value) {
+      best_value = value;
+      best = current;
+    }
+    if (idx == order.size()) return;
+    // Prune: even taking every remaining set cannot beat the incumbent.
+    if (value + suffix[idx] <= best_value) return;
+
+    SetId s = order[idx];
+    if (addable(s)) {
+      add(s);
+      recurse(idx + 1, value + inst.weight(s));
+      remove(s);
+      if (truncated) return;
+    }
+    recurse(idx + 1, value);
+  }
+};
+
+}  // namespace
+
+OfflineResult exact_optimum(const Instance& inst, std::uint64_t node_limit) {
+  Search search(inst, node_limit);
+  // Seed the incumbent with greedy so pruning bites immediately.
+  OfflineResult seed = greedy_offline(inst);
+  search.best = seed.chosen;
+  search.best_value = seed.value;
+  search.recurse(0, 0);
+
+  OfflineResult out;
+  out.chosen = std::move(search.best);
+  std::sort(out.chosen.begin(), out.chosen.end());
+  out.value = search.best_value;
+  out.exact = !search.truncated;
+  out.nodes = search.nodes;
+  OSP_ASSERT(is_feasible(inst, out.chosen));
+  return out;
+}
+
+OfflineResult greedy_offline(const Instance& inst) {
+  std::vector<SetId> order(inst.num_sets());
+  std::iota(order.begin(), order.end(), SetId{0});
+  std::sort(order.begin(), order.end(), [&](SetId a, SetId b) {
+    if (inst.weight(a) != inst.weight(b))
+      return inst.weight(a) > inst.weight(b);
+    return inst.set_size(a) < inst.set_size(b);
+  });
+
+  std::vector<std::size_t> slack(inst.num_elements());
+  for (ElementId u = 0; u < inst.num_elements(); ++u)
+    slack[u] = inst.arrival(u).capacity;
+
+  OfflineResult out;
+  for (SetId s : order) {
+    bool ok = true;
+    for (ElementId u : inst.elements_of(s))
+      if (slack[u] == 0) {
+        ok = false;
+        break;
+      }
+    if (!ok) continue;
+    for (ElementId u : inst.elements_of(s)) --slack[u];
+    out.chosen.push_back(s);
+    out.value += inst.weight(s);
+  }
+  std::sort(out.chosen.begin(), out.chosen.end());
+  out.exact = false;
+  return out;
+}
+
+double lp_upper_bound(const Instance& inst) {
+  const std::size_t m = inst.num_sets();
+  const std::size_t n = inst.num_elements();
+  // Rows: one per element (capacity) + one per set (x_i <= 1).
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;
+  a.reserve(n + m);
+  for (ElementId u = 0; u < n; ++u) {
+    std::vector<double> row(m, 0.0);
+    for (SetId s : inst.arrival(u).parents) row[s] = 1.0;
+    a.push_back(std::move(row));
+    b.push_back(static_cast<double>(inst.arrival(u).capacity));
+  }
+  for (SetId s = 0; s < m; ++s) {
+    std::vector<double> row(m, 0.0);
+    row[s] = 1.0;
+    a.push_back(std::move(row));
+    b.push_back(1.0);
+  }
+  std::vector<double> c(m);
+  for (SetId s = 0; s < m; ++s) c[s] = inst.weight(s);
+
+  LpResult lp = simplex_maximize(a, b, c);
+  OSP_REQUIRE(lp.status == LpResult::Status::kOptimal);
+  return lp.value;
+}
+
+}  // namespace osp

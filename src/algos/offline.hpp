@@ -1,0 +1,48 @@
+// Offline solvers for the integer program (1) of the paper:
+//
+//   max  Σ w_i x_i   s.t.  Σ_{i: S_i ∋ u_j} x_i <= b_j,   x ∈ {0,1}^m.
+//
+// These supply the `opt` term in every measured competitive ratio:
+//  * exact_optimum      — branch & bound, exact for benchmark-scale m;
+//  * greedy_offline     — classic weight-ordered greedy (k-approximation);
+//  * lp_upper_bound     — simplex on the LP relaxation, a certified upper
+//                         bound on opt when exact search is infeasible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace osp {
+
+/// Result of an offline computation.
+struct OfflineResult {
+  Weight value = 0;             // total weight of `chosen`
+  std::vector<SetId> chosen;    // a feasible collection
+  bool exact = false;           // true iff proven optimal
+  std::uint64_t nodes = 0;      // search nodes explored (B&B only)
+};
+
+/// Exact maximum-weight feasible collection via branch & bound.
+///
+/// Sets are ordered by weight (descending) and the search prunes with the
+/// residual weight sum.  If `node_limit` is exceeded, returns the best
+/// solution found with exact=false.  Practical up to m around 60 for the
+/// dense instances in this library; all benchmark families stay below that
+/// or know opt analytically.
+OfflineResult exact_optimum(const Instance& inst,
+                            std::uint64_t node_limit = 20'000'000);
+
+/// Greedy: scan sets by descending weight (ties: smaller size first) and
+/// take each set whose elements all still have spare capacity.
+OfflineResult greedy_offline(const Instance& inst);
+
+/// Objective value of the LP relaxation — an upper bound on opt.
+double lp_upper_bound(const Instance& inst);
+
+/// True iff `chosen` is feasible for the instance (every element used at
+/// most b(u) times by the chosen sets).
+bool is_feasible(const Instance& inst, const std::vector<SetId>& chosen);
+
+}  // namespace osp

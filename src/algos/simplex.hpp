@@ -1,0 +1,32 @@
+// A small dense simplex solver for packing linear programs.
+//
+// Solves  max c·x  s.t.  Ax <= b,  x >= 0  with b >= 0, which covers the
+// LP relaxation of the paper's integer program (1): rows are elements with
+// right-hand side b(u), plus x_i <= 1 rows.  Because b >= 0 the all-slack
+// basis is feasible and no phase-1 is needed.  Bland's rule guarantees
+// termination.  Intended for the instance sizes of the benchmark harness
+// (hundreds of rows/columns), not industrial scale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace osp {
+
+/// Outcome of a simplex solve.
+struct LpResult {
+  enum class Status { kOptimal, kUnbounded };
+  Status status = Status::kOptimal;
+  double value = 0.0;            // objective at optimum
+  std::vector<double> x;         // primal solution (size = #vars)
+  std::uint64_t pivots = 0;      // iterations used
+};
+
+/// Dense LP: max c·x s.t. A x <= b, x >= 0.  `a` is row-major with
+/// rows.size() == b.size() and every row sized c.size().
+/// Requires all entries of b to be non-negative.
+LpResult simplex_maximize(const std::vector<std::vector<double>>& a,
+                          const std::vector<double>& b,
+                          const std::vector<double>& c);
+
+}  // namespace osp

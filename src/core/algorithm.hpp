@@ -1,0 +1,89 @@
+// The online algorithm interface and a bookkeeping base class.
+//
+// Per Section 2 of the paper, an online algorithm initially sees only each
+// set's weight and size; at each step it receives an element (its capacity
+// and parent-set list) and must immediately output at most b(u) of those
+// sets.  A set is completed iff it is chosen at every one of its elements.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace osp {
+
+/// What an algorithm knows about a set before any element arrives.
+struct SetMeta {
+  Weight weight = 1.0;
+  std::size_t size = 0;
+};
+
+/// Interface every online policy implements.
+///
+/// The game engine calls start() once, then on_element() once per arrival
+/// in order.  Implementations must be deterministic given their own state
+/// (randomized policies draw all randomness in start() or from an Rng they
+/// own), so runs are reproducible.
+class OnlineAlgorithm {
+ public:
+  virtual ~OnlineAlgorithm() = default;
+
+  /// Display name used in benchmark tables.
+  virtual std::string name() const = 0;
+
+  /// Announces the instance: one SetMeta per set, ids 0..m-1.
+  virtual void start(const std::vector<SetMeta>& sets) = 0;
+
+  /// Element `u` arrives with capacity `capacity` and parent sets
+  /// `candidates` (sorted, distinct).  Returns the chosen sets: a subset
+  /// of `candidates` with at most `capacity` entries, no duplicates.
+  virtual std::vector<SetId> on_element(ElementId u, Capacity capacity,
+                                        const std::vector<SetId>& candidates) = 0;
+};
+
+/// Base class that tracks which sets are still "active" — chosen at every
+/// one of their elements seen so far — which most deterministic policies
+/// condition on.  Subclasses must call record() once per on_element after
+/// deciding.
+class ActiveTracking : public OnlineAlgorithm {
+ public:
+  void start(const std::vector<SetMeta>& sets) override {
+    meta_ = sets;
+    seen_.assign(sets.size(), 0);
+    progress_.assign(sets.size(), 0);
+  }
+
+  /// True while s has not yet missed any of its elements.
+  bool is_active(SetId s) const { return progress_[s] == seen_[s]; }
+
+  /// Number of elements of s assigned to s so far.
+  std::size_t progress(SetId s) const { return progress_[s]; }
+
+  /// Number of elements of s that have arrived so far.
+  std::size_t seen(SetId s) const { return seen_[s]; }
+
+  /// Elements of s that arrived but were not assigned to it.
+  std::size_t misses(SetId s) const { return seen_[s] - progress_[s]; }
+
+  /// Elements of s still outstanding (declared size minus seen).
+  std::size_t remaining(SetId s) const { return meta_[s].size - seen_[s]; }
+
+  const std::vector<SetMeta>& meta() const { return meta_; }
+
+ protected:
+  /// Advances per-set counters: every candidate saw the element; the chosen
+  /// ones also received it.
+  void record(const std::vector<SetId>& candidates,
+              const std::vector<SetId>& chosen) {
+    for (SetId s : candidates) ++seen_[s];
+    for (SetId s : chosen) ++progress_[s];
+  }
+
+ private:
+  std::vector<SetMeta> meta_;
+  std::vector<std::size_t> seen_;
+  std::vector<std::size_t> progress_;
+};
+
+}  // namespace osp

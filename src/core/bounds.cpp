@@ -1,0 +1,83 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.hpp"
+#include "util/require.hpp"
+
+namespace osp {
+
+double theorem1_bound(const InstanceStats& st) {
+  if (st.sigma_w_avg <= 0) return 0;
+  return static_cast<double>(st.k_max) *
+         std::sqrt(st.sigma_sigma_w_avg / st.sigma_w_avg);
+}
+
+double corollary6_bound(const InstanceStats& st) {
+  return static_cast<double>(st.k_max) *
+         std::sqrt(static_cast<double>(st.sigma_max));
+}
+
+double theorem4_shape(const InstanceStats& st) {
+  if (st.sigma_w_avg <= 0) return 0;
+  return static_cast<double>(st.k_max) *
+         std::sqrt(st.nu_sigma_w_avg / st.sigma_w_avg);
+}
+
+double theorem4_bound(const InstanceStats& st) {
+  return 16.0 * std::exp(1.0) * theorem4_shape(st);
+}
+
+double theorem5_bound(const InstanceStats& st) {
+  OSP_REQUIRE_MSG(st.uniform_size, "Theorem 5 needs uniform set size");
+  if (st.sigma_avg <= 0) return 0;
+  return st.k_avg * st.sigma_sq_avg / (st.sigma_avg * st.sigma_avg);
+}
+
+double corollary7_bound(const InstanceStats& st) {
+  OSP_REQUIRE_MSG(st.uniform_size && st.uniform_load,
+                  "Corollary 7 needs uniform size and load");
+  return st.k_avg;
+}
+
+double theorem6_bound(const InstanceStats& st) {
+  OSP_REQUIRE_MSG(st.uniform_load, "Theorem 6 needs uniform load");
+  return st.k_avg * std::sqrt(st.sigma_avg);
+}
+
+double theorem3_lower_bound(std::size_t sigma, std::size_t k) {
+  OSP_REQUIRE(k >= 1);
+  return std::pow(static_cast<double>(sigma), static_cast<double>(k - 1));
+}
+
+double theorem2_lower_bound(std::size_t k_max, std::size_t sigma_max) {
+  double k = static_cast<double>(k_max);
+  double lk = log_or_one(k);
+  double llk = log_or_one(lk);
+  double factor = (llk / lk) * (llk / lk);
+  return k * factor * std::sqrt(static_cast<double>(sigma_max));
+}
+
+double naive_bound(const InstanceStats& st) {
+  return static_cast<double>(st.k_max) * static_cast<double>(st.sigma_max);
+}
+
+double lemma4_lower_bound(const InstanceStats& st, double opt_value) {
+  OSP_REQUIRE(opt_value >= 0);
+  double denom = static_cast<double>(st.k_max) * st.total_weight;
+  return denom > 0 ? opt_value * opt_value / denom : 0.0;
+}
+
+double lemma5_lower_bound(const InstanceStats& st) {
+  double denom =
+      static_cast<double>(st.num_elements) * st.sigma_sigma_w_avg;
+  return denom > 0 ? st.total_weight * st.total_weight / denom : 0.0;
+}
+
+double theorem1_benefit_floor(const InstanceStats& st, double opt_value) {
+  return std::max(lemma4_lower_bound(st, opt_value),
+                  lemma5_lower_bound(st));
+}
+
+}  // namespace osp

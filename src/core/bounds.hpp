@@ -1,0 +1,62 @@
+// Calculators for every bound the paper proves, evaluated on concrete
+// instances via InstanceStats.  The benchmark harness prints these next to
+// measured competitive ratios.
+#pragma once
+
+#include "core/instance.hpp"
+
+namespace osp {
+
+/// Theorem 1 (unit capacity): ratio <= kmax * sqrt(avg(σ·σ$) / avg(σ$)).
+double theorem1_bound(const InstanceStats& st);
+
+/// Corollary 6: ratio <= kmax * sqrt(σmax).  Valid for unit capacity.
+double corollary6_bound(const InstanceStats& st);
+
+/// Theorem 4 (variable capacity): ratio <= 16e·kmax·sqrt(avg(ν·σ$)/avg(σ$)).
+double theorem4_bound(const InstanceStats& st);
+
+/// Theorem 4 without the analysis's 16e constant — the same shape the
+/// paper proves, with the constant-factor slack removed; used to discuss
+/// how loose the constant is in practice.
+double theorem4_shape(const InstanceStats& st);
+
+/// Theorem 5 (uniform set size k): ratio <= k · avg(σ²) / avg(σ)².
+/// Requires st.uniform_size.
+double theorem5_bound(const InstanceStats& st);
+
+/// Corollary 7 (uniform size and load): ratio <= k.
+/// Requires st.uniform_size && st.uniform_load.
+double corollary7_bound(const InstanceStats& st);
+
+/// Theorem 6 (uniform load σ): ratio <= k̄ · sqrt(σ).
+/// Requires st.uniform_load.
+double theorem6_bound(const InstanceStats& st);
+
+/// Theorem 3 (deterministic lower bound): ratio >= σmax^(kmax-1), as a
+/// function of the σ and k used by the adversarial construction.
+double theorem3_lower_bound(std::size_t sigma, std::size_t k);
+
+/// Theorem 2 (randomized lower bound): Ω(kmax·(log log kmax/log kmax)²·√σmax);
+/// this evaluates the expression with constant 1 for plotting against
+/// measured ratios.
+double theorem2_lower_bound(std::size_t k_max, std::size_t sigma_max);
+
+/// The trivial bound from Lemma 1 alone: kmax·σmax (unweighted analysis).
+double naive_bound(const InstanceStats& st);
+
+// The two intermediate lower bounds on E[w(alg)] whose combination proves
+// Theorem 1 — exposed so tests and benches can check the PROOF structure,
+// not just the final statement.
+
+/// Lemma 4: E[w(alg)] >= w(opt)² / (kmax·w(C)).
+double lemma4_lower_bound(const InstanceStats& st, double opt_value);
+
+/// Lemma 5: E[w(alg)] >= w(C)² / (n·avg(σ·σ$)).
+double lemma5_lower_bound(const InstanceStats& st);
+
+/// The better (larger) of the two Lemma bounds — the quantity Theorem 1's
+/// proof balances.
+double theorem1_benefit_floor(const InstanceStats& st, double opt_value);
+
+}  // namespace osp

@@ -1,0 +1,100 @@
+#include "core/game.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace osp {
+
+namespace {
+
+// Validates one answer against the rules; throws on violation.
+void check_answer(const std::vector<SetId>& chosen,
+                  const std::vector<SetId>& candidates, Capacity capacity) {
+  OSP_REQUIRE_MSG(chosen.size() <= capacity,
+                  "algorithm chose " << chosen.size()
+                                     << " sets, capacity is " << capacity);
+  std::vector<SetId> sorted = chosen;
+  std::sort(sorted.begin(), sorted.end());
+  OSP_REQUIRE_MSG(
+      std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+      "algorithm chose a set twice for one element");
+  for (SetId s : sorted)
+    OSP_REQUIRE_MSG(
+        std::binary_search(candidates.begin(), candidates.end(), s),
+        "algorithm chose set " << s << " not containing the element");
+}
+
+}  // namespace
+
+Outcome play(const Instance& inst, OnlineAlgorithm& alg) {
+  std::vector<SetMeta> metas(inst.num_sets());
+  for (SetId s = 0; s < inst.num_sets(); ++s)
+    metas[s] = SetMeta{inst.weight(s), inst.set_size(s)};
+  alg.start(metas);
+
+  std::vector<std::size_t> got(inst.num_sets(), 0);
+  Outcome out;
+  out.completed_mask.assign(inst.num_sets(), false);
+
+  for (ElementId u = 0; u < inst.num_elements(); ++u) {
+    const Arrival& a = inst.arrival(u);
+    std::vector<SetId> chosen = alg.on_element(u, a.capacity, a.parents);
+    check_answer(chosen, a.parents, a.capacity);
+    for (SetId s : chosen) ++got[s];
+    out.decisions += chosen.size();
+  }
+
+  for (SetId s = 0; s < inst.num_sets(); ++s) {
+    if (got[s] == inst.set_size(s)) {
+      out.completed.push_back(s);
+      out.completed_mask[s] = true;
+      out.benefit += inst.weight(s);
+    }
+  }
+  return out;
+}
+
+GameEngine::GameEngine(std::vector<SetMeta> sets, OnlineAlgorithm& alg)
+    : sets_(std::move(sets)), alg_(alg) {
+  alg_active_.assign(sets_.size(), true);
+  presented_.assign(sets_.size(), 0);
+  alg_.start(sets_);
+}
+
+std::vector<SetId> GameEngine::step(const std::vector<SetId>& parents,
+                                    Capacity capacity) {
+  std::vector<SetId> sorted = parents;
+  std::sort(sorted.begin(), sorted.end());
+  OSP_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+  for (SetId s : sorted) OSP_REQUIRE(s < sets_.size());
+
+  std::vector<SetId> chosen = alg_.on_element(next_element_++, capacity, sorted);
+  check_answer(chosen, sorted, capacity);
+  decisions_ += chosen.size();
+
+  std::vector<bool> was_chosen(sets_.size(), false);
+  for (SetId s : chosen) was_chosen[s] = true;
+  for (SetId s : sorted) {
+    ++presented_[s];
+    if (!was_chosen[s]) alg_active_[s] = false;
+  }
+  return chosen;
+}
+
+Outcome GameEngine::finish() const {
+  Outcome out;
+  out.completed_mask.assign(sets_.size(), false);
+  out.decisions = decisions_;
+  for (SetId s = 0; s < sets_.size(); ++s) {
+    if (alg_active_[s] && presented_[s] == sets_[s].size) {
+      out.completed.push_back(s);
+      out.completed_mask[s] = true;
+      out.benefit += sets_[s].weight;
+    }
+  }
+  return out;
+}
+
+}  // namespace osp

@@ -1,0 +1,62 @@
+// The online game engine: feeds an instance to an algorithm, enforces the
+// rules of osp, and scores the outcome.
+#pragma once
+
+#include <vector>
+
+#include "core/algorithm.hpp"
+#include "core/instance.hpp"
+
+namespace osp {
+
+/// Result of one run of an algorithm on an instance.
+struct Outcome {
+  std::vector<SetId> completed;       // ids of completed sets, ascending
+  std::vector<bool> completed_mask;   // per-set completion flags
+  Weight benefit = 0;                 // total weight of completed sets
+  std::size_t decisions = 0;          // total set-assignments made
+};
+
+/// Runs `alg` over `inst` from the beginning and scores it.
+///
+/// Enforces the osp rules: each answer must be a duplicate-free subset of
+/// the candidates with at most b(u) entries; violations throw RequireError
+/// (an algorithm bug, not an input condition).  A set is completed iff it
+/// was chosen at every one of its elements; empty sets complete vacuously.
+Outcome play(const Instance& inst, OnlineAlgorithm& alg);
+
+/// Incremental engine used by adaptive adversaries (Theorem 3), which must
+/// interleave construction of the arrival sequence with the algorithm's
+/// answers.  Feed elements one at a time and inspect which sets remain
+/// completable.
+class GameEngine {
+ public:
+  /// Starts a game over m sets with the given metadata.
+  GameEngine(std::vector<SetMeta> sets, OnlineAlgorithm& alg);
+
+  /// Presents one arrival; returns the algorithm's (validated) choice.
+  std::vector<SetId> step(const std::vector<SetId>& parents,
+                          Capacity capacity = 1);
+
+  /// True while s has been assigned every element of it presented so far.
+  bool is_alg_active(SetId s) const { return alg_active_[s]; }
+
+  /// Elements of s presented so far.
+  std::size_t presented(SetId s) const { return presented_[s]; }
+
+  /// Scores the game assuming it ended now: s completes iff it stayed
+  /// active AND received exactly its declared size.
+  Outcome finish() const;
+
+  std::size_t num_sets() const { return sets_.size(); }
+
+ private:
+  std::vector<SetMeta> sets_;
+  OnlineAlgorithm& alg_;
+  std::vector<bool> alg_active_;
+  std::vector<std::size_t> presented_;
+  ElementId next_element_ = 0;
+  std::size_t decisions_ = 0;
+};
+
+}  // namespace osp

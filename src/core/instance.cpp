@@ -1,0 +1,141 @@
+#include "core/instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace osp {
+
+Weight Instance::weighted_load(ElementId u) const {
+  Weight w = 0;
+  for (SetId s : arrivals_[u].parents) w += weights_[s];
+  return w;
+}
+
+double Instance::adjusted_load(ElementId u) const {
+  return static_cast<double>(load(u)) /
+         static_cast<double>(arrivals_[u].capacity);
+}
+
+InstanceStats Instance::stats() const {
+  InstanceStats st;
+  st.num_sets = num_sets();
+  st.num_elements = num_elements();
+
+  for (std::size_t s = 0; s < weights_.size(); ++s) {
+    st.total_weight += weights_[s];
+    st.k_max = std::max(st.k_max, set_sizes_[s]);
+    st.k_avg += static_cast<double>(set_sizes_[s]);
+    if (weights_[s] != 1.0) st.unweighted = false;
+    if (set_sizes_[s] != set_sizes_[0]) st.uniform_size = false;
+  }
+  if (!weights_.empty()) st.k_avg /= static_cast<double>(weights_.size());
+
+  for (ElementId u = 0; u < arrivals_.size(); ++u) {
+    std::size_t sigma = load(u);
+    Weight sw = weighted_load(u);
+    double nu = adjusted_load(u);
+    st.sigma_max = std::max(st.sigma_max, sigma);
+    st.sigma_avg += static_cast<double>(sigma);
+    st.sigma_sq_avg += static_cast<double>(sigma) * static_cast<double>(sigma);
+    st.sigma_w_avg += sw;
+    st.sigma_sigma_w_avg += static_cast<double>(sigma) * sw;
+    st.nu_max = std::max(st.nu_max, nu);
+    st.nu_avg += nu;
+    st.nu_sigma_w_avg += nu * sw;
+    st.b_max = std::max(st.b_max, arrivals_[u].capacity);
+    if (arrivals_[u].capacity != 1) st.unit_capacity = false;
+    if (sigma != load(0)) st.uniform_load = false;
+  }
+  if (!arrivals_.empty()) {
+    auto n = static_cast<double>(arrivals_.size());
+    st.sigma_avg /= n;
+    st.sigma_sq_avg /= n;
+    st.sigma_w_avg /= n;
+    st.sigma_sigma_w_avg /= n;
+    st.nu_avg /= n;
+    st.nu_sigma_w_avg /= n;
+  }
+  return st;
+}
+
+void Instance::validate() const {
+  OSP_REQUIRE(set_sizes_.size() == weights_.size());
+  OSP_REQUIRE(members_.size() == weights_.size());
+  for (std::size_t s = 0; s < weights_.size(); ++s) {
+    OSP_REQUIRE_MSG(weights_[s] >= 0, "negative weight for set " << s);
+    OSP_REQUIRE(members_[s].size() == set_sizes_[s]);
+    for (ElementId u : members_[s]) {
+      OSP_REQUIRE(u < arrivals_.size());
+      const auto& par = arrivals_[u].parents;
+      OSP_REQUIRE(std::binary_search(par.begin(), par.end(),
+                                     static_cast<SetId>(s)));
+    }
+  }
+  for (const Arrival& a : arrivals_) {
+    OSP_REQUIRE_MSG(a.capacity >= 1, "element capacity must be >= 1");
+    OSP_REQUIRE(std::is_sorted(a.parents.begin(), a.parents.end()));
+    OSP_REQUIRE(std::adjacent_find(a.parents.begin(), a.parents.end()) ==
+                a.parents.end());
+    for (SetId s : a.parents) OSP_REQUIRE(s < weights_.size());
+  }
+}
+
+std::string Instance::describe() const {
+  InstanceStats st = stats();
+  std::ostringstream os;
+  os << "m=" << st.num_sets << " n=" << st.num_elements
+     << " kmax=" << st.k_max << " smax=" << st.sigma_max
+     << " w=" << st.total_weight
+     << (st.unit_capacity ? "" : " varcap")
+     << (st.unweighted ? "" : " weighted");
+  return os.str();
+}
+
+SetId InstanceBuilder::add_set(Weight w) {
+  OSP_REQUIRE_MSG(w >= 0, "set weight must be non-negative");
+  OSP_REQUIRE(std::isfinite(w));
+  weights_.push_back(w);
+  return static_cast<SetId>(weights_.size() - 1);
+}
+
+SetId InstanceBuilder::add_sets(std::size_t count, Weight w) {
+  OSP_REQUIRE(count >= 1);
+  SetId first = add_set(w);
+  for (std::size_t i = 1; i < count; ++i) add_set(w);
+  return first;
+}
+
+ElementId InstanceBuilder::add_element(std::vector<SetId> parents,
+                                       Capacity capacity) {
+  OSP_REQUIRE_MSG(capacity >= 1, "element capacity must be >= 1");
+  std::sort(parents.begin(), parents.end());
+  OSP_REQUIRE_MSG(std::adjacent_find(parents.begin(), parents.end()) ==
+                      parents.end(),
+                  "duplicate parent set in element");
+  for (SetId s : parents)
+    OSP_REQUIRE_MSG(s < weights_.size(), "unknown set id " << s);
+  arrivals_.push_back(Arrival{capacity, std::move(parents)});
+  return static_cast<ElementId>(arrivals_.size() - 1);
+}
+
+Instance InstanceBuilder::build() {
+  Instance inst;
+  inst.weights_ = std::move(weights_);
+  inst.arrivals_ = std::move(arrivals_);
+  inst.set_sizes_.assign(inst.weights_.size(), 0);
+  inst.members_.assign(inst.weights_.size(), {});
+  for (ElementId u = 0; u < inst.arrivals_.size(); ++u)
+    for (SetId s : inst.arrivals_[u].parents) {
+      ++inst.set_sizes_[s];
+      inst.members_[s].push_back(u);
+    }
+  inst.validate();
+  weights_.clear();
+  arrivals_.clear();
+  return inst;
+}
+
+}  // namespace osp

@@ -1,0 +1,124 @@
+// The osp instance model: a weighted set system whose elements arrive
+// online in a fixed order, each with a capacity and the list of sets that
+// contain it (Section 2 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace osp {
+
+/// One online arrival: element u with capacity b(u) and parent sets C(u).
+struct Arrival {
+  Capacity capacity = 1;
+  std::vector<SetId> parents;  // sorted, distinct
+};
+
+/// Aggregate statistics of an instance, in the paper's notation.
+///
+/// Loads: σ(u) = |C(u)|, weighted load σ$(u) = w(C(u)), adjusted load
+/// ν(u) = σ(u)/b(u).  Averages are over elements (for loads) or sets
+/// (for sizes), matching the paper's conventions.
+struct InstanceStats {
+  std::size_t num_sets = 0;             // m
+  std::size_t num_elements = 0;         // n
+  Weight total_weight = 0;              // w(C)
+  std::size_t k_max = 0;                // max set size
+  double k_avg = 0;                     // average set size k̄
+  std::size_t sigma_max = 0;            // max load
+  double sigma_avg = 0;                 // σ̄
+  double sigma_sq_avg = 0;              // avg of σ(u)²
+  double sigma_w_avg = 0;               // avg of σ$(u)
+  double sigma_sigma_w_avg = 0;         // avg of σ(u)·σ$(u)
+  double nu_max = 0;                    // max adjusted load
+  double nu_avg = 0;                    // ν̄
+  double nu_sigma_w_avg = 0;            // avg of ν(u)·σ$(u)
+  Capacity b_max = 1;                   // max capacity
+  bool unit_capacity = true;            // all b(u) == 1
+  bool uniform_size = true;             // all |S| equal
+  bool uniform_load = true;             // all σ(u) equal
+  bool unweighted = true;               // all w(S) == 1
+};
+
+/// Immutable online set packing instance.
+///
+/// Construction goes through InstanceBuilder, which validates the input.
+/// Per the paper, algorithms know each set's weight and size up front but
+/// learn membership only as elements arrive.
+class Instance {
+ public:
+  std::size_t num_sets() const { return weights_.size(); }
+  std::size_t num_elements() const { return arrivals_.size(); }
+
+  Weight weight(SetId s) const { return weights_[s]; }
+  const std::vector<Weight>& weights() const { return weights_; }
+
+  /// Size |S| of set s (number of elements it contains over the full run).
+  std::size_t set_size(SetId s) const { return set_sizes_[s]; }
+  const std::vector<std::size_t>& set_sizes() const { return set_sizes_; }
+
+  const Arrival& arrival(ElementId u) const { return arrivals_[u]; }
+  const std::vector<Arrival>& arrivals() const { return arrivals_; }
+
+  /// Elements of set s in arrival order.
+  const std::vector<ElementId>& elements_of(SetId s) const {
+    return members_[s];
+  }
+
+  /// Load σ(u).
+  std::size_t load(ElementId u) const { return arrivals_[u].parents.size(); }
+
+  /// Weighted load σ$(u) = total weight of sets containing u.
+  Weight weighted_load(ElementId u) const;
+
+  /// Adjusted load ν(u) = σ(u)/b(u).
+  double adjusted_load(ElementId u) const;
+
+  /// Computes all aggregate statistics (O(n + m + total membership)).
+  InstanceStats stats() const;
+
+  /// Checks internal consistency; throws RequireError when violated.
+  /// Exposed mainly for tests; Instance objects built through
+  /// InstanceBuilder always validate.
+  void validate() const;
+
+  /// Human-readable one-line description ("m=12 n=40 kmax=4 smax=6 ...").
+  std::string describe() const;
+
+ private:
+  friend class InstanceBuilder;
+  std::vector<Weight> weights_;
+  std::vector<std::size_t> set_sizes_;
+  std::vector<Arrival> arrivals_;
+  std::vector<std::vector<ElementId>> members_;  // per-set element lists
+};
+
+/// Incremental constructor for Instance.
+class InstanceBuilder {
+ public:
+  /// Declares a new set with the given weight (>= 0); returns its id.
+  SetId add_set(Weight w = 1.0);
+
+  /// Declares `count` sets of weight w; returns the id of the first.
+  SetId add_sets(std::size_t count, Weight w = 1.0);
+
+  /// Appends the next arriving element.  `parents` lists the sets that
+  /// contain it (need not be sorted; duplicates are rejected); capacity
+  /// must be >= 1.  Returns the element id.
+  ElementId add_element(std::vector<SetId> parents, Capacity capacity = 1);
+
+  std::size_t num_sets() const { return weights_.size(); }
+  std::size_t num_elements() const { return arrivals_.size(); }
+
+  /// Validates and produces the instance; the builder is left empty.
+  Instance build();
+
+ private:
+  std::vector<Weight> weights_;
+  std::vector<Arrival> arrivals_;
+};
+
+}  // namespace osp

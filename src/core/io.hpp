@@ -1,0 +1,33 @@
+// Plain-text serialization of osp instances.
+//
+// Enables saving generated workloads (including adversarial transcripts)
+// and replaying them across runs, machines, or against external solvers.
+//
+// Format (line oriented, '#' starts a comment):
+//
+//   osp-instance v1
+//   sets <m>
+//   <weight>                      # one line per set, in id order
+//   elements <n>
+//   <capacity> <parent> <parent>...   # one line per element, arrival order
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/instance.hpp"
+
+namespace osp {
+
+/// Writes `inst` in the v1 text format.
+void write_instance(std::ostream& os, const Instance& inst);
+
+/// Parses the v1 text format; throws RequireError with a line number on
+/// malformed input.
+Instance read_instance(std::istream& is);
+
+/// File convenience wrappers; throw RequireError on I/O failure.
+void save_instance(const std::string& path, const Instance& inst);
+Instance load_instance(const std::string& path);
+
+}  // namespace osp

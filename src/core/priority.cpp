@@ -1,0 +1,34 @@
+#include "core/priority.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace osp {
+
+double sample_rw(double w, Rng& rng) {
+  OSP_REQUIRE(w > 0);
+  // Inverse CDF of x^w: X = U^{1/w}.
+  return std::pow(rng.uniform_open(), 1.0 / w);
+}
+
+PriorityKey sample_rw_key(double w, Rng& rng) {
+  return rw_key_from_uniform(rng.uniform_open(), w, rng());
+}
+
+PriorityKey rw_key_from_uniform(double u, double w, std::uint64_t tie) {
+  OSP_REQUIRE(w > 0);
+  OSP_REQUIRE(u > 0.0 && u < 1.0);
+  // X = U^{1/w}  ⇒  log X = log(U)/w; log is monotone, so the key orders
+  // samples exactly as the raw values would, without the precision loss of
+  // computing U^{1/w} near 1.
+  return PriorityKey{std::log(u) / w, tie};
+}
+
+double rw_cdf(double x, double w) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  return std::pow(x, w);
+}
+
+}  // namespace osp

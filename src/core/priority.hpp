@@ -1,0 +1,50 @@
+// The R_w priority distribution of Algorithm randPr (Section 3.1).
+//
+// R_w is defined by the CDF Pr[X < x] = x^w on [0, 1]; R_1 is uniform and
+// R_n (integer n) is the maximum of n i.i.d. uniforms.  Sampling uses the
+// inverse CDF: X = U^{1/w}.
+//
+// Comparing raw samples loses precision for large weights (U^{1/w} → 1),
+// so the library compares priorities via the order-preserving key
+// log(U)/w ∈ (-inf, 0): X = exp(key), and exp is monotone, so ordering by
+// key equals ordering by X while keeping full double resolution.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace osp {
+
+/// Priority comparable across sets; larger key = higher priority.
+struct PriorityKey {
+  double key = 0.0;       // log(U)/w, in (-inf, 0]
+  std::uint64_t tie = 0;  // tie-break, relevant only for hashed sources
+
+  friend bool operator<(const PriorityKey& a, const PriorityKey& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.tie < b.tie;
+  }
+  friend bool operator>(const PriorityKey& a, const PriorityKey& b) {
+    return b < a;
+  }
+  friend bool operator==(const PriorityKey& a, const PriorityKey& b) {
+    return a.key == b.key && a.tie == b.tie;
+  }
+};
+
+/// Draws one sample of R_w directly (value in [0, 1]).  Requires w > 0.
+double sample_rw(double w, Rng& rng);
+
+/// Draws the log-space priority key for a set of weight w.  Requires w > 0.
+PriorityKey sample_rw_key(double w, Rng& rng);
+
+/// Converts an externally produced uniform u ∈ (0, 1) (e.g. a hash of the
+/// set id) into the R_w key for weight w.  Requires w > 0.
+PriorityKey rw_key_from_uniform(double u, double w, std::uint64_t tie);
+
+/// CDF of R_w at x, i.e. x^w clamped to [0, 1] outside the support.
+/// Signature matches stats::ks_distance.
+double rw_cdf(double x, double w);
+
+}  // namespace osp

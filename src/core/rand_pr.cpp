@@ -1,0 +1,126 @@
+#include "core/rand_pr.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace osp {
+
+std::vector<SetId> top_by_priority(const std::vector<SetId>& candidates,
+                                   const std::vector<PriorityKey>& keys,
+                                   Capacity capacity) {
+  if (candidates.size() <= capacity) return candidates;
+  std::vector<SetId> chosen = candidates;
+  std::partial_sort(chosen.begin(), chosen.begin() + capacity, chosen.end(),
+                    [&](SetId a, SetId b) { return keys[a] > keys[b]; });
+  chosen.resize(capacity);
+  return chosen;
+}
+
+namespace {
+
+// Applies the filter_dead ablation: drops candidates the tracker knows
+// can no longer earn value (missed more than allowed_misses elements).
+std::vector<SetId> filter_active(const ActiveTracking& tracker,
+                                 const std::vector<SetId>& candidates,
+                                 std::size_t allowed_misses) {
+  std::vector<SetId> alive;
+  alive.reserve(candidates.size());
+  for (SetId s : candidates)
+    if (tracker.misses(s) <= allowed_misses) alive.push_back(s);
+  return alive;
+}
+
+}  // namespace
+
+RandPr::RandPr(Rng rng, RandPrOptions options)
+    : rng_(rng), options_(options) {}
+
+std::string RandPr::name() const {
+  std::string n = "randPr";
+  if (options_.ignore_weights) n += "/unif";
+  if (options_.filter_dead) n += "/filt";
+  if (options_.fresh_priorities_per_element) n += "/fresh";
+  return n;
+}
+
+void RandPr::start(const std::vector<SetMeta>& sets) {
+  ActiveTracking::start(sets);
+  priorities_.resize(sets.size());
+  for (SetId s = 0; s < sets.size(); ++s) {
+    double w = options_.ignore_weights ? 1.0 : std::max(sets[s].weight, 1e-12);
+    priorities_[s] = sample_rw_key(w, rng_);
+  }
+}
+
+std::vector<SetId> RandPr::on_element(ElementId, Capacity capacity,
+                                      const std::vector<SetId>& candidates) {
+  if (options_.fresh_priorities_per_element) {
+    for (SetId s : candidates) {
+      double w =
+          options_.ignore_weights ? 1.0 : std::max(meta()[s].weight, 1e-12);
+      priorities_[s] = sample_rw_key(w, rng_);
+    }
+  }
+  const std::vector<SetId> pool =
+      options_.filter_dead
+          ? filter_active(*this, candidates, options_.allowed_misses)
+          : candidates;
+  std::vector<SetId> chosen = top_by_priority(pool, priorities_, capacity);
+  record(candidates, chosen);
+  return chosen;
+}
+
+HashedRandPr::HashedRandPr(HashFn hash, std::string label,
+                           RandPrOptions options)
+    : hash_(std::move(hash)), label_(std::move(label)), options_(options) {
+  OSP_REQUIRE(hash_ != nullptr);
+}
+
+std::unique_ptr<HashedRandPr> HashedRandPr::with_polynomial(
+    unsigned independence, Rng& rng) {
+  auto h = std::make_shared<PolynomialHash>(independence, rng);
+  return std::make_unique<HashedRandPr>(
+      [h](std::uint64_t key) { return h->unit(key); },
+      "hashPr/poly" + std::to_string(independence));
+}
+
+std::unique_ptr<HashedRandPr> HashedRandPr::with_tabulation(Rng& rng) {
+  auto h = std::make_shared<TabulationHash>(rng);
+  return std::make_unique<HashedRandPr>(
+      [h](std::uint64_t key) { return h->unit(key); }, "hashPr/tab");
+}
+
+std::unique_ptr<HashedRandPr> HashedRandPr::with_multiply_shift(Rng& rng) {
+  auto h = std::make_shared<MultiplyShiftHash>(rng);
+  return std::make_unique<HashedRandPr>(
+      [h](std::uint64_t key) { return h->unit(key); }, "hashPr/ms");
+}
+
+std::string HashedRandPr::name() const { return label_; }
+
+void HashedRandPr::start(const std::vector<SetMeta>& sets) {
+  ActiveTracking::start(sets);
+  priorities_.resize(sets.size());
+  for (SetId s = 0; s < sets.size(); ++s) {
+    double u = hash_(s);
+    // Clamp hash output into the open interval required by the key
+    // transform; collisions at the boundary are broken by the tie field.
+    u = std::min(std::max(u, 1e-15), 1.0 - 1e-15);
+    double w = options_.ignore_weights ? 1.0 : std::max(sets[s].weight, 1e-12);
+    priorities_[s] = rw_key_from_uniform(u, w, /*tie=*/s);
+  }
+}
+
+std::vector<SetId> HashedRandPr::on_element(
+    ElementId, Capacity capacity, const std::vector<SetId>& candidates) {
+  const std::vector<SetId> pool =
+      options_.filter_dead
+          ? filter_active(*this, candidates, options_.allowed_misses)
+          : candidates;
+  std::vector<SetId> chosen = top_by_priority(pool, priorities_, capacity);
+  record(candidates, chosen);
+  return chosen;
+}
+
+}  // namespace osp

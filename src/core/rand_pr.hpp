@@ -1,0 +1,104 @@
+// Algorithm randPr — the paper's randomized online set packing algorithm
+// (Section 3.1) — plus its distributed (hashed) variant and ablation knobs.
+//
+//   For each set S, pick a random priority r(S) ~ R_{w(S)}.
+//   On arrival of element u with capacity b(u):
+//     assign u to the b(u) sets with the highest priority in C(u).
+//
+// The hashed variant replaces the true random draw by h(set id) for a
+// shared hash function h, which is what a distributed deployment (several
+// routers seeing parts of the same frame) would use; Section 3.1 notes that
+// kmax·σmax-wise independence suffices.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/algorithm.hpp"
+#include "core/priority.hpp"
+#include "hash/universal_hash.hpp"
+#include "util/rng.hpp"
+
+namespace osp {
+
+/// Configuration knobs for RandPr; defaults reproduce the paper exactly.
+struct RandPrOptions {
+  /// If true, never assign an element to a set that is already dead (the
+  /// paper's algorithm does not filter; filtering is an ablation that can
+  /// only help and is measured in bench_ablation).
+  bool filter_dead = false;
+
+  /// With filter_dead: a set counts as dead once it missed MORE than this
+  /// many elements.  0 reproduces strict all-or-nothing scoring; r > 0
+  /// matches a PartialCreditRule with max_misses = r (open problem 3).
+  std::size_t allowed_misses = 0;
+
+  /// If true, ignore weights when drawing priorities (all R_1), an
+  /// ablation quantifying the value of the R_w distribution.
+  bool ignore_weights = false;
+
+  /// If true, redraw priorities at every element instead of fixing them
+  /// per set — breaks the algorithm's consistency and serves as a negative
+  /// control in bench_ablation.
+  bool fresh_priorities_per_element = false;
+};
+
+/// The paper's randPr with true (pseudo-)randomness.
+class RandPr : public ActiveTracking {
+ public:
+  /// `rng` seeds the per-run priority draws.
+  explicit RandPr(Rng rng, RandPrOptions options = {});
+
+  std::string name() const override;
+  void start(const std::vector<SetMeta>& sets) override;
+  std::vector<SetId> on_element(ElementId u, Capacity capacity,
+                                const std::vector<SetId>& candidates) override;
+
+  /// Priority key currently assigned to set s (for tests).
+  PriorityKey priority(SetId s) const { return priorities_[s]; }
+
+ private:
+  Rng rng_;
+  RandPrOptions options_;
+  std::vector<PriorityKey> priorities_;
+};
+
+/// Distributed randPr: priorities come from a shared hash of the set id,
+/// so independent servers make consistent decisions without communication.
+///
+/// HashFn maps a set id to a uniform double in (0, 1); the class adapts
+/// any of the families in hash/universal_hash.hpp.
+class HashedRandPr : public ActiveTracking {
+ public:
+  using HashFn = std::function<double(std::uint64_t)>;
+
+  /// `label` names the hash family for benchmark tables.
+  HashedRandPr(HashFn hash, std::string label, RandPrOptions options = {});
+
+  /// Convenience factories.
+  static std::unique_ptr<HashedRandPr> with_polynomial(unsigned independence,
+                                                       Rng& rng);
+  static std::unique_ptr<HashedRandPr> with_tabulation(Rng& rng);
+  static std::unique_ptr<HashedRandPr> with_multiply_shift(Rng& rng);
+
+  std::string name() const override;
+  void start(const std::vector<SetMeta>& sets) override;
+  std::vector<SetId> on_element(ElementId u, Capacity capacity,
+                                const std::vector<SetId>& candidates) override;
+
+ private:
+  HashFn hash_;
+  std::string label_;
+  RandPrOptions options_;
+  std::vector<PriorityKey> priorities_;
+};
+
+/// Shared helper: picks the `capacity` candidates with the highest keys.
+/// Exposed for reuse by HashedRandPr and tests.
+std::vector<SetId> top_by_priority(const std::vector<SetId>& candidates,
+                                   const std::vector<PriorityKey>& keys,
+                                   Capacity capacity);
+
+}  // namespace osp

@@ -1,0 +1,25 @@
+// Fundamental identifier and weight types of the osp library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace osp {
+
+/// Index of a set in an instance (dense, 0-based).
+using SetId = std::uint32_t;
+
+/// Index of an element in arrival order (dense, 0-based).
+using ElementId = std::uint32_t;
+
+/// Set weights.  The paper allows arbitrary non-negative weights; we use
+/// double throughout and require non-negativity at construction.
+using Weight = double;
+
+/// Per-element capacity b(u): how many sets the element may be assigned to.
+using Capacity = std::uint32_t;
+
+/// Sentinel for "no set".
+inline constexpr SetId kNoSet = std::numeric_limits<SetId>::max();
+
+}  // namespace osp

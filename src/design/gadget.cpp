@@ -1,0 +1,65 @@
+#include "design/gadget.hpp"
+
+#include "util/require.hpp"
+
+namespace osp {
+
+Gadget::Gadget(std::size_t m, std::size_t n)
+    : m_(m), n_(n), field_(n) {
+  OSP_REQUIRE_MSG(m >= 1 && m <= n, "gadget needs 1 <= M <= N");
+}
+
+std::vector<GadgetItem> Gadget::line(std::uint32_t a, std::uint32_t b) const {
+  OSP_REQUIRE(a < n_ && b < n_);
+  std::vector<GadgetItem> items;
+  items.reserve(m_);
+  for (std::uint32_t i = 0; i < m_; ++i) {
+    // Column j = a·i + b over GF(N); row indices double as field elements
+    // because F_M is fixed to the elements encoded 0..M-1.
+    auto j = field_.add(field_.mul(a, i), b);
+    items.push_back(GadgetItem{i, j});
+  }
+  return items;
+}
+
+std::vector<GadgetItem> Gadget::row_line(std::uint32_t c) const {
+  OSP_REQUIRE(c < m_);
+  std::vector<GadgetItem> items;
+  items.reserve(n_);
+  for (std::uint32_t j = 0; j < n_; ++j) items.push_back(GadgetItem{c, j});
+  return items;
+}
+
+void apply_gadget(InstanceBuilder& builder, const Gadget& gadget,
+                  const std::vector<SetId>& placement, bool with_rows,
+                  Capacity cap) {
+  const std::size_t m = gadget.num_rows();
+  const std::size_t n = gadget.num_cols();
+  OSP_REQUIRE_MSG(placement.size() == m * n,
+                  "placement must cover the full M x N matrix");
+
+  auto set_at = [&](const GadgetItem& item) {
+    return placement[static_cast<std::size_t>(item.row) * n + item.col];
+  };
+
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = 0; b < n; ++b) {
+      std::vector<SetId> parents;
+      parents.reserve(m);
+      for (const GadgetItem& item : gadget.line(a, b))
+        parents.push_back(set_at(item));
+      builder.add_element(std::move(parents), cap);
+    }
+  }
+  if (with_rows) {
+    for (std::uint32_t c = 0; c < m; ++c) {
+      std::vector<SetId> parents;
+      parents.reserve(n);
+      for (const GadgetItem& item : gadget.row_line(c))
+        parents.push_back(set_at(item));
+      builder.add_element(std::move(parents), cap);
+    }
+  }
+}
+
+}  // namespace osp

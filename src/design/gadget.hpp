@@ -1,0 +1,72 @@
+// The (M,N)-gadget of Section 4.2.1 — a combinatorial design reminiscent
+// of affine planes, used by the randomized lower bound construction.
+//
+// Let F be the finite field of order N (a prime power) and F_M ⊆ F a
+// subset of size M <= N (we fix F_M = the elements encoded 0..M-1).  The
+// gadget's items are the pairs F_M × F, its lines are
+//
+//   L_{a,b} = {(i, a·i + b) : i ∈ F_M}        for a, b ∈ F,   and
+//   L_{∞,c} = {c} × F                          for c ∈ F_M.
+//
+// Proposition 1: items in different rows lie on exactly one common L_{a,b};
+// items in the same row lie on exactly one common L_{∞,c}.
+// Proposition 2: every item lies on exactly one L_{a,·} per slope a and on
+// exactly one row line.
+//
+// In the osp reduction, items are sets and lines are elements: applying a
+// gadget to M·N sets creates N² elements of load M (and, optionally, the
+// M row elements of load N).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "field/gf.hpp"
+
+namespace osp {
+
+/// Item of a gadget: (row, column) with row < M, column < N.
+struct GadgetItem {
+  std::uint32_t row;
+  std::uint32_t col;
+  friend bool operator==(const GadgetItem&, const GadgetItem&) = default;
+};
+
+/// An (M,N)-gadget over GF(N).
+class Gadget {
+ public:
+  /// Requires 1 <= m <= n and n a prime power.
+  Gadget(std::size_t m, std::size_t n);
+
+  std::size_t num_rows() const { return m_; }   // M
+  std::size_t num_cols() const { return n_; }   // N
+
+  /// Items of line L_{a,b}: one per row i, at column a·i + b.
+  std::vector<GadgetItem> line(std::uint32_t a, std::uint32_t b) const;
+
+  /// Items of the row line L_{∞,c} = {c} × F.
+  std::vector<GadgetItem> row_line(std::uint32_t c) const;
+
+  /// Total number of non-row lines (N²).
+  std::size_t num_lines() const { return n_ * n_; }
+
+  const FiniteField& field() const { return field_; }
+
+ private:
+  std::size_t m_;
+  std::size_t n_;
+  FiniteField field_;
+};
+
+/// Applies a gadget to a collection of M·N sets placed row-major into the
+/// M×N matrix (`placement[row*N + col]` is the set at that item), appending
+/// the gadget's elements to `builder` in the paper's order: all L_{a,b}
+/// with a ascending then b ascending, followed (iff `with_rows`) by the M
+/// row lines.  All created elements get capacity `cap`.
+void apply_gadget(InstanceBuilder& builder, const Gadget& gadget,
+                  const std::vector<SetId>& placement, bool with_rows,
+                  Capacity cap = 1);
+
+}  // namespace osp

@@ -1,0 +1,78 @@
+// The paper's lower-bound constructions (Section 4).
+//
+//  * Theorem 3: an adaptive adversary that drives ANY deterministic online
+//    algorithm to benefit <= 1 on an unweighted, unit-capacity instance
+//    with uniform set size k, while opt >= σ^(k-1).
+//  * Section 4.2 warm-up: the t² -set construction giving Ω(t/log t).
+//  * Lemma 9 / Figure 1: the four-stage gadget distribution with ℓ⁴ sets,
+//    opt >= ℓ³, on which every deterministic algorithm earns
+//    O((log ℓ / log log ℓ)²) in expectation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/algorithm.hpp"
+#include "core/game.hpp"
+#include "core/instance.hpp"
+#include "util/rng.hpp"
+
+namespace osp {
+
+/// Result of running the Theorem 3 adversary against one algorithm.
+struct AdaptiveAdversaryResult {
+  Instance transcript;      // the instance the adversary ended up building
+  Outcome alg_outcome;      // what the algorithm completed (benefit <= 1)
+  Weight opt_lower_bound;   // σ^(k-1), witnessed by a feasible solution
+  std::vector<SetId> witness;  // the σ^(k-1) disjointly completable sets
+  std::size_t sigma = 0;
+  std::size_t k = 0;
+};
+
+/// Plays the Theorem 3 construction against `alg` (adaptively: later
+/// elements depend on the algorithm's earlier answers).
+///
+/// Builds σ^k unweighted sets of size exactly k with unit capacities.
+/// Requires sigma >= 2, k >= 1, and σ^k to fit comfortably in memory.
+AdaptiveAdversaryResult run_theorem3_adversary(OnlineAlgorithm& alg,
+                                               std::size_t sigma,
+                                               std::size_t k);
+
+/// A Lemma 9 instance together with its planted optimal subcollection.
+struct Lemma9Instance {
+  Instance instance;
+  std::vector<SetId> planted;  // the subcollection S, |S| = ℓ³, disjoint
+  std::size_t ell = 0;
+};
+
+/// Draws one instance from the Lemma 9 distribution D with parameter ℓ
+/// (must be a prime power).  The instance has ℓ⁴ sets, uniform set size
+/// 2ℓ² + ℓ + 1, unit capacities, and `planted` is a feasible solution of
+/// size ℓ³ (so opt >= ℓ³).
+///
+/// Stage structure (Figure 1):
+///   I   — ℓ² subcollections of ℓ² sets, each hit by an (ℓ,ℓ)-gadget
+///         without rows, under a uniformly random bijection;
+///   II  — ℓ subcollections of ℓ³ sets (concatenating ℓ Stage I blocks
+///         with independently permuted rows), each hit by an (ℓ,ℓ²)-gadget
+///         without rows;
+///   III — a uniformly random row u_t of each Stage II block is spared
+///         (those sets form S); the other ℓ⁴−ℓ³ sets are hit by a full
+///         (ℓ²−ℓ, ℓ²)-gadget;
+///   IV  — load-1 elements complete every set to the uniform size.
+Lemma9Instance build_lemma9_instance(std::size_t ell, Rng& rng);
+
+/// The warm-up construction of Section 4.2: t² sets S_{i,j}; t elements
+/// u_i ∈ {S_{i,j} : all j}; then t² random permutation elements (each
+/// drawn from a uniformly random permutation π: it contains S_{i,π(i)}
+/// for all i, so any two of its sets differ in both coordinates); finally
+/// singleton fill to uniform size.  Columns remain disjoint, so opt >= t.
+struct WeakLbInstance {
+  Instance instance;
+  std::size_t t = 0;
+  std::vector<SetId> column_witness;  // sets of column 0: feasible, size t
+};
+
+WeakLbInstance build_weak_lb_instance(std::size_t t, Rng& rng);
+
+}  // namespace osp

@@ -1,0 +1,246 @@
+#include "field/gf.hpp"
+
+#include <algorithm>
+
+#include "util/math.hpp"
+#include "util/require.hpp"
+
+namespace osp {
+namespace gfdetail {
+
+Poly poly_trim(Poly f) {
+  while (!f.empty() && f.back() == 0) f.pop_back();
+  return f;
+}
+
+Poly poly_add(const Poly& f, const Poly& g, std::uint64_t p) {
+  Poly r(std::max(f.size(), g.size()), 0);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    std::uint64_t s = (i < f.size() ? f[i] : 0);
+    s += (i < g.size() ? g[i] : 0);
+    r[i] = static_cast<std::uint32_t>(s % p);
+  }
+  return poly_trim(std::move(r));
+}
+
+Poly poly_sub(const Poly& f, const Poly& g, std::uint64_t p) {
+  Poly r(std::max(f.size(), g.size()), 0);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    std::uint64_t a = (i < f.size() ? f[i] : 0);
+    std::uint64_t b = (i < g.size() ? g[i] : 0);
+    r[i] = static_cast<std::uint32_t>((a + p - b) % p);
+  }
+  return poly_trim(std::move(r));
+}
+
+Poly poly_mul(const Poly& f, const Poly& g, std::uint64_t p) {
+  if (f.empty() || g.empty()) return {};
+  Poly r(f.size() + g.size() - 1, 0);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (f[i] == 0) continue;
+    for (std::size_t j = 0; j < g.size(); ++j) {
+      std::uint64_t v = r[i + j] + static_cast<std::uint64_t>(f[i]) * g[j];
+      r[i + j] = static_cast<std::uint32_t>(v % p);
+    }
+  }
+  return poly_trim(std::move(r));
+}
+
+Poly poly_mod(Poly f, const Poly& g, std::uint64_t p) {
+  OSP_REQUIRE(!g.empty());
+  OSP_REQUIRE_MSG(g.back() == 1, "poly_mod requires a monic divisor");
+  f = poly_trim(std::move(f));
+  while (f.size() >= g.size()) {
+    std::uint64_t lead = f.back();
+    std::size_t shift = f.size() - g.size();
+    // f -= lead * x^shift * g
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      std::uint64_t sub = (lead * g[i]) % p;
+      f[shift + i] =
+          static_cast<std::uint32_t>((f[shift + i] + p - sub) % p);
+    }
+    f = poly_trim(std::move(f));
+  }
+  return f;
+}
+
+Poly poly_gcd(Poly f, Poly g, std::uint64_t p) {
+  f = poly_trim(std::move(f));
+  g = poly_trim(std::move(g));
+  while (!g.empty()) {
+    // Make g monic so poly_mod applies.
+    std::uint64_t lead = g.back();
+    std::uint64_t inv_lead = pow_mod(lead, p - 2, p);
+    Poly gm = g;
+    for (auto& c : gm) c = static_cast<std::uint32_t>((c * inv_lead) % p);
+    Poly r = poly_mod(f, gm, p);
+    f = std::move(gm);
+    g = std::move(r);
+  }
+  if (!f.empty() && f.back() != 1) {
+    std::uint64_t inv_lead = pow_mod(f.back(), p - 2, p);
+    for (auto& c : f) c = static_cast<std::uint32_t>((c * inv_lead) % p);
+  }
+  return f;
+}
+
+Poly poly_xpow_mod(std::uint64_t n, const Poly& f, std::uint64_t p) {
+  Poly result{1};        // the constant polynomial 1
+  Poly base{0, 1};       // x
+  base = poly_mod(base, f, p);
+  while (n > 0) {
+    if (n & 1) result = poly_mod(poly_mul(result, base, p), f, p);
+    base = poly_mod(poly_mul(base, base, p), f, p);
+    n >>= 1;
+  }
+  return result;
+}
+
+bool poly_irreducible(const Poly& f, std::uint64_t p) {
+  OSP_REQUIRE(!f.empty() && f.back() == 1);
+  auto e = static_cast<unsigned>(f.size() - 1);
+  OSP_REQUIRE(e >= 1);
+  if (e == 1) return true;
+  // Rabin's test: x^(p^e) == x mod f, and for every prime divisor d of e,
+  // gcd(x^(p^(e/d)) - x, f) == 1.
+  const Poly x{0, 1};
+  std::uint64_t pe = checked_pow(p, e);
+  Poly top = poly_xpow_mod(pe, f, p);
+  if (poly_trim(poly_sub(top, x, p)) != Poly{}) return false;
+  for (std::uint64_t d : distinct_prime_factors(e)) {
+    std::uint64_t pm = checked_pow(p, e / static_cast<unsigned>(d));
+    Poly g = poly_sub(poly_xpow_mod(pm, f, p), x, p);
+    Poly common = poly_gcd(f, g, p);
+    if (common.size() != 1) return false;  // gcd != constant
+  }
+  return true;
+}
+
+Poly find_irreducible(std::uint64_t p, unsigned e) {
+  OSP_REQUIRE(e >= 1);
+  if (e == 1) return Poly{0, 1};  // x itself; any monic degree-1 works
+  // Enumerate monic degree-e polynomials by their lower coefficient vector
+  // interpreted base p; density of irreducibles is ~1/e so this terminates
+  // quickly.
+  std::uint64_t pe = checked_pow(p, e);
+  for (std::uint64_t idx = 1; idx < pe; ++idx) {
+    Poly f(e + 1, 0);
+    std::uint64_t v = idx;
+    for (unsigned i = 0; i < e; ++i) {
+      f[i] = static_cast<std::uint32_t>(v % p);
+      v /= p;
+    }
+    f[e] = 1;
+    if (f[0] == 0) continue;  // divisible by x
+    if (poly_irreducible(f, p)) return f;
+  }
+  OSP_REQUIRE_MSG(false, "no irreducible polynomial found (impossible)");
+  return {};
+}
+
+}  // namespace gfdetail
+
+FiniteField::FiniteField(std::uint64_t q) : q_(q) {
+  auto pp = as_prime_power(q);
+  OSP_REQUIRE_MSG(pp.has_value(), "field order " << q << " is not a prime power");
+  OSP_REQUIRE_MSG(q <= (1ULL << 20), "field order " << q << " too large");
+  p_ = pp->p;
+  e_ = pp->e;
+  modulus_ = gfdetail::find_irreducible(p_, e_);
+  if (q_ <= kTableLimit) {
+    mul_table_.resize(q_ * q_);
+    for (std::uint64_t a = 0; a < q_; ++a)
+      for (std::uint64_t b = a; b < q_; ++b) {
+        Elem v = mul_slow(static_cast<Elem>(a), static_cast<Elem>(b));
+        mul_table_[a * q_ + b] = v;
+        mul_table_[b * q_ + a] = v;
+      }
+    has_table_ = true;
+  }
+}
+
+FiniteField::Elem FiniteField::add(Elem a, Elem b) const {
+  OSP_ASSERT(a < q_ && b < q_);
+  if (e_ == 1) return static_cast<Elem>((static_cast<std::uint64_t>(a) + b) % p_);
+  // Coefficient-wise addition in base-p representation.
+  Elem r = 0;
+  std::uint64_t mult = 1;
+  for (unsigned i = 0; i < e_; ++i) {
+    std::uint64_t ca = (a / mult) % p_;
+    std::uint64_t cb = (b / mult) % p_;
+    r += static_cast<Elem>(((ca + cb) % p_) * mult);
+    mult *= p_;
+  }
+  return r;
+}
+
+FiniteField::Elem FiniteField::neg(Elem a) const {
+  OSP_ASSERT(a < q_);
+  if (e_ == 1) return static_cast<Elem>(a == 0 ? 0 : p_ - a);
+  Elem r = 0;
+  std::uint64_t mult = 1;
+  for (unsigned i = 0; i < e_; ++i) {
+    std::uint64_t ca = (a / mult) % p_;
+    r += static_cast<Elem>(((p_ - ca) % p_) * mult);
+    mult *= p_;
+  }
+  return r;
+}
+
+FiniteField::Elem FiniteField::sub(Elem a, Elem b) const {
+  return add(a, neg(b));
+}
+
+FiniteField::Elem FiniteField::mul(Elem a, Elem b) const {
+  OSP_ASSERT(a < q_ && b < q_);
+  if (has_table_) return mul_table_[static_cast<std::uint64_t>(a) * q_ + b];
+  return mul_slow(a, b);
+}
+
+FiniteField::Elem FiniteField::mul_slow(Elem a, Elem b) const {
+  if (e_ == 1)
+    return static_cast<Elem>(mul_mod(a, b, p_));
+  // Decode to polynomials, multiply, reduce.
+  gfdetail::Poly fa, fb;
+  std::uint64_t va = a, vb = b;
+  for (unsigned i = 0; i < e_; ++i) {
+    fa.push_back(static_cast<std::uint32_t>(va % p_));
+    fb.push_back(static_cast<std::uint32_t>(vb % p_));
+    va /= p_;
+    vb /= p_;
+  }
+  fa = gfdetail::poly_trim(std::move(fa));
+  fb = gfdetail::poly_trim(std::move(fb));
+  gfdetail::Poly r =
+      gfdetail::poly_mod(gfdetail::poly_mul(fa, fb, p_), modulus_, p_);
+  Elem out = 0;
+  std::uint64_t mult = 1;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    out += static_cast<Elem>(r[i] * mult);
+    mult *= p_;
+  }
+  return out;
+}
+
+FiniteField::Elem FiniteField::pow(Elem a, std::uint64_t n) const {
+  Elem result = one();
+  Elem base = a;
+  while (n > 0) {
+    if (n & 1) result = mul(result, base);
+    base = mul(base, base);
+    n >>= 1;
+  }
+  return result;
+}
+
+FiniteField::Elem FiniteField::inv(Elem a) const {
+  OSP_REQUIRE_MSG(a != 0, "zero has no multiplicative inverse");
+  // Fermat/Lagrange: a^(q-2) = a^{-1} in GF(q).
+  return pow(a, q_ - 2);
+}
+
+FiniteField::Elem FiniteField::div(Elem a, Elem b) const {
+  return mul(a, inv(b));
+}
+
+}  // namespace osp

@@ -1,0 +1,98 @@
+// Finite fields GF(q) for prime-power q.
+//
+// Elements are represented as integers in [0, q).  For a prime field the
+// representation is the residue itself; for an extension field GF(p^e) the
+// integer encodes the coefficient vector of a polynomial over GF(p) in
+// base p (index = sum c_i * p^i), reduced modulo a monic irreducible
+// polynomial found at construction time.
+//
+// The gadget constructions of the paper need only add/mul over small
+// fields (q up to a few thousand), so correctness and clarity win over
+// raw speed; a multiplication table is cached for q <= kTableLimit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "field/primes.hpp"
+
+namespace osp {
+
+/// Arithmetic in the finite field of order q = p^e.
+class FiniteField {
+ public:
+  using Elem = std::uint32_t;
+
+  /// Largest order for which add/mul tables are precomputed.
+  static constexpr std::uint64_t kTableLimit = 4096;
+
+  /// Constructs GF(q).  Throws RequireError unless q is a prime power
+  /// with q <= 2^20 (ample for every construction in this library).
+  explicit FiniteField(std::uint64_t q);
+
+  std::uint64_t order() const { return q_; }
+  std::uint64_t characteristic() const { return p_; }
+  unsigned degree() const { return e_; }
+
+  Elem zero() const { return 0; }
+  Elem one() const { return 1; }
+
+  Elem add(Elem a, Elem b) const;
+  Elem sub(Elem a, Elem b) const;
+  Elem neg(Elem a) const;
+  Elem mul(Elem a, Elem b) const;
+
+  /// Multiplicative inverse; requires a != 0.
+  Elem inv(Elem a) const;
+
+  /// a / b; requires b != 0.
+  Elem div(Elem a, Elem b) const;
+
+  /// a^n for n >= 0 (0^0 = 1).
+  Elem pow(Elem a, std::uint64_t n) const;
+
+  /// True iff a is a valid element index.
+  bool contains(std::uint64_t a) const { return a < q_; }
+
+  /// The monic irreducible modulus as coefficient vector c_0..c_e
+  /// (prime fields return {.., 1} of degree 1, i.e. x - 0 ... in practice
+  /// {0, 1}); exposed for tests.
+  const std::vector<std::uint32_t>& modulus() const { return modulus_; }
+
+ private:
+  Elem mul_slow(Elem a, Elem b) const;  // polynomial multiplication mod modulus_
+
+  std::uint64_t q_;
+  std::uint64_t p_;
+  unsigned e_;
+  std::vector<std::uint32_t> modulus_;     // degree e_, monic
+  std::vector<Elem> mul_table_;            // q*q entries if q <= kTableLimit
+  bool has_table_ = false;
+};
+
+namespace gfdetail {
+
+/// Dense polynomial over GF(p), little-endian coefficients, no trailing
+/// zeros (the zero polynomial is the empty vector).  Exposed for tests of
+/// the irreducibility machinery.
+using Poly = std::vector<std::uint32_t>;
+
+Poly poly_trim(Poly f);
+Poly poly_add(const Poly& f, const Poly& g, std::uint64_t p);
+Poly poly_sub(const Poly& f, const Poly& g, std::uint64_t p);
+Poly poly_mul(const Poly& f, const Poly& g, std::uint64_t p);
+/// Remainder of f divided by monic g.
+Poly poly_mod(Poly f, const Poly& g, std::uint64_t p);
+Poly poly_gcd(Poly f, Poly g, std::uint64_t p);
+/// x^n mod f (f monic).
+Poly poly_xpow_mod(std::uint64_t n, const Poly& f, std::uint64_t p);
+
+/// True iff the monic polynomial f of degree >= 1 is irreducible over GF(p).
+bool poly_irreducible(const Poly& f, std::uint64_t p);
+
+/// Finds a monic irreducible polynomial of degree e over GF(p)
+/// deterministically (lexicographic search; e is small in practice).
+Poly find_irreducible(std::uint64_t p, unsigned e);
+
+}  // namespace gfdetail
+}  // namespace osp

@@ -1,0 +1,113 @@
+#include "field/primes.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+#include "util/require.hpp"
+
+namespace osp {
+
+namespace {
+
+// Witness set proven sufficient for deterministic testing below 2^64.
+constexpr std::uint64_t kWitnesses[] = {2,  3,  5,  7,  11, 13,
+                                        17, 19, 23, 29, 31, 37};
+
+bool miller_rabin_witness(std::uint64_t n, std::uint64_t a,
+                          std::uint64_t d, unsigned r) {
+  std::uint64_t x = pow_mod(a, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (unsigned i = 1; i < r; ++i) {
+    x = mul_mod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  std::uint64_t d = n - 1;
+  unsigned r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (std::uint64_t a : kWitnesses)
+    if (!miller_rabin_witness(n, a, d, r)) return false;
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t n) {
+  if (n <= 2) return 2;
+  std::uint64_t c = n | 1;  // first odd >= n
+  while (!is_prime(c)) c += 2;
+  return c;
+}
+
+std::optional<PrimePower> as_prime_power(std::uint64_t q) {
+  if (q < 2) return std::nullopt;
+  if (is_prime(q)) return PrimePower{q, 1};
+  // q = p^e with e >= 2 implies p <= q^(1/2); try e from large to small by
+  // taking integer roots.
+  for (unsigned e = 63; e >= 2; --e) {
+    auto root = static_cast<std::uint64_t>(
+        std::llround(std::pow(static_cast<double>(q), 1.0 / e)));
+    for (std::uint64_t p = (root > 1 ? root - 1 : 2); p <= root + 1; ++p) {
+      if (p < 2) continue;
+      // Check p^e == q exactly.
+      std::uint64_t v = 1;
+      bool overflow = false;
+      for (unsigned i = 0; i < e; ++i) {
+        if (p != 0 && v > q / p) {
+          overflow = true;
+          break;
+        }
+        v *= p;
+      }
+      if (!overflow && v == q && is_prime(p)) return PrimePower{p, e};
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_prime_power(std::uint64_t q) { return as_prime_power(q).has_value(); }
+
+std::uint64_t next_prime_power(std::uint64_t n) {
+  OSP_REQUIRE(n >= 2 || n == 0 || n == 1);
+  std::uint64_t c = n < 2 ? 2 : n;
+  while (!is_prime_power(c)) ++c;
+  return c;
+}
+
+std::vector<std::uint64_t> primes_up_to(std::uint64_t n) {
+  std::vector<std::uint64_t> out;
+  if (n < 2) return out;
+  std::vector<bool> composite(n + 1, false);
+  for (std::uint64_t i = 2; i <= n; ++i) {
+    if (composite[i]) continue;
+    out.push_back(i);
+    for (std::uint64_t j = i * i; j <= n; j += i) composite[j] = true;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> distinct_prime_factors(std::uint64_t n) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t p = 2; p * p <= n; ++p) {
+    if (n % p == 0) {
+      out.push_back(p);
+      while (n % p == 0) n /= p;
+    }
+  }
+  if (n > 1) out.push_back(n);
+  return out;
+}
+
+}  // namespace osp

@@ -1,0 +1,41 @@
+// Primality and prime-power utilities.
+//
+// The randomized lower bound of the paper (Lemma 9) requires the parameter
+// ℓ to be a prime power, and the (M,N)-gadget requires N to be a prime
+// power; these helpers classify and construct such numbers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace osp {
+
+/// Deterministic Miller–Rabin valid for all 64-bit inputs.
+bool is_prime(std::uint64_t n);
+
+/// Smallest prime >= n (n <= 2^63 assumed).
+std::uint64_t next_prime(std::uint64_t n);
+
+/// Decomposition q = p^e with p prime, e >= 1.
+struct PrimePower {
+  std::uint64_t p;
+  unsigned e;
+};
+
+/// Returns {p, e} if q = p^e for a prime p, otherwise nullopt.
+std::optional<PrimePower> as_prime_power(std::uint64_t q);
+
+/// True iff q is a prime power (q >= 2).
+bool is_prime_power(std::uint64_t q);
+
+/// Smallest prime power >= n (n >= 2).
+std::uint64_t next_prime_power(std::uint64_t n);
+
+/// All primes <= n via sieve of Eratosthenes (used by tests).
+std::vector<std::uint64_t> primes_up_to(std::uint64_t n);
+
+/// Distinct prime factors of n (n >= 1), ascending.
+std::vector<std::uint64_t> distinct_prime_factors(std::uint64_t n);
+
+}  // namespace osp

@@ -1,0 +1,55 @@
+#include "gen/multihop.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/require.hpp"
+
+namespace osp {
+
+MultiHopWorkload make_multihop_workload(const MultiHopParams& params,
+                                        Rng& rng) {
+  OSP_REQUIRE(params.num_switches >= 1);
+  OSP_REQUIRE(params.num_packets >= 1);
+  OSP_REQUIRE(params.horizon >= 1);
+  OSP_REQUIRE(params.min_route >= 1);
+  OSP_REQUIRE(params.max_route >= params.min_route);
+  OSP_REQUIRE(params.link_capacity >= 1);
+
+  MultiHopWorkload out;
+  InstanceBuilder builder;
+
+  // (time, hop) -> packets occupying that link slot.
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<SetId>> occupancy;
+
+  for (std::size_t p = 0; p < params.num_packets; ++p) {
+    std::size_t t0 = static_cast<std::size_t>(rng.below(params.horizon));
+    std::size_t len = static_cast<std::size_t>(
+        rng.range(static_cast<std::int64_t>(params.min_route),
+                  static_cast<std::int64_t>(params.max_route)));
+    len = std::min(len, params.num_switches);
+    std::size_t entry = params.num_switches == len
+                            ? 0
+                            : static_cast<std::size_t>(
+                                  rng.below(params.num_switches - len + 1));
+
+    Weight w = 1.0 + params.weight_per_hop * static_cast<double>(len);
+    SetId sid = builder.add_set(w);
+    for (std::size_t i = 0; i < len; ++i)
+      occupancy[{t0 + i, entry + i}].push_back(sid);
+
+    out.inject_time.push_back(t0);
+    out.entry_hop.push_back(entry);
+    out.route_len.push_back(len);
+  }
+
+  // std::map iterates in (time, hop) lexicographic order — the global
+  // clock order in which a real pipeline would face these decisions.
+  for (auto& [key, packets] : occupancy)
+    builder.add_element(std::move(packets), params.link_capacity);
+
+  out.instance = builder.build();
+  return out;
+}
+
+}  // namespace osp

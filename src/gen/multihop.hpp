@@ -1,0 +1,45 @@
+// Multi-hop routing workload: the paper's second motivating scenario.
+//
+// Packets traverse a path of switches; the pair (time, hop) is a unit of
+// link capacity.  A packet is delivered only if it wins the link at every
+// hop on its route, so a packet maps to a set whose elements are the
+// (time, hop) pairs it must traverse (Section 1's reduction).  Buffering
+// is ignored — a packet injected at time t0 entering at hop h0 occupies
+// (t0 + i, h0 + i) for i = 0..route_len-1.
+#pragma once
+
+#include <cstddef>
+
+#include "core/instance.hpp"
+#include "util/rng.hpp"
+
+namespace osp {
+
+/// Parameters of the multi-hop workload.
+struct MultiHopParams {
+  std::size_t num_switches = 6;    // path length of the network
+  std::size_t num_packets = 80;    // packets injected
+  std::size_t horizon = 40;        // injection times drawn from [0, horizon)
+  std::size_t min_route = 2;       // min hops per packet
+  std::size_t max_route = 6;       // max hops per packet (<= num_switches)
+  Capacity link_capacity = 1;      // packets a (time, hop) pair can carry
+  double weight_per_hop = 0.0;     // extra weight per hop (0 = unweighted)
+};
+
+/// Instance plus per-packet route metadata.
+struct MultiHopWorkload {
+  Instance instance;          // sets = packets, elements = (time, hop) pairs
+  std::vector<std::size_t> inject_time;  // per packet
+  std::vector<std::size_t> entry_hop;    // per packet
+  std::vector<std::size_t> route_len;    // per packet
+};
+
+/// Generates the workload: each packet draws an injection time, an entry
+/// switch, and a route length (clipped to the path).  Elements arrive in
+/// (time, hop) lexicographic order, matching a global clock sweeping the
+/// pipeline.  Contention-free (load-1) pairs are kept: they are precisely
+/// the hops where a packet rides alone.
+MultiHopWorkload make_multihop_workload(const MultiHopParams& params,
+                                        Rng& rng);
+
+}  // namespace osp

@@ -1,0 +1,88 @@
+#include "gen/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace osp {
+
+void write_trace(std::ostream& os, const FrameSchedule& schedule) {
+  schedule.validate();
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "osp-trace v1\n";
+  os << "frames " << schedule.frames.size() << "\n";
+  for (const Frame& f : schedule.frames) {
+    os << f.weight;
+    for (std::size_t slot : f.packet_slots) os << ' ' << slot;
+    os << "\n";
+  }
+}
+
+FrameSchedule read_trace(std::istream& is) {
+  std::string line;
+  std::size_t lineno = 0;
+  auto next = [&](const char* what) {
+    while (std::getline(is, line)) {
+      ++lineno;
+      auto hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      auto begin = line.find_first_not_of(" \t\r");
+      if (begin == std::string::npos) continue;
+      auto end = line.find_last_not_of(" \t\r");
+      return line.substr(begin, end - begin + 1);
+    }
+    OSP_REQUIRE_MSG(false, "unexpected end of trace, expected " << what);
+    return std::string{};
+  };
+
+  std::string header = next("header");
+  OSP_REQUIRE_MSG(header == "osp-trace v1",
+                  "bad trace header at line " << lineno);
+
+  std::string counts = next("frame count");
+  std::istringstream cs(counts);
+  std::string word;
+  std::size_t count = 0;
+  OSP_REQUIRE_MSG((cs >> word >> count) && word == "frames" && cs.eof(),
+                  "expected 'frames <count>' at line " << lineno);
+
+  FrameSchedule sched;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::istringstream fs(next("frame line"));
+    Frame f;
+    OSP_REQUIRE_MSG(static_cast<bool>(fs >> f.weight),
+                    "bad frame weight at line " << lineno);
+    std::size_t slot;
+    while (fs >> slot) f.packet_slots.push_back(slot);
+    OSP_REQUIRE_MSG(fs.eof(), "trailing garbage at line " << lineno);
+    OSP_REQUIRE_MSG(!f.packet_slots.empty(),
+                    "frame with no packets at line " << lineno);
+    OSP_REQUIRE_MSG(
+        std::is_sorted(f.packet_slots.begin(), f.packet_slots.end()) &&
+            std::adjacent_find(f.packet_slots.begin(),
+                               f.packet_slots.end()) == f.packet_slots.end(),
+        "slots must be strictly increasing at line " << lineno);
+    sched.horizon = std::max(sched.horizon, f.packet_slots.back() + 1);
+    sched.frames.push_back(std::move(f));
+  }
+  sched.validate();
+  return sched;
+}
+
+void save_trace(const std::string& path, const FrameSchedule& schedule) {
+  std::ofstream os(path);
+  OSP_REQUIRE_MSG(os.good(), "cannot open " << path << " for writing");
+  write_trace(os, schedule);
+  OSP_REQUIRE_MSG(os.good(), "write to " << path << " failed");
+}
+
+FrameSchedule load_trace(const std::string& path) {
+  std::ifstream is(path);
+  OSP_REQUIRE_MSG(is.good(), "cannot open " << path);
+  return read_trace(is);
+}
+
+}  // namespace osp

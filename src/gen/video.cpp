@@ -1,0 +1,48 @@
+#include "gen/video.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace osp {
+
+VideoWorkload make_video_workload(const VideoParams& params, Rng& rng) {
+  OSP_REQUIRE(params.num_streams >= 1);
+  OSP_REQUIRE(params.frames_per_stream >= 1);
+  OSP_REQUIRE(params.gop_length >= 1);
+  OSP_REQUIRE(params.i_frame_packets >= 1 && params.p_frame_packets >= 1);
+  OSP_REQUIRE(params.frame_interval >= 1);
+
+  VideoWorkload out;
+  std::size_t horizon = 0;
+
+  for (std::size_t stream = 0; stream < params.num_streams; ++stream) {
+    // Phase-shift streams so I frames from different streams overlap at
+    // the link some of the time but not always.
+    std::size_t phase = stream % params.frame_interval;
+    for (std::size_t f = 0; f < params.frames_per_stream; ++f) {
+      const bool intra = (f % params.gop_length) == 0;
+      const std::size_t packets =
+          intra ? params.i_frame_packets : params.p_frame_packets;
+      std::size_t start = phase + f * params.frame_interval;
+      if (params.max_jitter > 0)
+        start += static_cast<std::size_t>(
+            rng.below(params.max_jitter + 1));
+
+      Frame frame;
+      frame.weight = intra ? params.i_frame_weight : params.p_frame_weight;
+      for (std::size_t p = 0; p < packets; ++p)
+        frame.packet_slots.push_back(start + p);
+      horizon = std::max(horizon, start + packets);
+
+      out.schedule.frames.push_back(std::move(frame));
+      out.kinds.push_back(intra ? FrameKind::kIntra : FrameKind::kPredicted);
+      out.stream_of.push_back(stream);
+    }
+  }
+  out.schedule.horizon = horizon;
+  out.schedule.validate();
+  return out;
+}
+
+}  // namespace osp

@@ -1,0 +1,69 @@
+#include "hash/universal_hash.hpp"
+
+#include "util/math.hpp"
+#include "util/require.hpp"
+
+namespace osp {
+
+double hash_to_unit(std::uint64_t h) {
+  // Use the top 53 bits so the result is an exactly representable dyadic
+  // rational in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+MultiplyShiftHash::MultiplyShiftHash(Rng& rng)
+    : a_(rng() | 1ULL), b_(rng()) {}
+
+std::uint64_t MultiplyShiftHash::hash(std::uint64_t key) const {
+  return a_ * key + b_;
+}
+
+double MultiplyShiftHash::unit(std::uint64_t key) const {
+  return hash_to_unit(hash(key));
+}
+
+PolynomialHash::PolynomialHash(unsigned independence, Rng& rng) {
+  OSP_REQUIRE(independence >= 2);
+  coeffs_.resize(independence);
+  for (auto& c : coeffs_) c = rng() % kPrime;
+  // The leading coefficient must be nonzero for full independence degree.
+  while (coeffs_.front() == 0) coeffs_.front() = rng() % kPrime;
+}
+
+std::uint64_t PolynomialHash::hash(std::uint64_t key) const {
+  std::uint64_t x = key % kPrime;
+  std::uint64_t acc = 0;
+  for (std::uint64_t c : coeffs_) {
+    // acc = acc * x + c  (mod 2^61 - 1), via 128-bit products and the
+    // Mersenne reduction (hi*2^61 + lo ≡ hi + lo).
+    unsigned __int128 prod = static_cast<unsigned __int128>(acc) * x + c;
+    std::uint64_t lo = static_cast<std::uint64_t>(prod) & kPrime;
+    std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+    acc = lo + hi;
+    if (acc >= kPrime) acc -= kPrime;
+  }
+  return acc;
+}
+
+double PolynomialHash::unit(std::uint64_t key) const {
+  // hash() is uniform on [0, kPrime); normalize by the prime.
+  return static_cast<double>(hash(key)) / static_cast<double>(kPrime);
+}
+
+TabulationHash::TabulationHash(Rng& rng) {
+  for (auto& table : tables_)
+    for (auto& cell : table) cell = rng();
+}
+
+std::uint64_t TabulationHash::hash(std::uint64_t key) const {
+  std::uint64_t h = 0;
+  for (unsigned i = 0; i < 8; ++i)
+    h ^= tables_[i][(key >> (8 * i)) & 0xff];
+  return h;
+}
+
+double TabulationHash::unit(std::uint64_t key) const {
+  return hash_to_unit(hash(key));
+}
+
+}  // namespace osp

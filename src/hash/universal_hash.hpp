@@ -1,0 +1,77 @@
+// Hash families for the distributed implementation of randPr.
+//
+// Section 3.1 of the paper observes that randPr can run distributively if
+// every router applies a shared hash function h to set identifiers and uses
+// h(S) as the set's random priority; kmax·σmax-wise independence suffices.
+// We provide three families:
+//
+//  * MultiplyShiftHash  — fast 2-universal baseline,
+//  * PolynomialHash     — k-wise independent, degree-(k-1) polynomial over
+//                         the Mersenne prime 2^61 - 1,
+//  * TabulationHash     — 3-independent with strong practical uniformity.
+//
+// Each maps a 64-bit key to a double in [0, 1), which core/rand_pr.cpp then
+// transforms into an R_w priority.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace osp {
+
+/// Fast 2-universal multiply-shift hash (Dietzfelbinger et al.).
+class MultiplyShiftHash {
+ public:
+  /// Draws random odd multipliers from `rng`.
+  explicit MultiplyShiftHash(Rng& rng);
+
+  /// Hash of `key` as a 64-bit value.
+  std::uint64_t hash(std::uint64_t key) const;
+
+  /// Hash mapped to [0, 1).
+  double unit(std::uint64_t key) const;
+
+ private:
+  std::uint64_t a_;
+  std::uint64_t b_;
+};
+
+/// k-wise independent polynomial hash over GF(2^61 - 1).
+class PolynomialHash {
+ public:
+  static constexpr std::uint64_t kPrime = (1ULL << 61) - 1;
+
+  /// Constructs a hash with the given independence degree k >= 2
+  /// (degree-(k-1) polynomial with coefficients drawn from `rng`).
+  PolynomialHash(unsigned independence, Rng& rng);
+
+  std::uint64_t hash(std::uint64_t key) const;
+  double unit(std::uint64_t key) const;
+
+  unsigned independence() const {
+    return static_cast<unsigned>(coeffs_.size());
+  }
+
+ private:
+  std::vector<std::uint64_t> coeffs_;  // degree k-1 .. 0
+};
+
+/// Simple tabulation hashing on 8 byte-indexed tables.
+class TabulationHash {
+ public:
+  explicit TabulationHash(Rng& rng);
+
+  std::uint64_t hash(std::uint64_t key) const;
+  double unit(std::uint64_t key) const;
+
+ private:
+  std::array<std::array<std::uint64_t, 256>, 8> tables_;
+};
+
+/// Converts a 64-bit hash to a double uniform on [0, 1).
+double hash_to_unit(std::uint64_t h);
+
+}  // namespace osp

@@ -1,0 +1,84 @@
+#include "net/pipeline.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/require.hpp"
+
+namespace osp {
+
+PipelineStats simulate_pipeline(const MultiHopWorkload& workload,
+                                std::size_t num_switches,
+                                const SwitchPolicyFactory& make_policy,
+                                Capacity link_capacity) {
+  OSP_REQUIRE(num_switches >= 1);
+  OSP_REQUIRE(link_capacity >= 1);
+  const Instance& inst = workload.instance;
+  const std::size_t num_packets = inst.num_sets();
+  OSP_REQUIRE(workload.inject_time.size() == num_packets);
+
+  // Packet metadata is global knowledge (ids travel in headers).
+  std::vector<SetMeta> metas(num_packets);
+  for (SetId p = 0; p < num_packets; ++p)
+    metas[p] = SetMeta{inst.weight(p), inst.set_size(p)};
+
+  // One policy per switch, each with its own element counter.
+  std::vector<std::unique_ptr<OnlineAlgorithm>> policies;
+  std::vector<ElementId> local_element(num_switches, 0);
+  for (std::size_t h = 0; h < num_switches; ++h) {
+    policies.push_back(make_policy(h));
+    OSP_REQUIRE(policies.back() != nullptr);
+    policies.back()->start(metas);
+  }
+
+  // alive[p]: has packet p won every hop so far.
+  std::vector<bool> alive(num_packets, true);
+  std::vector<std::size_t> hops_won(num_packets, 0);
+
+  // Group packets by (time, hop); sweep in global clock order.
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<SetId>> occupancy;
+  for (SetId p = 0; p < num_packets; ++p)
+    for (std::size_t i = 0; i < workload.route_len[p]; ++i)
+      occupancy[{workload.inject_time[p] + i, workload.entry_hop[p] + i}]
+          .push_back(p);
+
+  for (auto& [key, at_slot] : occupancy) {
+    const std::size_t hop = key.second;
+    OSP_REQUIRE(hop < num_switches);
+
+    // A packet dropped upstream never reaches this hop: the sweep visits
+    // (t-1, h-1) before (t, h), so alive[] is already up to date.
+    std::vector<SetId> present;
+    for (SetId p : at_slot)
+      if (alive[p]) present.push_back(p);
+    if (present.empty()) continue;
+    std::sort(present.begin(), present.end());
+
+    std::vector<SetId> chosen = policies[hop]->on_element(
+        local_element[hop]++, link_capacity, present);
+    OSP_REQUIRE(chosen.size() <= link_capacity);
+
+    std::vector<bool> won(num_packets, false);
+    for (SetId p : chosen) won[p] = true;
+    for (SetId p : present) {
+      if (won[p]) {
+        ++hops_won[p];
+      } else {
+        alive[p] = false;
+      }
+    }
+  }
+
+  PipelineStats stats;
+  stats.packets_total = num_packets;
+  for (SetId p = 0; p < num_packets; ++p) {
+    stats.value_total += inst.weight(p);
+    if (alive[p] && hops_won[p] == workload.route_len[p]) {
+      ++stats.packets_delivered;
+      stats.value_delivered += inst.weight(p);
+    }
+  }
+  return stats;
+}
+
+}  // namespace osp

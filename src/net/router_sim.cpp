@@ -1,0 +1,157 @@
+#include "net/router_sim.hpp"
+
+#include <algorithm>
+
+#include "core/priority.hpp"
+#include "util/require.hpp"
+
+namespace osp {
+
+namespace {
+
+std::vector<SetMeta> frame_metas(const FrameSchedule& schedule) {
+  std::vector<SetMeta> metas;
+  metas.reserve(schedule.frames.size());
+  for (const Frame& f : schedule.frames)
+    metas.push_back(SetMeta{f.weight, f.packet_slots.size()});
+  return metas;
+}
+
+void tally_frames(const FrameSchedule& schedule,
+                  const std::vector<std::size_t>& served_per_frame,
+                  RouterStats& stats) {
+  stats.frames_total = schedule.frames.size();
+  for (std::size_t fi = 0; fi < schedule.frames.size(); ++fi) {
+    stats.value_total += schedule.frames[fi].weight;
+    if (served_per_frame[fi] == schedule.frames[fi].packet_slots.size()) {
+      ++stats.frames_delivered;
+      stats.value_delivered += schedule.frames[fi].weight;
+    }
+  }
+}
+
+}  // namespace
+
+RouterStats simulate_router(const FrameSchedule& schedule,
+                            OnlineAlgorithm& alg, Capacity service_rate) {
+  OSP_REQUIRE(service_rate >= 1);
+  schedule.validate();
+  alg.start(frame_metas(schedule));
+
+  // Frames with a packet in each slot.
+  std::vector<std::vector<SetId>> slot_frames(schedule.horizon);
+  for (std::size_t fi = 0; fi < schedule.frames.size(); ++fi)
+    for (std::size_t slot : schedule.frames[fi].packet_slots)
+      slot_frames[slot].push_back(static_cast<SetId>(fi));
+
+  RouterStats stats;
+  std::vector<std::size_t> served(schedule.frames.size(), 0);
+  ElementId element = 0;
+  for (std::size_t slot = 0; slot < schedule.horizon; ++slot) {
+    auto& burst = slot_frames[slot];
+    if (burst.empty()) continue;
+    std::sort(burst.begin(), burst.end());
+    stats.packets_arrived += burst.size();
+
+    std::vector<SetId> chosen = alg.on_element(element++, service_rate, burst);
+    OSP_REQUIRE(chosen.size() <= service_rate);
+    for (SetId f : chosen) {
+      OSP_REQUIRE(std::binary_search(burst.begin(), burst.end(), f));
+      ++served[f];
+      ++stats.packets_served;
+    }
+    stats.packets_dropped += burst.size() - chosen.size();
+  }
+  tally_frames(schedule, served, stats);
+  return stats;
+}
+
+void RandPrRanker::start(const std::vector<SetMeta>& frames) {
+  ranks_.resize(frames.size());
+  for (std::size_t f = 0; f < frames.size(); ++f)
+    ranks_[f] =
+        sample_rw_key(std::max(frames[f].weight, 1e-12), rng_).key;
+}
+
+void WeightRanker::start(const std::vector<SetMeta>& frames) {
+  ranks_.resize(frames.size());
+  for (std::size_t f = 0; f < frames.size(); ++f)
+    ranks_[f] = frames[f].weight;
+}
+
+void RandomRanker::start(const std::vector<SetMeta>& frames) {
+  ranks_.resize(frames.size());
+  for (double& r : ranks_) r = rng_.uniform();
+}
+
+RouterStats simulate_buffered_router(const FrameSchedule& schedule,
+                                     FrameRanker& ranker,
+                                     const BufferedRouterParams& params) {
+  OSP_REQUIRE(params.service_rate >= 1);
+  schedule.validate();
+  ranker.start(frame_metas(schedule));
+
+  std::vector<std::vector<SetId>> slot_frames(schedule.horizon);
+  for (std::size_t fi = 0; fi < schedule.frames.size(); ++fi)
+    for (std::size_t slot : schedule.frames[fi].packet_slots)
+      slot_frames[slot].push_back(static_cast<SetId>(fi));
+
+  struct QueuedPacket {
+    SetId frame;
+    std::uint64_t seq;  // global arrival order, for FIFO tie-breaking
+  };
+
+  RouterStats stats;
+  std::vector<std::size_t> served(schedule.frames.size(), 0);
+  std::vector<bool> dead(schedule.frames.size(), false);
+  std::vector<QueuedPacket> queue;  // survivors waiting for the link
+  std::uint64_t seq = 0;
+
+  for (std::size_t slot = 0; slot < schedule.horizon; ++slot) {
+    for (SetId f : slot_frames[slot]) {
+      queue.push_back(QueuedPacket{f, seq++});
+      ++stats.packets_arrived;
+    }
+    if (queue.empty()) continue;
+
+    // Order: live frames before dead ones (when enabled), then rank
+    // descending, then FIFO.
+    std::sort(queue.begin(), queue.end(),
+              [&](const QueuedPacket& a, const QueuedPacket& b) {
+                if (params.drop_dead_frames && dead[a.frame] != dead[b.frame])
+                  return !dead[a.frame];
+                double ra = ranker.rank(a.frame), rb = ranker.rank(b.frame);
+                if (ra != rb) return ra > rb;
+                return a.seq < b.seq;
+              });
+
+    // Serve the head of the ordered queue.
+    std::size_t to_serve = std::min<std::size_t>(params.service_rate,
+                                                 queue.size());
+    for (std::size_t i = 0; i < to_serve; ++i) {
+      ++served[queue[i].frame];
+      ++stats.packets_served;
+    }
+    queue.erase(queue.begin(),
+                queue.begin() + static_cast<std::ptrdiff_t>(to_serve));
+
+    // Keep up to buffer_size survivors; the rest are dropped, and every
+    // dropped packet kills its frame.
+    if (queue.size() > params.buffer_size) {
+      for (std::size_t i = params.buffer_size; i < queue.size(); ++i) {
+        dead[queue[i].frame] = true;
+        ++stats.packets_dropped;
+      }
+      queue.resize(params.buffer_size);
+    }
+  }
+  // Packets still queued at the end of the horizon never made it out.
+  stats.packets_dropped += queue.size();
+  for (const auto& qp : queue) dead[qp.frame] = true;
+  queue.clear();
+
+  tally_frames(schedule, served, stats);
+  return stats;
+}
+
+}  // namespace osp

@@ -1,0 +1,119 @@
+// Discrete-time bottleneck-router simulator.
+//
+// Unbuffered mode implements the paper's model exactly: in each slot a
+// burst of packets arrives, the link serves `service_rate` of them, and
+// the rest are lost — so a run is equivalent, frame for frame, to playing
+// the osp game on FrameSchedule::to_instance (tested in test_net.cpp).
+//
+// Buffered mode probes the paper's open problem 2 ("the effect of
+// buffers"): packets that lose the link can wait in a FIFO of bounded
+// size.  Decisions are made by a FrameRanker — a per-frame priority
+// oracle; randPr's persistent R_w priorities fit this interface directly,
+// which is itself evidence for the algorithm's practicality.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/algorithm.hpp"
+#include "gen/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace osp {
+
+/// Aggregate counters of one router run.
+struct RouterStats {
+  std::size_t packets_arrived = 0;
+  std::size_t packets_served = 0;
+  std::size_t packets_dropped = 0;
+  std::size_t frames_total = 0;
+  std::size_t frames_delivered = 0;  // all packets served
+  Weight value_total = 0;
+  Weight value_delivered = 0;
+
+  /// Fraction of frame value delivered intact.
+  double goodput() const {
+    return value_total > 0 ? value_delivered / value_total : 0.0;
+  }
+};
+
+/// Unbuffered router: `alg` decides, slot by slot, which arriving packets
+/// to serve (at most `service_rate`), all others are lost.  Equivalent to
+/// the osp game on schedule.to_instance(service_rate).
+RouterStats simulate_router(const FrameSchedule& schedule,
+                            OnlineAlgorithm& alg, Capacity service_rate = 1);
+
+/// Per-frame priority oracle for the buffered router.
+class FrameRanker {
+ public:
+  virtual ~FrameRanker() = default;
+  virtual std::string name() const = 0;
+  /// Announces the frames (weight + packet count), once per run.
+  virtual void start(const std::vector<SetMeta>& frames) = 0;
+  /// Priority of a frame; higher survives congestion longer.
+  virtual double rank(SetId frame) const = 0;
+};
+
+/// randPr as a ranker: persistent R_w priorities per frame.
+class RandPrRanker final : public FrameRanker {
+ public:
+  explicit RandPrRanker(Rng rng) : rng_(rng) {}
+  std::string name() const override { return "randPr"; }
+  void start(const std::vector<SetMeta>& frames) override;
+  double rank(SetId frame) const override { return ranks_[frame]; }
+
+ private:
+  Rng rng_;
+  std::vector<double> ranks_;
+};
+
+/// Ranks frames by their declared weight (deterministic "protect the
+/// I frames" heuristic).
+class WeightRanker final : public FrameRanker {
+ public:
+  std::string name() const override { return "by-weight"; }
+  void start(const std::vector<SetMeta>& frames) override;
+  double rank(SetId frame) const override { return ranks_[frame]; }
+
+ private:
+  std::vector<double> ranks_;
+};
+
+/// No preference: models classic drop-tail (later arrivals lose).
+class FifoRanker final : public FrameRanker {
+ public:
+  std::string name() const override { return "drop-tail"; }
+  void start(const std::vector<SetMeta>&) override {}
+  double rank(SetId) const override { return 0.0; }
+};
+
+/// Uniform random priorities regardless of weight (random early drop).
+class RandomRanker final : public FrameRanker {
+ public:
+  explicit RandomRanker(Rng rng) : rng_(rng) {}
+  std::string name() const override { return "random-drop"; }
+  void start(const std::vector<SetMeta>& frames) override;
+  double rank(SetId frame) const override { return ranks_[frame]; }
+
+ private:
+  Rng rng_;
+  std::vector<double> ranks_;
+};
+
+/// Buffered router configuration.
+struct BufferedRouterParams {
+  Capacity service_rate = 1;
+  std::size_t buffer_size = 0;    // packets that can wait
+  bool drop_dead_frames = true;   // evict packets of frames that already
+                                  // lost a packet (their value is gone)
+};
+
+/// Buffered router: each slot the queue plus the new burst are ordered by
+/// frame rank (ties: earlier arrival first); `service_rate` packets are
+/// served, up to `buffer_size` wait, and the rest are dropped.
+RouterStats simulate_buffered_router(const FrameSchedule& schedule,
+                                     FrameRanker& ranker,
+                                     const BufferedRouterParams& params);
+
+}  // namespace osp

@@ -1,0 +1,23 @@
+#include "stats/competitive.hpp"
+
+#include "util/require.hpp"
+
+namespace osp {
+
+RatioEstimate estimate_ratio(
+    const Instance& inst,
+    const std::function<std::unique_ptr<OnlineAlgorithm>(Rng)>& make_alg,
+    double opt_value, Rng& master, int trials) {
+  OSP_REQUIRE(trials > 0);
+  OSP_REQUIRE(make_alg != nullptr);
+  RatioEstimate est;
+  est.opt = opt_value;
+  for (int t = 0; t < trials; ++t) {
+    auto alg = make_alg(master.split(static_cast<std::uint64_t>(t)));
+    OSP_REQUIRE(alg != nullptr);
+    est.benefit.add(play(inst, *alg).benefit);
+  }
+  return est;
+}
+
+}  // namespace osp

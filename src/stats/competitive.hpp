@@ -1,0 +1,48 @@
+// Competitive-ratio estimation harness.
+//
+// Packages the trial loop every benchmark runs by hand: given an instance,
+// an algorithm factory, and a reference optimum, estimate E[w(alg)] with a
+// confidence interval and derive ratio bounds that account for the
+// statistical error (the ratio of a known opt to an estimated mean).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/algorithm.hpp"
+#include "core/game.hpp"
+#include "core/instance.hpp"
+#include "stats/summary.hpp"
+#include "util/rng.hpp"
+
+namespace osp {
+
+/// Point estimate + uncertainty for a measured competitive ratio.
+struct RatioEstimate {
+  double opt = 0;             // reference optimum used
+  RunningStat benefit;        // per-trial algorithm benefit
+  /// Ratio at the mean benefit (opt / mean).
+  double ratio() const {
+    return benefit.mean() > 0 ? opt / benefit.mean() : 0.0;
+  }
+  /// Conservative (larger) ratio using the lower 95% CI of the mean.
+  double ratio_upper() const {
+    double lo = benefit.mean() - benefit.ci95_halfwidth();
+    return lo > 0 ? opt / lo : 0.0;
+  }
+  /// Optimistic (smaller) ratio using the upper 95% CI of the mean.
+  double ratio_lower() const {
+    double hi = benefit.mean() + benefit.ci95_halfwidth();
+    return hi > 0 ? opt / hi : 0.0;
+  }
+};
+
+/// Runs `trials` independent plays of algorithms produced by `make_alg`
+/// (seeded per trial from `master`) and returns the estimate against the
+/// given optimum value.
+RatioEstimate estimate_ratio(
+    const Instance& inst,
+    const std::function<std::unique_ptr<OnlineAlgorithm>(Rng)>& make_alg,
+    double opt_value, Rng& master, int trials);
+
+}  // namespace osp

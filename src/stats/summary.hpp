@@ -1,0 +1,81 @@
+// Streaming statistics used by the benchmark harness and tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace osp {
+
+/// Single-pass accumulator for mean/variance/min/max (Welford's method).
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Number of observations so far.
+  std::uint64_t count() const { return n_; }
+
+  /// Sample mean (0 if empty).
+  double mean() const { return n_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance (0 for fewer than two observations).
+  double variance() const;
+
+  /// Square root of variance().
+  double stddev() const;
+
+  /// Standard error of the mean (0 for fewer than two observations).
+  double stderr_mean() const;
+
+  /// Half-width of a normal-approximation 95% confidence interval
+  /// for the mean.
+  double ci95_halfwidth() const;
+
+  /// Smallest observation (+inf if empty).
+  double min() const { return min_; }
+
+  /// Largest observation (-inf if empty).
+  double max() const { return max_; }
+
+  /// Sum of all observations.
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one.
+  void merge(const RunningStat& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 1.0 / 0.0 * 1.0;   // +inf
+  double max_ = -(1.0 / 0.0);      // -inf
+};
+
+/// Collects all samples; supports quantiles in addition to moments.
+class SampleSet {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  std::size_t size() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+
+  double mean() const;
+  double stddev() const;
+
+  /// q-quantile with linear interpolation, q in [0,1].  Requires non-empty.
+  double quantile(double q) const;
+
+  double median() const { return quantile(0.5); }
+  const std::vector<double>& samples() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+};
+
+/// Two-sided Kolmogorov–Smirnov distance between the empirical CDF of
+/// `samples` and a caller-supplied CDF evaluated via `cdf(x)`.
+/// Used by tests that validate the R_w priority distribution.
+double ks_distance(std::vector<double> samples, double (*cdf)(double, double),
+                   double param);
+
+}  // namespace osp

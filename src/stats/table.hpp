@@ -1,0 +1,52 @@
+// Fixed-width console table used by every benchmark binary so that the
+// reproduced "tables" of the paper print in a uniform, diffable format.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace osp {
+
+/// Builds and prints an aligned text table.
+///
+/// Usage:
+///   Table t({"k", "sigma", "ratio", "bound"});
+///   t.row({"4", "16", "3.2", "16.0"});
+///   t.print(std::cout);
+///
+/// Cells are strings; helpers fmt() format numbers consistently.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void row(std::vector<std::string> cells);
+
+  /// Renders with column alignment, a header underline, and 2-space gutters.
+  void print(std::ostream& os) const;
+
+  /// Number of data rows added so far.
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision, trimming trailing zeros.
+std::string fmt(double value, int precision = 3);
+
+/// Formats any integer type.
+template <class T>
+  requires std::is_integral_v<T>
+std::string fmt(T value) {
+  return std::to_string(value);
+}
+
+/// Formats "a / b" ratios as e.g. "12.3x".
+std::string fmt_ratio(double value, int precision = 2);
+
+}  // namespace osp

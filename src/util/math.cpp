@@ -1,0 +1,82 @@
+#include "util/math.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace osp {
+
+std::uint64_t isqrt(std::uint64_t n) {
+  if (n == 0) return 0;
+  auto r = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(n)));
+  // std::sqrt can be off by one at 64-bit scale; correct both directions.
+  while (r > 0 && r > n / r) --r;
+  while ((r + 1) <= n / (r + 1)) ++r;
+  return r;
+}
+
+std::uint64_t checked_pow(std::uint64_t base, unsigned exp) {
+  std::uint64_t result = 1;
+  for (unsigned i = 0; i < exp; ++i) {
+    OSP_REQUIRE_MSG(base == 0 || result <= std::numeric_limits<std::uint64_t>::max() / (base ? base : 1),
+                    "checked_pow overflow: " << base << "^" << exp);
+    result *= base;
+  }
+  return result;
+}
+
+std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  OSP_REQUIRE(m > 0);
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % m);
+}
+
+std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  OSP_REQUIRE(m > 0);
+  std::uint64_t result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mul_mod(result, base, m);
+    base = mul_mod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t gcd64(std::uint64_t a, std::uint64_t b) {
+  while (b != 0) {
+    std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+double harmonic(std::uint64_t n) {
+  double h = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+double log_or_one(double x) {
+  double l = std::log(x);
+  return l > 1.0 ? l : 1.0;
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+}  // namespace osp

@@ -1,0 +1,38 @@
+// Small integer/number-theory helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace osp {
+
+/// Floor of the square root of n.
+std::uint64_t isqrt(std::uint64_t n);
+
+/// base^exp with overflow check; throws RequireError on overflow.
+std::uint64_t checked_pow(std::uint64_t base, unsigned exp);
+
+/// base^exp mod m (m > 0), using 128-bit intermediate products.
+std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exp, std::uint64_t m);
+
+/// a*b mod m without overflow.
+std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b, std::uint64_t m);
+
+/// Greatest common divisor.
+std::uint64_t gcd64(std::uint64_t a, std::uint64_t b);
+
+/// The n-th harmonic number H_n = sum_{i=1..n} 1/i (H_0 = 0).
+double harmonic(std::uint64_t n);
+
+/// log(x) computed as log2(x)/log2(e)... simply std::log wrapped with the
+/// convention log_or_one(x) = max(log x, 1), used by bound formulas of the
+/// form (log log k / log k)^2 which are only meaningful for large k.
+double log_or_one(double x);
+
+/// Mean of a vector (0 for empty).
+double mean(const std::vector<double>& xs);
+
+/// Population standard deviation of a vector (0 for size < 2).
+double stddev(const std::vector<double>& xs);
+
+}  // namespace osp

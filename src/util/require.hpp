@@ -1,0 +1,56 @@
+// Checked runtime assertions for the osp library.
+//
+// The library validates untrusted inputs (instances arriving online,
+// user-supplied parameters) with OSP_REQUIRE, which throws and therefore
+// stays active in release builds.  Internal invariants use OSP_ASSERT,
+// which compiles away under NDEBUG.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace osp {
+
+/// Thrown when a precondition on user-supplied data is violated.
+class RequireError : public std::logic_error {
+ public:
+  explicit RequireError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void require_fail(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw RequireError(os.str());
+}
+
+}  // namespace detail
+}  // namespace osp
+
+/// Precondition check on external input; throws osp::RequireError on failure.
+#define OSP_REQUIRE(expr)                                              \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::osp::detail::require_fail(#expr, __FILE__, __LINE__, {});      \
+  } while (0)
+
+/// Precondition check with an explanatory message (streamed).
+#define OSP_REQUIRE_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream os_;                                          \
+      os_ << msg;                                                      \
+      ::osp::detail::require_fail(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                  \
+  } while (0)
+
+/// Internal invariant; disabled when NDEBUG is defined.
+#ifdef NDEBUG
+#define OSP_ASSERT(expr) ((void)0)
+#else
+#define OSP_ASSERT(expr) OSP_REQUIRE(expr)
+#endif

@@ -1,0 +1,62 @@
+#include "util/rng.hpp"
+
+#include "util/require.hpp"
+
+namespace osp {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  // Expand the 64-bit seed through SplitMix64 into a full seed sequence so
+  // that nearby seeds (0, 1, 2, ...) give unrelated streams.
+  std::uint64_t s = seed;
+  std::seed_seq seq{splitmix64(s), splitmix64(s), splitmix64(s), splitmix64(s)};
+  engine_.seed(seq);
+}
+
+Rng Rng::split(std::uint64_t stream) {
+  // Mix the parent's next output with the stream id; the parent advances so
+  // successive splits with equal stream ids still differ.
+  std::uint64_t s = engine_() ^ (stream * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL);
+  return Rng(splitmix64(s));
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  OSP_REQUIRE(bound > 0);
+  return std::uniform_int_distribution<std::uint64_t>(0, bound - 1)(engine_);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  OSP_REQUIRE(lo <= hi);
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform_open() {
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return u;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double rate) {
+  OSP_REQUIRE(rate > 0.0);
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+}  // namespace osp

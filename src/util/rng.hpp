@@ -1,0 +1,63 @@
+// Random number generation for the osp library.
+//
+// All randomized components take an explicit Rng so experiments are
+// reproducible from a single seed.  Rng::split derives statistically
+// independent child generators (e.g. one per trial of a benchmark) without
+// the children sharing state with the parent.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace osp {
+
+/// Deterministic pseudo-random generator with splittable seeding.
+///
+/// Wraps std::mt19937_64 and adds convenience draws used throughout the
+/// library.  Copyable; copies evolve independently.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds from a 64-bit value; equal seeds yield equal streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Derives an independent child generator.  Children obtained with
+  /// distinct `stream` values (or from successive calls) do not correlate
+  /// with each other or with the parent's future output.
+  Rng split(std::uint64_t stream);
+
+  /// Uniform integer in [0, bound).  Requires bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in (0, 1) — never returns exactly 0, safe for log().
+  double uniform_open();
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponentially distributed draw with the given rate (> 0).
+  double exponential(double rate);
+
+  /// Standard-library compatibility: uniform 64-bit output.
+  std::uint64_t operator()() { return engine_(); }
+  static constexpr std::uint64_t min() { return std::mt19937_64::min(); }
+  static constexpr std::uint64_t max() { return std::mt19937_64::max(); }
+
+  /// Access to the underlying engine for std distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// SplitMix64 step; used for seed derivation and in tests.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace osp

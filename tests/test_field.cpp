@@ -1,0 +1,246 @@
+// Tests for primes and finite fields: primality against a sieve, prime
+// power detection, and the full field axioms on a parameterized sweep of
+// prime and prime-power orders (exhaustively for small q).
+#include <gtest/gtest.h>
+
+#include "field/gf.hpp"
+#include "field/primes.hpp"
+#include "util/require.hpp"
+
+namespace osp {
+namespace {
+
+TEST(Primes, AgreesWithSieve) {
+  auto sieve = primes_up_to(2000);
+  std::size_t idx = 0;
+  for (std::uint64_t n = 0; n <= 2000; ++n) {
+    bool in_sieve = idx < sieve.size() && sieve[idx] == n;
+    if (in_sieve) ++idx;
+    EXPECT_EQ(is_prime(n), in_sieve) << "n=" << n;
+  }
+}
+
+TEST(Primes, LargeKnownValues) {
+  EXPECT_TRUE(is_prime((1ULL << 61) - 1));    // Mersenne prime
+  EXPECT_FALSE(is_prime((1ULL << 67) - 1));   // famous composite Mersenne
+  EXPECT_TRUE(is_prime(1'000'000'007ULL));
+  EXPECT_TRUE(is_prime(18446744073709551557ULL));  // largest 64-bit prime
+  EXPECT_FALSE(is_prime(3215031751ULL));  // strong pseudoprime to 2,3,5,7
+}
+
+TEST(Primes, NextPrime) {
+  EXPECT_EQ(next_prime(0), 2u);
+  EXPECT_EQ(next_prime(2), 2u);
+  EXPECT_EQ(next_prime(3), 3u);
+  EXPECT_EQ(next_prime(4), 5u);
+  EXPECT_EQ(next_prime(90), 97u);
+  EXPECT_EQ(next_prime(1'000'000'000), 1'000'000'007u);
+}
+
+TEST(Primes, PrimePowerDetection) {
+  EXPECT_FALSE(is_prime_power(0));
+  EXPECT_FALSE(is_prime_power(1));
+  EXPECT_TRUE(is_prime_power(2));
+  EXPECT_TRUE(is_prime_power(4));
+  EXPECT_TRUE(is_prime_power(8));
+  EXPECT_TRUE(is_prime_power(9));
+  EXPECT_TRUE(is_prime_power(27));
+  EXPECT_TRUE(is_prime_power(32));
+  EXPECT_TRUE(is_prime_power(81));
+  EXPECT_TRUE(is_prime_power(125));
+  EXPECT_TRUE(is_prime_power(1024));
+  EXPECT_FALSE(is_prime_power(6));
+  EXPECT_FALSE(is_prime_power(12));
+  EXPECT_FALSE(is_prime_power(100));
+  EXPECT_FALSE(is_prime_power(36));
+}
+
+TEST(Primes, PrimePowerDecomposition) {
+  auto pp = as_prime_power(81);
+  ASSERT_TRUE(pp.has_value());
+  EXPECT_EQ(pp->p, 3u);
+  EXPECT_EQ(pp->e, 4u);
+
+  pp = as_prime_power(1024);
+  ASSERT_TRUE(pp.has_value());
+  EXPECT_EQ(pp->p, 2u);
+  EXPECT_EQ(pp->e, 10u);
+
+  pp = as_prime_power(17);
+  ASSERT_TRUE(pp.has_value());
+  EXPECT_EQ(pp->p, 17u);
+  EXPECT_EQ(pp->e, 1u);
+}
+
+TEST(Primes, ExhaustivePrimePowerSmall) {
+  // Check against brute force for all q <= 300.
+  auto primes = primes_up_to(300);
+  for (std::uint64_t q = 2; q <= 300; ++q) {
+    bool expected = false;
+    for (std::uint64_t p : primes) {
+      std::uint64_t v = p;
+      while (v < q) v *= p;
+      if (v == q) {
+        expected = true;
+        break;
+      }
+    }
+    EXPECT_EQ(is_prime_power(q), expected) << "q=" << q;
+  }
+}
+
+TEST(Primes, NextPrimePower) {
+  EXPECT_EQ(next_prime_power(2), 2u);
+  EXPECT_EQ(next_prime_power(6), 7u);
+  EXPECT_EQ(next_prime_power(10), 11u);
+  EXPECT_EQ(next_prime_power(26), 27u);
+  EXPECT_EQ(next_prime_power(28), 29u);
+}
+
+TEST(Primes, DistinctFactors) {
+  EXPECT_EQ(distinct_prime_factors(1), (std::vector<std::uint64_t>{}));
+  EXPECT_EQ(distinct_prime_factors(12), (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_EQ(distinct_prime_factors(97), (std::vector<std::uint64_t>{97}));
+  EXPECT_EQ(distinct_prime_factors(360),
+            (std::vector<std::uint64_t>{2, 3, 5}));
+}
+
+TEST(Polynomials, ArithmeticBasics) {
+  using namespace gfdetail;
+  const std::uint64_t p = 5;
+  Poly f{1, 2};        // 1 + 2x
+  Poly g{3, 0, 1};     // 3 + x^2
+  Poly sum = poly_add(f, g, p);
+  EXPECT_EQ(sum, (Poly{4, 2, 1}));
+  Poly prod = poly_mul(f, g, p);  // (1+2x)(3+x^2) = 3 + 6x + x^2 + 2x^3
+  EXPECT_EQ(prod, (Poly{3, 1, 1, 2}));
+}
+
+TEST(Polynomials, ModAndGcd) {
+  using namespace gfdetail;
+  const std::uint64_t p = 2;
+  // x^2 + x = x(x+1) mod (x+1) should be 0.
+  Poly f{0, 1, 1};
+  Poly g{1, 1};  // x + 1 (monic)
+  EXPECT_EQ(poly_mod(f, g, p), Poly{});
+  // gcd(x^2+1, x+1) over GF(2): x^2+1 = (x+1)^2, so gcd = x+1.
+  Poly a{1, 0, 1};
+  Poly b{1, 1};
+  EXPECT_EQ(poly_gcd(a, b, p), (Poly{1, 1}));
+}
+
+TEST(Polynomials, IrreducibilityKnownCases) {
+  using namespace gfdetail;
+  // x^2 + x + 1 is irreducible over GF(2); x^2 + 1 = (x+1)^2 is not.
+  EXPECT_TRUE(poly_irreducible(Poly{1, 1, 1}, 2));
+  EXPECT_FALSE(poly_irreducible(Poly{1, 0, 1}, 2));
+  // x^2 + 1 IS irreducible over GF(3) (no root: 0,1,2 -> 1,2,2).
+  EXPECT_TRUE(poly_irreducible(Poly{1, 0, 1}, 3));
+  // x^3 + x + 1 irreducible over GF(2).
+  EXPECT_TRUE(poly_irreducible(Poly{1, 1, 0, 1}, 2));
+  // x^4 + x^2 + 1 = (x^2+x+1)^2 over GF(2): root-free but reducible —
+  // exactly the case naive root-checking misses.
+  EXPECT_FALSE(poly_irreducible(Poly{1, 0, 1, 0, 1}, 2));
+}
+
+TEST(FiniteField, RejectsNonPrimePower) {
+  EXPECT_THROW(FiniteField(6), RequireError);
+  EXPECT_THROW(FiniteField(12), RequireError);
+  EXPECT_THROW(FiniteField(1), RequireError);
+  EXPECT_THROW(FiniteField(0), RequireError);
+}
+
+class FieldAxioms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FieldAxioms, AdditiveGroup) {
+  FiniteField f(GetParam());
+  const auto q = static_cast<std::uint32_t>(f.order());
+  for (std::uint32_t a = 0; a < q; ++a) {
+    EXPECT_EQ(f.add(a, f.zero()), a);
+    EXPECT_EQ(f.add(a, f.neg(a)), f.zero());
+    for (std::uint32_t b = 0; b < q; ++b) {
+      EXPECT_EQ(f.add(a, b), f.add(b, a));
+      EXPECT_EQ(f.sub(f.add(a, b), b), a);
+    }
+  }
+}
+
+TEST_P(FieldAxioms, MultiplicativeGroup) {
+  FiniteField f(GetParam());
+  const auto q = static_cast<std::uint32_t>(f.order());
+  for (std::uint32_t a = 0; a < q; ++a) {
+    EXPECT_EQ(f.mul(a, f.one()), a);
+    EXPECT_EQ(f.mul(a, f.zero()), f.zero());
+    if (a != 0) {
+      EXPECT_EQ(f.mul(a, f.inv(a)), f.one()) << "a=" << a;
+      EXPECT_EQ(f.div(a, a), f.one());
+    }
+    for (std::uint32_t b = 0; b < q; ++b)
+      EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+  }
+}
+
+TEST_P(FieldAxioms, AssociativityAndDistributivitySampled) {
+  FiniteField f(GetParam());
+  const auto q = static_cast<std::uint32_t>(f.order());
+  // Sample triples deterministically (full cube is too slow for q=64+).
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    std::uint32_t a = (i * 7919u + 1) % q;
+    std::uint32_t b = (i * 104729u + 3) % q;
+    std::uint32_t c = (i * 1299709u + 5) % q;
+    EXPECT_EQ(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+    EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+    EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+  }
+}
+
+TEST_P(FieldAxioms, NoZeroDivisors) {
+  FiniteField f(GetParam());
+  const auto q = static_cast<std::uint32_t>(f.order());
+  for (std::uint32_t a = 1; a < q; ++a)
+    for (std::uint32_t b = 1; b < q; ++b)
+      EXPECT_NE(f.mul(a, b), f.zero()) << "a=" << a << " b=" << b;
+}
+
+TEST_P(FieldAxioms, FrobeniusFixedField) {
+  // a^q = a for all a in GF(q) (Lagrange / Frobenius iterated).
+  FiniteField f(GetParam());
+  const auto q = static_cast<std::uint32_t>(f.order());
+  for (std::uint32_t a = 0; a < q; ++a)
+    EXPECT_EQ(f.pow(a, f.order()), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(PrimeAndPrimePowerOrders, FieldAxioms,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9, 11, 13, 16,
+                                           25, 27, 32, 49, 64, 81));
+
+TEST(FiniteField, CharacteristicAndDegree) {
+  FiniteField f81(81);
+  EXPECT_EQ(f81.characteristic(), 3u);
+  EXPECT_EQ(f81.degree(), 4u);
+  FiniteField f17(17);
+  EXPECT_EQ(f17.characteristic(), 17u);
+  EXPECT_EQ(f17.degree(), 1u);
+}
+
+TEST(FiniteField, ModulusIsIrreducibleMonic) {
+  for (std::uint64_t q : {4ULL, 8ULL, 9ULL, 16ULL, 27ULL, 64ULL, 81ULL}) {
+    FiniteField f(q);
+    const auto& mod = f.modulus();
+    EXPECT_EQ(mod.size(), f.degree() + 1);
+    EXPECT_EQ(mod.back(), 1u);
+    EXPECT_TRUE(gfdetail::poly_irreducible(mod, f.characteristic()));
+  }
+}
+
+TEST(FiniteField, LargeOrderWithoutTable) {
+  // 5041 = 71^2 < 2^20 but above the table limit: exercises mul_slow.
+  FiniteField f(5041);
+  EXPECT_EQ(f.characteristic(), 71u);
+  EXPECT_EQ(f.degree(), 2u);
+  for (std::uint32_t a = 1; a < 100; ++a)
+    EXPECT_EQ(f.mul(a, f.inv(a)), f.one());
+}
+
+}  // namespace
+}  // namespace osp

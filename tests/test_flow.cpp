@@ -1,0 +1,138 @@
+// Tests for the Dinic max-flow substrate.
+#include <gtest/gtest.h>
+
+#include "algos/flow.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace osp {
+namespace {
+
+TEST(Flow, SingleEdge) {
+  FlowNetwork net(2);
+  net.add_edge(0, 1, 5);
+  EXPECT_EQ(net.max_flow(0, 1), 5);
+}
+
+TEST(Flow, SeriesTakesMinimum) {
+  FlowNetwork net(3);
+  net.add_edge(0, 1, 5);
+  net.add_edge(1, 2, 3);
+  EXPECT_EQ(net.max_flow(0, 2), 3);
+}
+
+TEST(Flow, ParallelAdds) {
+  FlowNetwork net(2);
+  net.add_edge(0, 1, 2);
+  net.add_edge(0, 1, 3);
+  EXPECT_EQ(net.max_flow(0, 1), 5);
+}
+
+TEST(Flow, DisconnectedIsZero) {
+  FlowNetwork net(4);
+  net.add_edge(0, 1, 7);
+  net.add_edge(2, 3, 7);
+  EXPECT_EQ(net.max_flow(0, 3), 0);
+}
+
+TEST(Flow, ClassicTextbookNetwork) {
+  // CLRS-style example with known max flow 23.
+  FlowNetwork net(6);
+  net.add_edge(0, 1, 16);
+  net.add_edge(0, 2, 13);
+  net.add_edge(1, 2, 10);
+  net.add_edge(2, 1, 4);
+  net.add_edge(1, 3, 12);
+  net.add_edge(3, 2, 9);
+  net.add_edge(2, 4, 14);
+  net.add_edge(4, 3, 7);
+  net.add_edge(3, 5, 20);
+  net.add_edge(4, 5, 4);
+  EXPECT_EQ(net.max_flow(0, 5), 23);
+}
+
+TEST(Flow, RequiresAugmentingPathThroughReverseEdge) {
+  // The classic case where a naive greedy path choice must be undone.
+  FlowNetwork net(4);
+  net.add_edge(0, 1, 1);
+  net.add_edge(0, 2, 1);
+  net.add_edge(1, 2, 1);
+  net.add_edge(1, 3, 1);
+  net.add_edge(2, 3, 1);
+  EXPECT_EQ(net.max_flow(0, 3), 2);
+}
+
+TEST(Flow, FlowOnTracksPerEdge) {
+  FlowNetwork net(3);
+  std::size_t e01 = net.add_edge(0, 1, 4);
+  std::size_t e12 = net.add_edge(1, 2, 2);
+  EXPECT_EQ(net.max_flow(0, 2), 2);
+  EXPECT_EQ(net.flow_on(e01), 2);
+  EXPECT_EQ(net.flow_on(e12), 2);
+}
+
+TEST(Flow, BipartiteMatching) {
+  // 3x3 bipartite with a perfect matching.
+  FlowNetwork net(8);  // 0 src, 1-3 left, 4-6 right, 7 sink
+  for (std::size_t l = 1; l <= 3; ++l) net.add_edge(0, l, 1);
+  for (std::size_t r = 4; r <= 6; ++r) net.add_edge(r, 7, 1);
+  net.add_edge(1, 4, 1);
+  net.add_edge(1, 5, 1);
+  net.add_edge(2, 5, 1);
+  net.add_edge(3, 6, 1);
+  EXPECT_EQ(net.max_flow(0, 7), 3);
+}
+
+TEST(Flow, BipartiteWithBottleneck) {
+  // Both left nodes only reach the same right node: matching is 1.
+  FlowNetwork net(6);  // 0 src, 1-2 left, 3 right, 5 sink
+  net.add_edge(0, 1, 1);
+  net.add_edge(0, 2, 1);
+  net.add_edge(1, 3, 1);
+  net.add_edge(2, 3, 1);
+  net.add_edge(3, 5, 1);
+  EXPECT_EQ(net.max_flow(0, 5), 1);
+}
+
+TEST(Flow, ValidatesArguments) {
+  FlowNetwork net(2);
+  EXPECT_THROW(net.add_edge(0, 5, 1), RequireError);
+  EXPECT_THROW(net.add_edge(0, 1, -1), RequireError);
+  EXPECT_THROW(net.max_flow(0, 0), RequireError);
+  EXPECT_THROW(net.max_flow(0, 9), RequireError);
+}
+
+TEST(Flow, RandomMatchesFordFulkersonInvariant) {
+  // On random DAG-ish networks, check flow conservation at every
+  // intermediate node by summing per-edge flows.
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 8;
+    FlowNetwork net(n);
+    struct E {
+      std::size_t u, v, id;
+    };
+    std::vector<E> edges;
+    for (std::size_t u = 0; u < n; ++u)
+      for (std::size_t v = u + 1; v < n; ++v)
+        if (rng.chance(0.5)) {
+          std::size_t id = net.add_edge(u, v, rng.range(1, 6));
+          edges.push_back({u, v, id});
+        }
+    std::int64_t total = net.max_flow(0, n - 1);
+    EXPECT_GE(total, 0);
+    std::vector<std::int64_t> balance(n, 0);
+    for (const E& e : edges) {
+      std::int64_t f = net.flow_on(e.id);
+      EXPECT_GE(f, 0);
+      balance[e.u] -= f;
+      balance[e.v] += f;
+    }
+    EXPECT_EQ(balance[0], -total);
+    EXPECT_EQ(balance[n - 1], total);
+    for (std::size_t v = 1; v + 1 < n; ++v) EXPECT_EQ(balance[v], 0);
+  }
+}
+
+}  // namespace
+}  // namespace osp

@@ -1,0 +1,216 @@
+// Tests for the (M,N)-gadget: Propositions 1 and 2 exhaustively for a
+// parameterized sweep of (M,N), and the Lemma 8 properties of a gadget
+// applied as an osp sub-instance.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "design/gadget.hpp"
+#include "util/require.hpp"
+
+namespace osp {
+namespace {
+
+using MN = std::pair<std::size_t, std::size_t>;
+
+class GadgetProps : public ::testing::TestWithParam<MN> {};
+
+TEST_P(GadgetProps, Proposition1DifferentRows) {
+  // Items in different rows lie on exactly one common line L_{a,b}.
+  auto [m, n] = GetParam();
+  Gadget g(m, n);
+  // count[(item1, item2)] over all lines.
+  std::map<std::pair<std::size_t, std::size_t>, int> common;
+  for (std::uint32_t a = 0; a < n; ++a)
+    for (std::uint32_t b = 0; b < n; ++b) {
+      auto items = g.line(a, b);
+      for (std::size_t x = 0; x < items.size(); ++x)
+        for (std::size_t y = x + 1; y < items.size(); ++y) {
+          std::size_t i1 = items[x].row * n + items[x].col;
+          std::size_t i2 = items[y].row * n + items[y].col;
+          ++common[{std::min(i1, i2), std::max(i1, i2)}];
+        }
+    }
+  // Every cross-row pair appears exactly once.
+  for (std::uint32_t r1 = 0; r1 < m; ++r1)
+    for (std::uint32_t r2 = r1 + 1; r2 < m; ++r2)
+      for (std::uint32_t c1 = 0; c1 < n; ++c1)
+        for (std::uint32_t c2 = 0; c2 < n; ++c2) {
+          std::size_t i1 = r1 * n + c1, i2 = r2 * n + c2;
+          EXPECT_EQ((common[{std::min(i1, i2), std::max(i1, i2)}]), 1)
+              << "pair (" << r1 << "," << c1 << ")x(" << r2 << "," << c2
+              << ")";
+        }
+  // Same-row pairs never appear on an L_{a,b}.
+  for (std::uint32_t r = 0; r < m; ++r)
+    for (std::uint32_t c1 = 0; c1 < n; ++c1)
+      for (std::uint32_t c2 = c1 + 1; c2 < n; ++c2) {
+        std::size_t i1 = r * n + c1, i2 = r * n + c2;
+        EXPECT_EQ(common.count({i1, i2}), 0u);
+      }
+}
+
+TEST_P(GadgetProps, Proposition1SameRowViaRowLines) {
+  auto [m, n] = GetParam();
+  Gadget g(m, n);
+  // Row lines partition items by row: same-row items share exactly the one
+  // row line, cross-row items none.
+  for (std::uint32_t c = 0; c < m; ++c) {
+    auto items = g.row_line(c);
+    EXPECT_EQ(items.size(), n);
+    for (const auto& it : items) EXPECT_EQ(it.row, c);
+    std::set<std::uint32_t> cols;
+    for (const auto& it : items) cols.insert(it.col);
+    EXPECT_EQ(cols.size(), n);  // every column exactly once
+  }
+}
+
+TEST_P(GadgetProps, Proposition2OneLinePerSlope) {
+  // Every item lies on exactly one line per slope a.
+  auto [m, n] = GetParam();
+  Gadget g(m, n);
+  for (std::uint32_t a = 0; a < n; ++a) {
+    std::map<std::pair<std::uint32_t, std::uint32_t>, int> hits;
+    for (std::uint32_t b = 0; b < n; ++b)
+      for (const auto& it : g.line(a, b)) ++hits[{it.row, it.col}];
+    for (std::uint32_t r = 0; r < m; ++r)
+      for (std::uint32_t c = 0; c < n; ++c)
+        EXPECT_EQ((hits[{r, c}]), 1) << "slope " << a;
+  }
+}
+
+TEST_P(GadgetProps, LinesHaveLoadM) {
+  auto [m, n] = GetParam();
+  Gadget g(m, n);
+  for (std::uint32_t a = 0; a < n; ++a)
+    for (std::uint32_t b = 0; b < n; ++b)
+      EXPECT_EQ(g.line(a, b).size(), m);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallGadgets, GadgetProps,
+                         ::testing::Values(MN{2, 2}, MN{2, 3}, MN{3, 3},
+                                           MN{2, 4}, MN{4, 4}, MN{3, 5},
+                                           MN{5, 5}, MN{4, 7}, MN{6, 8},
+                                           MN{9, 9}));
+
+TEST(Gadget, RejectsBadParameters) {
+  EXPECT_THROW(Gadget(3, 2), RequireError);   // M > N
+  EXPECT_THROW(Gadget(2, 6), RequireError);   // N not a prime power
+  EXPECT_THROW(Gadget(0, 2), RequireError);   // M < 1
+}
+
+// Lemma 8 as an executable statement: applying an (M,N)-gadget to M·N
+// sets produces N² elements of load M (+ M of load N with rows); each set
+// gains N (+1) elements; and any feasible solution keeps at most one set
+// per line — with rows at most one set total; without rows all survivors
+// share a row.
+class Lemma8 : public ::testing::TestWithParam<MN> {};
+
+TEST_P(Lemma8, ShapeWithoutRows) {
+  auto [m, n] = GetParam();
+  Gadget g(m, n);
+  InstanceBuilder b;
+  std::vector<SetId> placement;
+  for (std::size_t i = 0; i < m * n; ++i) placement.push_back(b.add_set());
+  apply_gadget(b, g, placement, /*with_rows=*/false);
+  Instance inst = b.build();
+
+  EXPECT_EQ(inst.num_elements(), n * n);
+  for (ElementId u = 0; u < inst.num_elements(); ++u)
+    EXPECT_EQ(inst.load(u), m);
+  for (SetId s = 0; s < inst.num_sets(); ++s)
+    EXPECT_EQ(inst.set_size(s), n);
+}
+
+TEST_P(Lemma8, ShapeWithRows) {
+  auto [m, n] = GetParam();
+  Gadget g(m, n);
+  InstanceBuilder b;
+  std::vector<SetId> placement;
+  for (std::size_t i = 0; i < m * n; ++i) placement.push_back(b.add_set());
+  apply_gadget(b, g, placement, /*with_rows=*/true);
+  Instance inst = b.build();
+
+  EXPECT_EQ(inst.num_elements(), n * n + m);
+  std::size_t load_m = 0, load_n = 0;
+  for (ElementId u = 0; u < inst.num_elements(); ++u) {
+    if (inst.load(u) == m) ++load_m;
+    if (inst.load(u) == n) ++load_n;
+  }
+  if (m != n) {
+    EXPECT_EQ(load_m, n * n);
+    EXPECT_EQ(load_n, m);
+  } else {
+    EXPECT_EQ(load_m, n * n + m);
+  }
+  for (SetId s = 0; s < inst.num_sets(); ++s)
+    EXPECT_EQ(inst.set_size(s), n + 1);
+}
+
+TEST_P(Lemma8, AnyTwoSetsIntersectWithRows) {
+  auto [m, n] = GetParam();
+  Gadget g(m, n);
+  InstanceBuilder b;
+  std::vector<SetId> placement;
+  for (std::size_t i = 0; i < m * n; ++i) placement.push_back(b.add_set());
+  apply_gadget(b, g, placement, /*with_rows=*/true);
+  Instance inst = b.build();
+
+  // Pairwise intersection is exactly one element.
+  for (SetId s1 = 0; s1 < inst.num_sets(); ++s1)
+    for (SetId s2 = s1 + 1; s2 < inst.num_sets(); ++s2) {
+      std::set<ElementId> e1(inst.elements_of(s1).begin(),
+                             inst.elements_of(s1).end());
+      int shared = 0;
+      for (ElementId u : inst.elements_of(s2)) shared += e1.count(u);
+      EXPECT_EQ(shared, 1) << "s1=" << s1 << " s2=" << s2;
+    }
+}
+
+TEST_P(Lemma8, WithoutRowsOnlySameRowSurvivorsPossible) {
+  auto [m, n] = GetParam();
+  Gadget g(m, n);
+  InstanceBuilder b;
+  std::vector<SetId> placement;
+  for (std::size_t i = 0; i < m * n; ++i) placement.push_back(b.add_set());
+  apply_gadget(b, g, placement, /*with_rows=*/false);
+  Instance inst = b.build();
+
+  // Cross-row sets intersect (exactly once); same-row sets are disjoint.
+  for (SetId s1 = 0; s1 < inst.num_sets(); ++s1)
+    for (SetId s2 = s1 + 1; s2 < inst.num_sets(); ++s2) {
+      std::set<ElementId> e1(inst.elements_of(s1).begin(),
+                             inst.elements_of(s1).end());
+      int shared = 0;
+      for (ElementId u : inst.elements_of(s2)) shared += e1.count(u);
+      bool same_row = (s1 / n) == (s2 / n);
+      EXPECT_EQ(shared, same_row ? 0 : 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallGadgets, Lemma8,
+                         ::testing::Values(MN{2, 2}, MN{2, 3}, MN{3, 3},
+                                           MN{3, 4}, MN{4, 5}, MN{2, 8},
+                                           MN{6, 8}));
+
+TEST(ApplyGadget, PlacementSizeValidated) {
+  Gadget g(2, 2);
+  InstanceBuilder b;
+  b.add_sets(3);
+  EXPECT_THROW(apply_gadget(b, g, {0, 1, 2}, false), RequireError);
+}
+
+TEST(Gadget, ExtensionFieldOrderWorks) {
+  // N = 8 and N = 9 exercise GF(2^3) and GF(3^2) line arithmetic.
+  for (std::size_t n : {8u, 9u}) {
+    Gadget g(n, n);
+    std::set<std::size_t> seen;
+    for (std::uint32_t b = 0; b < n; ++b)
+      for (const auto& it : g.line(1, b)) seen.insert(it.row * n + it.col);
+    EXPECT_EQ(seen.size(), n * n);  // slope 1 lines partition all items
+  }
+}
+
+}  // namespace
+}  // namespace osp

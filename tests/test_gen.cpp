@@ -1,0 +1,291 @@
+// Tests for the workload generators: parameter conformance and the
+// structural guarantees each family promises.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/multihop.hpp"
+#include "gen/random_instances.hpp"
+#include "gen/schedule.hpp"
+#include "gen/traffic.hpp"
+#include "gen/video.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace osp {
+namespace {
+
+TEST(WeightModels, RangesRespected) {
+  Rng rng(1);
+  for (std::size_t r = 0; r < 200; ++r) {
+    EXPECT_DOUBLE_EQ(draw_weight(WeightModel::unit(), r, rng), 1.0);
+    double u = draw_weight(WeightModel::uniform(2, 5), r, rng);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LE(u, 5.0);
+    EXPECT_GE(draw_weight(WeightModel::exponential(1.0), r, rng), 1.0);
+  }
+}
+
+TEST(WeightModels, ZipfDecreasesWithRank) {
+  Rng rng(2);
+  double w0 = draw_weight(WeightModel::zipf(1.2), 0, rng);
+  double w9 = draw_weight(WeightModel::zipf(1.2), 9, rng);
+  EXPECT_GT(w0, w9);
+}
+
+TEST(RandomInstance, UniformSizeK) {
+  Rng rng(3);
+  Instance inst = random_instance(30, 50, 4, WeightModel::unit(), rng);
+  EXPECT_EQ(inst.num_sets(), 30u);
+  for (SetId s = 0; s < inst.num_sets(); ++s)
+    EXPECT_EQ(inst.set_size(s), 4u);
+  EXPECT_LE(inst.num_elements(), 50u);
+  EXPECT_TRUE(inst.stats().uniform_size);
+}
+
+TEST(RandomInstance, DropsEmptySlots) {
+  Rng rng(4);
+  // 2 sets of size 2 over 100 slots: at most 4 distinct elements remain.
+  Instance inst = random_instance(2, 100, 2, WeightModel::unit(), rng);
+  EXPECT_LE(inst.num_elements(), 4u);
+  for (ElementId u = 0; u < inst.num_elements(); ++u)
+    EXPECT_GE(inst.load(u), 1u);
+}
+
+TEST(RandomInstance, RejectsKLargerThanN) {
+  Rng rng(5);
+  EXPECT_THROW(random_instance(3, 4, 5, WeightModel::unit(), rng),
+               RequireError);
+}
+
+TEST(RandomCapacityInstance, CapacitiesInRange) {
+  Rng rng(6);
+  Instance inst =
+      random_capacity_instance(20, 30, 3, 4, WeightModel::unit(), rng);
+  bool saw_above_one = false;
+  for (ElementId u = 0; u < inst.num_elements(); ++u) {
+    EXPECT_GE(inst.arrival(u).capacity, 1u);
+    EXPECT_LE(inst.arrival(u).capacity, 4u);
+    if (inst.arrival(u).capacity > 1) saw_above_one = true;
+  }
+  EXPECT_TRUE(saw_above_one);
+}
+
+TEST(FixedLoadInstance, UniformLoadAndFullCoverage) {
+  Rng rng(7);
+  Instance inst = fixed_load_instance(20, 40, 4, WeightModel::unit(), rng);
+  EXPECT_EQ(inst.num_elements(), 40u);
+  for (ElementId u = 0; u < inst.num_elements(); ++u)
+    EXPECT_EQ(inst.load(u), 4u);
+  for (SetId s = 0; s < inst.num_sets(); ++s)
+    EXPECT_GE(inst.set_size(s), 1u) << "set " << s << " uncovered";
+  EXPECT_TRUE(inst.stats().uniform_load);
+}
+
+TEST(FixedLoadInstance, ParameterValidation) {
+  Rng rng(8);
+  EXPECT_THROW(fixed_load_instance(10, 40, 11, WeightModel::unit(), rng),
+               RequireError);  // sigma > m
+  EXPECT_THROW(fixed_load_instance(100, 3, 4, WeightModel::unit(), rng),
+               RequireError);  // cannot cover
+}
+
+TEST(RegularInstance, BiRegular) {
+  Rng rng(9);
+  Instance inst = regular_instance(24, 3, 4, WeightModel::unit(), rng);
+  EXPECT_EQ(inst.num_sets(), 24u);
+  EXPECT_EQ(inst.num_elements(), 24u * 3 / 4);
+  for (SetId s = 0; s < inst.num_sets(); ++s)
+    EXPECT_EQ(inst.set_size(s), 3u);
+  for (ElementId u = 0; u < inst.num_elements(); ++u)
+    EXPECT_EQ(inst.load(u), 4u);
+  InstanceStats st = inst.stats();
+  EXPECT_TRUE(st.uniform_size);
+  EXPECT_TRUE(st.uniform_load);
+}
+
+TEST(RegularInstance, ManyParameterCombos) {
+  Rng rng(10);
+  for (auto [m, k, sigma] :
+       {std::tuple{10, 2, 4}, {12, 3, 6}, {16, 4, 8}, {20, 5, 10},
+        {8, 2, 2}, {30, 3, 5}}) {
+    Instance inst = regular_instance(m, k, sigma, WeightModel::unit(), rng);
+    InstanceStats st = inst.stats();
+    EXPECT_TRUE(st.uniform_size && st.uniform_load)
+        << "m=" << m << " k=" << k << " s=" << sigma;
+  }
+}
+
+TEST(RegularInstance, DivisibilityEnforced) {
+  Rng rng(11);
+  EXPECT_THROW(regular_instance(10, 3, 4, WeightModel::unit(), rng),
+               RequireError);
+}
+
+TEST(FrameSchedule, ReductionMatchesPaper) {
+  FrameSchedule sched;
+  sched.frames.push_back({2.0, {0, 1}});
+  sched.frames.push_back({1.0, {1, 2}});
+  sched.horizon = 4;  // slot 3 empty
+  Instance inst = sched.to_instance(1);
+  EXPECT_EQ(inst.num_sets(), 2u);
+  EXPECT_EQ(inst.num_elements(), 3u);  // empty slot dropped
+  EXPECT_EQ(inst.arrival(1).parents, (std::vector<SetId>{0, 1}));
+  EXPECT_DOUBLE_EQ(inst.weight(0), 2.0);
+}
+
+TEST(FrameSchedule, BurstProfile) {
+  FrameSchedule sched;
+  sched.frames.push_back({1.0, {0, 1}});
+  sched.frames.push_back({1.0, {1}});
+  sched.horizon = 2;
+  EXPECT_EQ(sched.burst_profile(), (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(sched.max_burst(), 2u);
+  EXPECT_EQ(sched.total_packets(), 3u);
+}
+
+TEST(FrameSchedule, ValidateRejectsBadSlots) {
+  FrameSchedule sched;
+  sched.frames.push_back({1.0, {3, 1}});  // not sorted
+  sched.horizon = 5;
+  EXPECT_THROW(sched.validate(), RequireError);
+  sched.frames[0].packet_slots = {1, 9};  // beyond horizon
+  EXPECT_THROW(sched.validate(), RequireError);
+}
+
+TEST(Traffic, PoissonMeanRoughlyLambda) {
+  Rng rng(12);
+  PoissonBursts p(3.0);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(p.next(rng));
+  EXPECT_NEAR(total / n, 3.0, 0.1);
+}
+
+TEST(Traffic, ConstantIsConstant) {
+  Rng rng(13);
+  ConstantBursts c(4);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(c.next(rng), 4u);
+}
+
+TEST(Traffic, OnOffProducesBothRegimes) {
+  Rng rng(14);
+  OnOffBursts oo(0.1, 0.1, 6.0, 0.2);
+  std::size_t zeros = 0, bigs = 0;
+  for (int i = 0; i < 5000; ++i) {
+    std::size_t b = oo.next(rng);
+    if (b == 0) ++zeros;
+    if (b >= 4) ++bigs;
+  }
+  EXPECT_GT(zeros, 100u);
+  EXPECT_GT(bigs, 100u);
+}
+
+TEST(Traffic, BurstyScheduleShape) {
+  Rng rng(15);
+  PoissonBursts p(2.0);
+  FrameSchedule sched = bursty_schedule(p, 50, 3, rng);
+  EXPECT_EQ(sched.frames.size(), 50u);
+  for (const Frame& f : sched.frames) {
+    EXPECT_EQ(f.packet_slots.size(), 3u);
+    // Packets on consecutive slots.
+    EXPECT_EQ(f.packet_slots[2], f.packet_slots[0] + 2);
+  }
+  EXPECT_NO_THROW(sched.validate());
+}
+
+TEST(Video, WorkloadShape) {
+  Rng rng(16);
+  VideoParams params;
+  VideoWorkload vw = make_video_workload(params, rng);
+  EXPECT_EQ(vw.schedule.frames.size(),
+            params.num_streams * params.frames_per_stream);
+  EXPECT_EQ(vw.kinds.size(), vw.schedule.frames.size());
+  // I frames have the declared packet count and weight.
+  for (std::size_t f = 0; f < vw.schedule.frames.size(); ++f) {
+    if (vw.kinds[f] == FrameKind::kIntra) {
+      EXPECT_EQ(vw.schedule.frames[f].packet_slots.size(),
+                params.i_frame_packets);
+      EXPECT_DOUBLE_EQ(vw.schedule.frames[f].weight, params.i_frame_weight);
+    } else {
+      EXPECT_EQ(vw.schedule.frames[f].packet_slots.size(),
+                params.p_frame_packets);
+    }
+  }
+}
+
+TEST(Video, GopStructure) {
+  Rng rng(17);
+  VideoParams params;
+  params.num_streams = 1;
+  params.frames_per_stream = 24;
+  params.gop_length = 12;
+  VideoWorkload vw = make_video_workload(params, rng);
+  int intras = 0;
+  for (auto kind : vw.kinds)
+    if (kind == FrameKind::kIntra) ++intras;
+  EXPECT_EQ(intras, 2);  // frames 0 and 12
+  EXPECT_EQ(vw.kinds[0], FrameKind::kIntra);
+  EXPECT_EQ(vw.kinds[12], FrameKind::kIntra);
+  EXPECT_EQ(vw.kinds[1], FrameKind::kPredicted);
+}
+
+TEST(Video, ReductionIsPlayable) {
+  Rng rng(18);
+  VideoParams params;
+  params.num_streams = 4;
+  params.frames_per_stream = 10;
+  VideoWorkload vw = make_video_workload(params, rng);
+  Instance inst = vw.schedule.to_instance(1);
+  EXPECT_EQ(inst.num_sets(), vw.schedule.frames.size());
+  EXPECT_GT(inst.stats().sigma_max, 1u);  // streams actually collide
+}
+
+TEST(MultiHop, RouteGeometry) {
+  Rng rng(19);
+  MultiHopParams params;
+  params.num_switches = 5;
+  params.num_packets = 60;
+  params.min_route = 2;
+  params.max_route = 5;
+  MultiHopWorkload w = make_multihop_workload(params, rng);
+  EXPECT_EQ(w.instance.num_sets(), 60u);
+  for (std::size_t p = 0; p < 60; ++p) {
+    EXPECT_GE(w.route_len[p], 2u);
+    EXPECT_LE(w.route_len[p], 5u);
+    EXPECT_LE(w.entry_hop[p] + w.route_len[p], params.num_switches);
+    EXPECT_EQ(w.instance.set_size(static_cast<SetId>(p)), w.route_len[p]);
+  }
+}
+
+TEST(MultiHop, ElementsAreSharedLinkSlots) {
+  Rng rng(20);
+  MultiHopParams params;
+  params.num_packets = 100;
+  params.horizon = 10;  // force heavy contention
+  MultiHopWorkload w = make_multihop_workload(params, rng);
+  InstanceStats st = w.instance.stats();
+  EXPECT_GT(st.sigma_max, 1u);
+  // Total memberships equal total hop traversals.
+  std::size_t hops = 0;
+  for (auto len : w.route_len) hops += len;
+  std::size_t memberships = 0;
+  for (ElementId u = 0; u < w.instance.num_elements(); ++u)
+    memberships += w.instance.load(u);
+  EXPECT_EQ(memberships, hops);
+}
+
+TEST(MultiHop, WeightPerHop) {
+  Rng rng(21);
+  MultiHopParams params;
+  params.weight_per_hop = 0.5;
+  params.min_route = 2;
+  params.max_route = 4;
+  MultiHopWorkload w = make_multihop_workload(params, rng);
+  for (std::size_t p = 0; p < w.instance.num_sets(); ++p)
+    EXPECT_DOUBLE_EQ(w.instance.weight(static_cast<SetId>(p)),
+                     1.0 + 0.5 * static_cast<double>(w.route_len[p]));
+}
+
+}  // namespace
+}  // namespace osp

@@ -1,0 +1,218 @@
+// Tests for the general packing extension (open problem 1).
+#include <gtest/gtest.h>
+
+#include "algos/general_lp.hpp"
+#include "core/general.hpp"
+#include "stats/summary.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace osp {
+namespace {
+
+// Random general instance: m sets, n elements; each element has capacity
+// in [1, cap_max] and each set demands 1..d_max units of each of its k
+// random elements.
+GeneralInstance random_general(std::size_t m, std::size_t n, std::size_t k,
+                               std::uint32_t cap_max, std::uint32_t d_max,
+                               Rng& rng) {
+  GeneralInstanceBuilder b;
+  std::vector<std::vector<UnitDemand>> per_element(n);
+  for (std::size_t s = 0; s < m; ++s) {
+    b.add_set(1.0 + rng.uniform() * 4);
+    std::vector<std::size_t> slots;
+    while (slots.size() < k) {
+      std::size_t v = rng.below(n);
+      if (std::find(slots.begin(), slots.end(), v) == slots.end())
+        slots.push_back(v);
+    }
+    for (std::size_t u : slots)
+      per_element[u].push_back(UnitDemand{
+          static_cast<SetId>(s),
+          static_cast<std::uint32_t>(rng.range(1, d_max))});
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    if (per_element[u].empty()) continue;
+    b.add_element(per_element[u],
+                  static_cast<std::uint32_t>(rng.range(1, cap_max)));
+  }
+  return b.build();
+}
+
+TEST(GeneralBuilder, BasicShapeAndStats) {
+  GeneralInstanceBuilder b;
+  b.add_set(2.0);
+  b.add_set(1.0);
+  b.add_element({{0, 3}, {1, 1}}, 4);
+  b.add_element({{0, 2}}, 2);
+  GeneralInstance inst = b.build();
+  EXPECT_EQ(inst.num_sets(), 2u);
+  EXPECT_EQ(inst.num_elements(), 2u);
+  EXPECT_EQ(inst.appearances(0), 2u);
+  EXPECT_EQ(inst.appearances(1), 1u);
+  GeneralStats st = inst.stats();
+  EXPECT_EQ(st.k_max, 2u);
+  EXPECT_DOUBLE_EQ(st.nu_max, 1.0);  // (3+1)/4 and 2/2
+  EXPECT_DOUBLE_EQ(st.total_weight, 3.0);
+}
+
+TEST(GeneralBuilder, Validation) {
+  GeneralInstanceBuilder b;
+  b.add_set();
+  EXPECT_THROW(b.add_element({{5, 1}}), RequireError);        // unknown set
+  EXPECT_THROW(b.add_element({{0, 0}}), RequireError);        // zero units
+  EXPECT_THROW(b.add_element({{0, 1}, {0, 2}}), RequireError);  // duplicate
+  EXPECT_THROW(b.add_element({{0, 1}}, 0), RequireError);     // capacity 0
+}
+
+TEST(GeneralPlay, UnitDemandsReduceToOsp) {
+  // With all demands = 1 the model is exactly osp: a capacity-2 element
+  // lets two sets through.
+  GeneralInstanceBuilder b;
+  b.add_set();
+  b.add_set();
+  b.add_set();
+  b.add_element({{0, 1}, {1, 1}, {2, 1}}, 2);
+  GeneralInstance inst = b.build();
+  GeneralFirstFit alg;
+  GeneralOutcome out = play_general(inst, alg);
+  EXPECT_EQ(out.completed, (std::vector<SetId>{0, 1}));
+}
+
+TEST(GeneralPlay, LargeDemandBlocksSmallCapacity) {
+  // Set 0 demands 5 of a capacity-3 element: it can never complete;
+  // first-fit must skip it and grant set 1.
+  GeneralInstanceBuilder b;
+  b.add_set();
+  b.add_set();
+  b.add_element({{0, 5}, {1, 2}}, 3);
+  GeneralInstance inst = b.build();
+  GeneralFirstFit alg;
+  GeneralOutcome out = play_general(inst, alg);
+  EXPECT_EQ(out.completed, (std::vector<SetId>{1}));
+}
+
+TEST(GeneralPlay, SkippingFillsCapacity) {
+  // Priority order 0 (units 3), 1 (units 3), 2 (units 1); capacity 4:
+  // grants 0, skips 1 (doesn't fit), grants 2.
+  GeneralInstanceBuilder b;
+  b.add_set(3.0);
+  b.add_set(2.0);
+  b.add_set(1.0);
+  b.add_element({{0, 3}, {1, 3}, {2, 1}}, 4);
+  GeneralInstance inst = b.build();
+  GeneralGreedyWeight alg;
+  GeneralOutcome out = play_general(inst, alg);
+  EXPECT_EQ(out.completed, (std::vector<SetId>{0, 2}));
+}
+
+TEST(GeneralRandPrAlg, WinProbabilityProportionalToWeight) {
+  // Two sets, one shared element of capacity 1, weights 3 and 1:
+  // Lemma 1's two-set case carries over — set 0 wins 3/4 of runs.
+  GeneralInstanceBuilder b;
+  b.add_set(3.0);
+  b.add_set(1.0);
+  b.add_element({{0, 1}, {1, 1}}, 1);
+  GeneralInstance inst = b.build();
+  Rng master(1);
+  int wins = 0;
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    GeneralRandPr alg(master.split(t));
+    GeneralOutcome out = play_general(inst, alg);
+    if (!out.completed.empty() && out.completed[0] == 0) ++wins;
+  }
+  EXPECT_NEAR(static_cast<double>(wins) / trials, 0.75, 0.01);
+}
+
+TEST(GeneralFeasible, ChecksUnits) {
+  GeneralInstanceBuilder b;
+  b.add_set();
+  b.add_set();
+  b.add_element({{0, 2}, {1, 2}}, 3);
+  GeneralInstance inst = b.build();
+  EXPECT_TRUE(general_feasible(inst, {0}));
+  EXPECT_TRUE(general_feasible(inst, {1}));
+  EXPECT_FALSE(general_feasible(inst, {0, 1}));  // 4 > 3
+  EXPECT_FALSE(general_feasible(inst, {0, 0}));  // duplicate
+}
+
+TEST(GeneralExact, MatchesBruteForce) {
+  Rng master(2);
+  for (int trial = 0; trial < 15; ++trial) {
+    Rng gen = master.split(trial);
+    GeneralInstance inst = random_general(9, 10, 2, 4, 3, gen);
+    GeneralOfflineResult res = general_exact_optimum(inst);
+    ASSERT_TRUE(res.exact);
+    // Brute force over all subsets.
+    Weight best = 0;
+    for (std::uint64_t mask = 0; mask < (1ULL << inst.num_sets()); ++mask) {
+      std::vector<SetId> chosen;
+      for (std::size_t s = 0; s < inst.num_sets(); ++s)
+        if (mask & (1ULL << s)) chosen.push_back(static_cast<SetId>(s));
+      if (!general_feasible(inst, chosen)) continue;
+      Weight w = 0;
+      for (SetId s : chosen) w += inst.weight(s);
+      best = std::max(best, w);
+    }
+    EXPECT_NEAR(res.value, best, 1e-9);
+    EXPECT_TRUE(general_feasible(inst, res.chosen));
+  }
+}
+
+TEST(GeneralLp, UpperBoundsExact) {
+  Rng master(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng gen = master.split(trial);
+    GeneralInstance inst = random_general(10, 12, 3, 4, 3, gen);
+    GeneralOfflineResult res = general_exact_optimum(inst);
+    ASSERT_TRUE(res.exact);
+    EXPECT_GE(general_lp_upper_bound(inst) + 1e-6, res.value);
+  }
+}
+
+TEST(GeneralRandPrAlg, CompetitiveOnRandomFamilies) {
+  // Empirical analog of Corollary 6 in the general model: the ratio stays
+  // within kmax * sqrt(nu_max) on moderate random instances.
+  Rng master(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng gen = master.split(trial);
+    GeneralInstance inst = random_general(14, 14, 3, 5, 3, gen);
+    GeneralStats st = inst.stats();
+    GeneralOfflineResult opt = general_exact_optimum(inst);
+    ASSERT_TRUE(opt.exact);
+    if (opt.value <= 0) continue;
+
+    RunningStat alg;
+    for (int t = 0; t < 400; ++t) {
+      GeneralRandPr a(master.split(1000 + t));
+      alg.add(play_general(inst, a).benefit);
+    }
+    double bound = static_cast<double>(st.k_max) * std::sqrt(st.nu_max);
+    EXPECT_GE(alg.mean() + alg.ci95_halfwidth(), opt.value / bound);
+  }
+}
+
+TEST(GeneralPlay, EngineRejectsOverCapacityAlgorithms) {
+  class Cheater final : public GeneralAlgorithm {
+   public:
+    std::string name() const override { return "cheater"; }
+    void start(const std::vector<SetMeta>&) override {}
+    std::vector<SetId> on_element(ElementId,
+                                  const GeneralArrival& a) override {
+      std::vector<SetId> all;
+      for (const UnitDemand& d : a.demands) all.push_back(d.set);
+      return all;  // grants everyone, ignoring capacity
+    }
+  };
+  GeneralInstanceBuilder b;
+  b.add_set();
+  b.add_set();
+  b.add_element({{0, 2}, {1, 2}}, 3);
+  GeneralInstance inst = b.build();
+  Cheater cheat;
+  EXPECT_THROW(play_general(inst, cheat), RequireError);
+}
+
+}  // namespace
+}  // namespace osp

@@ -1,0 +1,132 @@
+// Tests for the hash families used by distributed randPr.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "hash/universal_hash.hpp"
+#include "stats/summary.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace osp {
+namespace {
+
+double uniform_cdf(double x, double) {
+  if (x < 0) return 0;
+  if (x > 1) return 1;
+  return x;
+}
+
+TEST(HashToUnit, RangeAndResolution) {
+  EXPECT_DOUBLE_EQ(hash_to_unit(0), 0.0);
+  EXPECT_LT(hash_to_unit(~0ULL), 1.0);
+  EXPECT_GT(hash_to_unit(~0ULL), 0.999999);
+}
+
+TEST(MultiplyShift, Deterministic) {
+  Rng r1(1), r2(1);
+  MultiplyShiftHash h1(r1), h2(r2);
+  for (std::uint64_t k = 0; k < 100; ++k)
+    EXPECT_EQ(h1.hash(k), h2.hash(k));
+}
+
+TEST(MultiplyShift, UnitUniformity) {
+  Rng rng(2);
+  MultiplyShiftHash h(rng);
+  std::vector<double> xs;
+  for (std::uint64_t k = 0; k < 20000; ++k) xs.push_back(h.unit(k));
+  EXPECT_LT(ks_distance(std::move(xs), uniform_cdf, 0), 0.03);
+}
+
+TEST(Polynomial, IndependenceDegreeRespected) {
+  Rng rng(3);
+  PolynomialHash h(5, rng);
+  EXPECT_EQ(h.independence(), 5u);
+  EXPECT_THROW(PolynomialHash(1, rng), RequireError);
+}
+
+TEST(Polynomial, OutputBelowPrime) {
+  Rng rng(4);
+  PolynomialHash h(3, rng);
+  for (std::uint64_t k = 0; k < 10000; ++k)
+    EXPECT_LT(h.hash(k), PolynomialHash::kPrime);
+}
+
+TEST(Polynomial, UnitUniformity) {
+  Rng rng(5);
+  PolynomialHash h(4, rng);
+  std::vector<double> xs;
+  for (std::uint64_t k = 0; k < 20000; ++k) xs.push_back(h.unit(k));
+  EXPECT_LT(ks_distance(std::move(xs), uniform_cdf, 0), 0.03);
+}
+
+TEST(Polynomial, PairwiseCollisionRate) {
+  // For a k-independent family the collision probability of two keys when
+  // bucketed into B bins is ~1/B.
+  Rng rng(6);
+  PolynomialHash h(2, rng);
+  const std::uint64_t bins = 1024;
+  std::size_t collisions = 0;
+  const std::size_t pairs = 20000;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    std::uint64_t a = 2 * i, b = 2 * i + 1;
+    if (h.hash(a) % bins == h.hash(b) % bins) ++collisions;
+  }
+  double rate = static_cast<double>(collisions) / pairs;
+  EXPECT_LT(rate, 3.0 / bins + 0.003);
+}
+
+TEST(Polynomial, DifferentSeedsDisagree) {
+  Rng r1(7), r2(8);
+  PolynomialHash h1(3, r1), h2(3, r2);
+  std::size_t same = 0;
+  for (std::uint64_t k = 0; k < 1000; ++k)
+    if (h1.hash(k) == h2.hash(k)) ++same;
+  EXPECT_LT(same, 5u);
+}
+
+TEST(Tabulation, Deterministic) {
+  Rng r1(9), r2(9);
+  TabulationHash h1(r1), h2(r2);
+  for (std::uint64_t k = 0; k < 100; ++k)
+    EXPECT_EQ(h1.hash(k ^ 0xdeadbeefULL), h2.hash(k ^ 0xdeadbeefULL));
+}
+
+TEST(Tabulation, UnitUniformity) {
+  Rng rng(10);
+  TabulationHash h(rng);
+  std::vector<double> xs;
+  for (std::uint64_t k = 0; k < 20000; ++k) xs.push_back(h.unit(k));
+  EXPECT_LT(ks_distance(std::move(xs), uniform_cdf, 0), 0.03);
+}
+
+TEST(Tabulation, AvalancheOnLowBits) {
+  // Flipping one input bit should flip about half the output bits.
+  Rng rng(11);
+  TabulationHash h(rng);
+  double total_flips = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    std::uint64_t k = rng();
+    std::uint64_t d = h.hash(k) ^ h.hash(k ^ 1ULL);
+    total_flips += __builtin_popcountll(d);
+  }
+  EXPECT_NEAR(total_flips / trials, 32.0, 3.0);
+}
+
+TEST(AllFamilies, FewDuplicateUnitValues) {
+  Rng rng(12);
+  PolynomialHash poly(3, rng);
+  TabulationHash tab(rng);
+  std::set<double> sp, st;
+  for (std::uint64_t k = 0; k < 5000; ++k) {
+    sp.insert(poly.unit(k));
+    st.insert(tab.unit(k));
+  }
+  EXPECT_GT(sp.size(), 4995u);
+  EXPECT_GT(st.size(), 4995u);
+}
+
+}  // namespace
+}  // namespace osp

@@ -1,0 +1,224 @@
+// Tests for the network simulators: conservation laws, equivalence of the
+// unbuffered router with the osp game (the paper's reduction), buffered
+// behaviour, and the distributed pipeline.
+#include <gtest/gtest.h>
+
+#include "algos/baselines.hpp"
+#include "core/game.hpp"
+#include "core/rand_pr.hpp"
+#include "gen/traffic.hpp"
+#include "gen/video.hpp"
+#include "net/pipeline.hpp"
+#include "net/router_sim.hpp"
+#include "util/rng.hpp"
+
+namespace osp {
+namespace {
+
+FrameSchedule sample_schedule(std::uint64_t seed, std::size_t frames = 60,
+                              std::size_t k = 3) {
+  Rng rng(seed);
+  PoissonBursts bursts(2.5);
+  return bursty_schedule(bursts, frames, k, rng);
+}
+
+TEST(Router, PacketConservation) {
+  FrameSchedule sched = sample_schedule(1);
+  GreedyFirst alg;
+  RouterStats st = simulate_router(sched, alg, 1);
+  EXPECT_EQ(st.packets_arrived, sched.total_packets());
+  EXPECT_EQ(st.packets_served + st.packets_dropped, st.packets_arrived);
+  EXPECT_EQ(st.frames_total, sched.frames.size());
+  EXPECT_LE(st.frames_delivered, st.frames_total);
+  EXPECT_LE(st.value_delivered, st.value_total + 1e-9);
+}
+
+TEST(Router, EquivalentToOspGame) {
+  // The unbuffered router IS the osp game under the paper's reduction:
+  // same algorithm seed => identical benefit, frame for frame.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    FrameSchedule sched = sample_schedule(100 + seed);
+    RandPr router_alg{Rng(seed)};
+    RandPr game_alg{Rng(seed)};
+    RouterStats rs = simulate_router(sched, router_alg, 1);
+    Outcome go = play(sched.to_instance(1), game_alg);
+    EXPECT_DOUBLE_EQ(rs.value_delivered, go.benefit) << "seed " << seed;
+    EXPECT_EQ(rs.frames_delivered, go.completed.size());
+  }
+}
+
+TEST(Router, EquivalenceHoldsWithHigherServiceRate) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    FrameSchedule sched = sample_schedule(200 + seed, 80, 4);
+    RandPr router_alg{Rng(seed)};
+    RandPr game_alg{Rng(seed)};
+    RouterStats rs = simulate_router(sched, router_alg, 2);
+    Outcome go = play(sched.to_instance(2), game_alg);
+    EXPECT_DOUBLE_EQ(rs.value_delivered, go.benefit);
+  }
+}
+
+TEST(Router, AmpleCapacityDeliversEverything) {
+  FrameSchedule sched = sample_schedule(3, 30, 2);
+  Capacity ample = static_cast<Capacity>(sched.max_burst());
+  GreedyFirst alg;
+  RouterStats st = simulate_router(sched, alg, ample);
+  EXPECT_EQ(st.frames_delivered, st.frames_total);
+  EXPECT_EQ(st.packets_dropped, 0u);
+}
+
+TEST(Rankers, StartAndRank) {
+  std::vector<SetMeta> frames{{4.0, 2}, {1.0, 2}};
+  WeightRanker wr;
+  wr.start(frames);
+  EXPECT_GT(wr.rank(0), wr.rank(1));
+
+  RandPrRanker rp{Rng(1)};
+  rp.start(frames);
+  EXPECT_NE(rp.rank(0), rp.rank(1));
+
+  FifoRanker fifo;
+  fifo.start(frames);
+  EXPECT_DOUBLE_EQ(fifo.rank(0), fifo.rank(1));
+}
+
+TEST(BufferedRouter, ZeroBufferStillConserves) {
+  FrameSchedule sched = sample_schedule(4);
+  FifoRanker fifo;
+  RouterStats st =
+      simulate_buffered_router(sched, fifo, {.service_rate = 1,
+                                             .buffer_size = 0,
+                                             .drop_dead_frames = false});
+  EXPECT_EQ(st.packets_served + st.packets_dropped, st.packets_arrived);
+}
+
+TEST(BufferedRouter, BufferImprovesFifoGoodput) {
+  // Statistically, a buffer can only help drop-tail.
+  Rng master(5);
+  double no_buf = 0, with_buf = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    FrameSchedule sched = sample_schedule(500 + t);
+    FifoRanker f1, f2;
+    no_buf += simulate_buffered_router(
+                  sched, f1, {.service_rate = 1, .buffer_size = 0,
+                              .drop_dead_frames = false})
+                  .goodput();
+    with_buf += simulate_buffered_router(
+                    sched, f2, {.service_rate = 1, .buffer_size = 8,
+                                .drop_dead_frames = false})
+                    .goodput();
+  }
+  EXPECT_GE(with_buf, no_buf);
+}
+
+TEST(BufferedRouter, DropDeadFramesHelps) {
+  Rng master(6);
+  double keep_dead = 0, drop_dead = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    FrameSchedule sched = sample_schedule(700 + t, 80, 4);
+    RandPrRanker r1{master.split(t)}, r2{master.split(t)};
+    keep_dead += simulate_buffered_router(
+                     sched, r1, {.service_rate = 1, .buffer_size = 4,
+                                 .drop_dead_frames = false})
+                     .goodput();
+    drop_dead += simulate_buffered_router(
+                     sched, r2, {.service_rate = 1, .buffer_size = 4,
+                                 .drop_dead_frames = true})
+                     .goodput();
+  }
+  EXPECT_GE(drop_dead, keep_dead);
+}
+
+TEST(BufferedRouter, UnfinishedQueueCountsAsDropped) {
+  FrameSchedule sched;
+  sched.frames.push_back({1.0, {0}});
+  sched.frames.push_back({1.0, {0}});
+  sched.frames.push_back({1.0, {0}});
+  sched.horizon = 1;  // only one service opportunity
+  FifoRanker fifo;
+  RouterStats st = simulate_buffered_router(
+      sched, fifo,
+      {.service_rate = 1, .buffer_size = 10, .drop_dead_frames = false});
+  EXPECT_EQ(st.packets_served, 1u);
+  EXPECT_EQ(st.packets_dropped, 2u);
+  EXPECT_EQ(st.frames_delivered, 1u);
+}
+
+TEST(Pipeline, ConservationAndBounds) {
+  Rng rng(7);
+  MultiHopParams params;
+  params.num_switches = 4;
+  params.num_packets = 50;
+  params.horizon = 25;
+  params.min_route = 2;
+  params.max_route = 4;
+  MultiHopWorkload w = make_multihop_workload(params, rng);
+  PipelineStats st = simulate_pipeline(
+      w, params.num_switches,
+      [](std::size_t) { return std::make_unique<GreedyFirst>(); });
+  EXPECT_EQ(st.packets_total, 50u);
+  EXPECT_LE(st.packets_delivered, st.packets_total);
+  EXPECT_LE(st.value_delivered, st.value_total + 1e-9);
+  EXPECT_GE(st.delivery_rate(), 0.0);
+}
+
+TEST(Pipeline, NoContentionDeliversAll) {
+  // One packet: nothing to contend with; it must arrive.
+  Rng rng(8);
+  MultiHopParams params;
+  params.num_packets = 1;
+  params.num_switches = 4;
+  params.min_route = params.max_route = 4;
+  MultiHopWorkload w = make_multihop_workload(params, rng);
+  PipelineStats st = simulate_pipeline(
+      w, params.num_switches,
+      [](std::size_t) { return std::make_unique<GreedyFirst>(); });
+  EXPECT_EQ(st.packets_delivered, 1u);
+}
+
+TEST(Pipeline, SharedHashBeatsIndependentRandomness) {
+  // The paper's Section 3.1 point: one shared hash function gives every
+  // switch consistent priorities; independent randomness at each switch
+  // wastes capacity on packets that later lose anyway.
+  //
+  // Routes must be SHORT relative to the path: packets advance in
+  // lockstep, so contention groups live on time-diagonals, and if every
+  // route covers one common hop then exactly one packet per diagonal
+  // survives it no matter what the policy does — delivery becomes
+  // policy-invariant.  Short staggered routes avoid that degeneracy.
+  Rng master(9);
+  double shared_total = 0, indep_total = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    Rng wl_rng = master.split(t);
+    MultiHopParams params;
+    params.num_switches = 8;
+    params.num_packets = 150;
+    params.horizon = 18;
+    params.min_route = 2;
+    params.max_route = 4;
+    MultiHopWorkload w = make_multihop_workload(params, wl_rng);
+
+    Rng hash_rng = master.split(1000 + t);
+    auto h = std::make_shared<PolynomialHash>(8, hash_rng);
+    PipelineStats shared = simulate_pipeline(
+        w, params.num_switches, [&](std::size_t) {
+          return std::make_unique<HashedRandPr>(
+              [h](std::uint64_t key) { return h->unit(key); }, "shared");
+        });
+
+    Rng indep_rng = master.split(2000 + t);
+    PipelineStats indep = simulate_pipeline(
+        w, params.num_switches, [&](std::size_t s) {
+          return std::make_unique<RandPr>(indep_rng.split(s));
+        });
+    shared_total += static_cast<double>(shared.packets_delivered);
+    indep_total += static_cast<double>(indep.packets_delivered);
+  }
+  EXPECT_GT(shared_total, indep_total);
+}
+
+}  // namespace
+}  // namespace osp

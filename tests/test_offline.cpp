@@ -1,0 +1,169 @@
+// Tests for the offline solvers: exact B&B against brute force, greedy
+// feasibility and approximation, LP upper bound sandwiching.
+#include <gtest/gtest.h>
+
+#include "algos/offline.hpp"
+#include "gen/random_instances.hpp"
+#include "util/rng.hpp"
+
+namespace osp {
+namespace {
+
+// Brute force over all 2^m subsets.
+Weight brute_force(const Instance& inst) {
+  const std::size_t m = inst.num_sets();
+  Weight best = 0;
+  for (std::uint64_t mask = 0; mask < (1ULL << m); ++mask) {
+    std::vector<SetId> chosen;
+    for (std::size_t s = 0; s < m; ++s)
+      if (mask & (1ULL << s)) chosen.push_back(static_cast<SetId>(s));
+    if (!is_feasible(inst, chosen)) continue;
+    Weight w = 0;
+    for (SetId s : chosen) w += inst.weight(s);
+    best = std::max(best, w);
+  }
+  return best;
+}
+
+TEST(IsFeasible, DetectsCapacityViolation) {
+  InstanceBuilder b;
+  b.add_sets(3);
+  b.add_element({0, 1, 2}, 2);
+  Instance inst = b.build();
+  EXPECT_TRUE(is_feasible(inst, {0, 1}));
+  EXPECT_FALSE(is_feasible(inst, {0, 1, 2}));
+  EXPECT_TRUE(is_feasible(inst, {}));
+}
+
+TEST(IsFeasible, DetectsDuplicatesAndBadIds) {
+  InstanceBuilder b;
+  b.add_sets(2);
+  b.add_element({0, 1}, 2);
+  Instance inst = b.build();
+  EXPECT_FALSE(is_feasible(inst, {0, 0}));
+  EXPECT_FALSE(is_feasible(inst, {7}));
+}
+
+TEST(ExactOptimum, TinyByHand) {
+  // S0={e0} w=1, S1={e0} w=2: they conflict, opt takes S1.
+  InstanceBuilder b;
+  b.add_set(1.0);
+  b.add_set(2.0);
+  b.add_element({0, 1});
+  Instance inst = b.build();
+  OfflineResult r = exact_optimum(inst);
+  EXPECT_TRUE(r.exact);
+  EXPECT_DOUBLE_EQ(r.value, 2.0);
+  EXPECT_EQ(r.chosen, (std::vector<SetId>{1}));
+}
+
+TEST(ExactOptimum, DisjointSetsAllTaken) {
+  InstanceBuilder b;
+  b.add_sets(4);
+  for (SetId s = 0; s < 4; ++s) b.add_element({s});
+  Instance inst = b.build();
+  OfflineResult r = exact_optimum(inst);
+  EXPECT_DOUBLE_EQ(r.value, 4.0);
+  EXPECT_EQ(r.chosen.size(), 4u);
+}
+
+TEST(ExactOptimum, MatchesBruteForceRandomSweep) {
+  Rng master(21);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::size_t m = 4 + trial % 9;  // 4..12 sets
+    Rng gen = master.split(trial);
+    Instance inst = random_instance(
+        m, 3 * m / 2 + 2, 2 + trial % 3,
+        trial % 2 ? WeightModel::uniform(1, 9) : WeightModel::unit(), gen);
+    OfflineResult r = exact_optimum(inst);
+    ASSERT_TRUE(r.exact);
+    EXPECT_NEAR(r.value, brute_force(inst), 1e-9) << inst.describe();
+    EXPECT_TRUE(is_feasible(inst, r.chosen));
+  }
+}
+
+TEST(ExactOptimum, MatchesBruteForceWithCapacities) {
+  Rng master(22);
+  for (int trial = 0; trial < 15; ++trial) {
+    Rng gen = master.split(trial);
+    Instance inst = random_capacity_instance(
+        8, 10, 3, 3, WeightModel::uniform(1, 5), gen);
+    OfflineResult r = exact_optimum(inst);
+    ASSERT_TRUE(r.exact);
+    EXPECT_NEAR(r.value, brute_force(inst), 1e-9);
+  }
+}
+
+TEST(ExactOptimum, NodeLimitTruncates) {
+  Rng gen(23);
+  Instance inst = random_instance(30, 45, 3, WeightModel::unit(), gen);
+  OfflineResult r = exact_optimum(inst, /*node_limit=*/10);
+  EXPECT_FALSE(r.exact);
+  // Still returns a feasible solution (at least the greedy seed).
+  EXPECT_TRUE(is_feasible(inst, r.chosen));
+  EXPECT_GT(r.value, 0.0);
+}
+
+TEST(GreedyOffline, FeasibleAndWithinK) {
+  // Greedy is a k-approximation for unweighted instances with set size k.
+  Rng master(24);
+  for (int trial = 0; trial < 20; ++trial) {
+    Rng gen = master.split(trial);
+    std::size_t k = 2 + trial % 3;
+    Instance inst = random_instance(12, 18, k, WeightModel::unit(), gen);
+    OfflineResult g = greedy_offline(inst);
+    OfflineResult opt = exact_optimum(inst);
+    EXPECT_TRUE(is_feasible(inst, g.chosen));
+    EXPECT_LE(g.value, opt.value + 1e-9);
+    EXPECT_GE(g.value * static_cast<double>(k) + 1e-9, opt.value)
+        << inst.describe();
+  }
+}
+
+TEST(GreedyOffline, TakesHeaviestFirst) {
+  InstanceBuilder b;
+  b.add_set(1.0);
+  b.add_set(10.0);
+  b.add_element({0, 1});
+  Instance inst = b.build();
+  OfflineResult g = greedy_offline(inst);
+  EXPECT_EQ(g.chosen, (std::vector<SetId>{1}));
+}
+
+TEST(LpUpperBound, SandwichesOptimum) {
+  Rng master(25);
+  for (int trial = 0; trial < 15; ++trial) {
+    Rng gen = master.split(trial);
+    Instance inst = random_instance(
+        10, 15, 2 + trial % 3,
+        trial % 2 ? WeightModel::uniform(1, 7) : WeightModel::unit(), gen);
+    OfflineResult opt = exact_optimum(inst);
+    double lp = lp_upper_bound(inst);
+    EXPECT_GE(lp + 1e-7, opt.value) << inst.describe();
+    // The LP of a packing IP is at most m * max weight, sanity cap.
+    EXPECT_LE(lp, inst.stats().total_weight + 1e-7);
+  }
+}
+
+TEST(LpUpperBound, TightOnDisjointInstance) {
+  InstanceBuilder b;
+  b.add_sets(3, 2.0);
+  for (SetId s = 0; s < 3; ++s) b.add_element({s});
+  Instance inst = b.build();
+  EXPECT_NEAR(lp_upper_bound(inst), 6.0, 1e-7);
+}
+
+TEST(LpUpperBound, HalfIntegralOnOddCycle) {
+  // Triangle conflict: LP gives 1.5, IP gives 1.
+  InstanceBuilder b;
+  b.add_sets(3);
+  b.add_element({0, 1});
+  b.add_element({1, 2});
+  b.add_element({0, 2});
+  Instance inst = b.build();
+  EXPECT_NEAR(lp_upper_bound(inst), 1.5, 1e-7);
+  EXPECT_NEAR(exact_optimum(inst).value, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace osp

@@ -1,0 +1,124 @@
+// Tests for the R_w priority distribution (Section 3.1): CDF correctness,
+// log-space key ordering, and the basic win-probability identity that
+// Lemma 1 generalizes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/priority.hpp"
+#include "stats/summary.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace osp {
+namespace {
+
+TEST(RwCdf, Endpoints) {
+  EXPECT_DOUBLE_EQ(rw_cdf(-0.5, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(rw_cdf(0.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(rw_cdf(1.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(rw_cdf(2.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(rw_cdf(0.5, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(rw_cdf(0.5, 2.0), 0.25);
+}
+
+TEST(SampleRw, RequiresPositiveWeight) {
+  Rng rng(1);
+  EXPECT_THROW(sample_rw(0.0, rng), RequireError);
+  EXPECT_THROW(sample_rw(-1.0, rng), RequireError);
+}
+
+// Property sweep: for each weight w, samples must pass a KS test against
+// the CDF x^w, and the sample mean must match E[X] = w/(w+1).
+class RwDistribution : public ::testing::TestWithParam<double> {};
+
+TEST_P(RwDistribution, KsAgainstCdf) {
+  const double w = GetParam();
+  Rng rng(static_cast<std::uint64_t>(w * 1000) + 17);
+  std::vector<double> xs;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) xs.push_back(sample_rw(w, rng));
+  EXPECT_LT(ks_distance(std::move(xs), rw_cdf, w), 0.02) << "w=" << w;
+}
+
+TEST_P(RwDistribution, MeanMatches) {
+  const double w = GetParam();
+  Rng rng(static_cast<std::uint64_t>(w * 977) + 3);
+  RunningStat s;
+  for (int i = 0; i < 50000; ++i) s.add(sample_rw(w, rng));
+  EXPECT_NEAR(s.mean(), w / (w + 1.0), 0.01) << "w=" << w;
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, RwDistribution,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 3.0, 5.0,
+                                           10.0, 50.0));
+
+TEST(RwKey, OrderMatchesRawSamples) {
+  // Drawing keys from the same uniforms as raw samples must preserve
+  // order for any weights.
+  Rng rng(42);
+  for (int trial = 0; trial < 2000; ++trial) {
+    double u1 = rng.uniform_open(), u2 = rng.uniform_open();
+    double w1 = 0.1 + rng.uniform() * 20, w2 = 0.1 + rng.uniform() * 20;
+    double raw1 = std::pow(u1, 1.0 / w1), raw2 = std::pow(u2, 1.0 / w2);
+    PriorityKey k1 = rw_key_from_uniform(u1, w1, 0);
+    PriorityKey k2 = rw_key_from_uniform(u2, w2, 1);
+    if (std::abs(raw1 - raw2) < 1e-12) continue;  // too close to compare
+    EXPECT_EQ(raw1 < raw2, k1 < k2) << "u1=" << u1 << " w1=" << w1;
+  }
+}
+
+TEST(RwKey, StableForHugeWeights) {
+  // Raw samples saturate to 1.0 at large w; keys must keep resolving.
+  Rng rng(7);
+  PriorityKey a = rw_key_from_uniform(0.5, 1e9, 0);
+  PriorityKey b = rw_key_from_uniform(0.4, 1e9, 1);
+  EXPECT_TRUE(b < a);
+  EXPECT_TRUE(std::isfinite(a.key));
+  EXPECT_NE(a.key, b.key);
+}
+
+TEST(RwKey, TieBreakByTieField) {
+  PriorityKey a{-1.0, 0}, b{-1.0, 1};
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(RwKey, RejectsBoundaryUniform) {
+  EXPECT_THROW(rw_key_from_uniform(0.0, 1.0, 0), RequireError);
+  EXPECT_THROW(rw_key_from_uniform(1.0, 1.0, 0), RequireError);
+}
+
+TEST(RwWinProbability, ProportionalToWeight) {
+  // Core of Lemma 1 for two sets: Pr[r(S1) > r(S2)] = w1/(w1+w2).
+  Rng rng(19);
+  for (auto [w1, w2] : {std::pair{1.0, 1.0}, {2.0, 1.0}, {5.0, 3.0},
+                        {10.0, 1.0}, {0.5, 2.0}}) {
+    int wins = 0;
+    const int trials = 40000;
+    for (int i = 0; i < trials; ++i)
+      if (sample_rw_key(w2, rng) < sample_rw_key(w1, rng)) ++wins;
+    EXPECT_NEAR(static_cast<double>(wins) / trials, w1 / (w1 + w2), 0.01)
+        << "w1=" << w1 << " w2=" << w2;
+  }
+}
+
+TEST(RwWinProbability, MaxOfUniformIdentity) {
+  // R_n equals the max of n uniforms: the winner among one R_3 draw and
+  // three R_1 draws is the R_3 set half the time.
+  Rng rng(23);
+  int wins = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    PriorityKey big = sample_rw_key(3.0, rng);
+    PriorityKey best{-1e300, 0};
+    for (int j = 0; j < 3; ++j) best = std::max(best, sample_rw_key(1.0, rng));
+    if (best < big) ++wins;
+  }
+  EXPECT_NEAR(static_cast<double>(wins) / trials, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace osp

@@ -1,0 +1,315 @@
+// Tests for randPr: Lemma 1 (survival probability = w(S)/w(N[S])),
+// the Theorem 1 / Corollary 6 guarantees as statistical properties over
+// random instance families, and the hashed (distributed) variant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algos/offline.hpp"
+#include "core/bounds.hpp"
+#include "core/game.hpp"
+#include "core/rand_pr.hpp"
+#include "gen/random_instances.hpp"
+#include "stats/summary.hpp"
+#include "util/rng.hpp"
+
+namespace osp {
+namespace {
+
+// The paper's Lemma 1 example system: S0 overlapping S1 and S2.
+//   S0 = {e0, e1}, S1 = {e0}, S2 = {e1}; weights w0, w1, w2.
+Instance chain(double w0, double w1, double w2) {
+  InstanceBuilder b;
+  b.add_set(w0);
+  b.add_set(w1);
+  b.add_set(w2);
+  b.add_element({0, 1});
+  b.add_element({0, 2});
+  return b.build();
+}
+
+double empirical_survival(const Instance& inst, SetId s, int trials,
+                          std::uint64_t seed) {
+  Rng master(seed);
+  int wins = 0;
+  for (int t = 0; t < trials; ++t) {
+    RandPr alg(master.split(t));
+    if (play(inst, alg).completed_mask[s]) ++wins;
+  }
+  return static_cast<double>(wins) / trials;
+}
+
+TEST(Lemma1, UnweightedChain) {
+  // w(N[S0]) = 3, so Pr[S0 completes] = 1/3.
+  Instance inst = chain(1, 1, 1);
+  EXPECT_NEAR(empirical_survival(inst, 0, 30000, 1), 1.0 / 3.0, 0.01);
+}
+
+TEST(Lemma1, WeightedChain) {
+  // Pr[S0] = w0 / (w0 + w1 + w2) = 2 / 7.
+  Instance inst = chain(2, 4, 1);
+  EXPECT_NEAR(empirical_survival(inst, 0, 30000, 2), 2.0 / 7.0, 0.01);
+}
+
+TEST(Lemma1, LeafSets) {
+  // S1 competes only with S0: Pr[S1] = w1/(w0+w1) = 4/6.
+  Instance inst = chain(2, 4, 1);
+  EXPECT_NEAR(empirical_survival(inst, 1, 30000, 3), 4.0 / 6.0, 0.01);
+}
+
+TEST(Lemma1, CliqueOfThree) {
+  // Three sets sharing one element: survival 1/3 each (unweighted).
+  InstanceBuilder b;
+  b.add_sets(3);
+  b.add_element({0, 1, 2});
+  Instance inst = b.build();
+  for (SetId s = 0; s < 3; ++s)
+    EXPECT_NEAR(empirical_survival(inst, s, 20000, 10 + s), 1.0 / 3.0, 0.012);
+}
+
+TEST(Lemma1, RepeatIntersectionsAreNotWorse) {
+  // Lemma 10's monotonicity: meeting the SAME set twice is no worse than
+  // meeting fresh sets.  S0={e0,e1}, S1={e0,e1} (twice) vs split rivals.
+  InstanceBuilder b;
+  b.add_sets(2);
+  b.add_element({0, 1});
+  b.add_element({0, 1});
+  Instance twice = b.build();
+  // Repeat rival: Pr[S0] = 1/2 (one comparison decides both elements) —
+  // better than the 1/3 the Lemma 1 formula would give for fresh rivals.
+  EXPECT_NEAR(empirical_survival(twice, 0, 30000, 4), 0.5, 0.01);
+}
+
+TEST(RandPr, DeterministicGivenSeed) {
+  Rng gen(5);
+  Instance inst = random_instance(20, 40, 3, WeightModel::unit(), gen);
+  RandPr a{Rng(123)}, b{Rng(123)};
+  EXPECT_EQ(play(inst, a).completed, play(inst, b).completed);
+}
+
+TEST(RandPr, NameReflectsOptions) {
+  EXPECT_EQ(RandPr(Rng(1)).name(), "randPr");
+  EXPECT_EQ(RandPr(Rng(1), {.filter_dead = true}).name(), "randPr/filt");
+  EXPECT_EQ(RandPr(Rng(1), {.ignore_weights = true}).name(), "randPr/unif");
+}
+
+// Property sweep: on random families, E[w(alg)] >= opt / (kmax sqrt(smax))
+// (Corollary 6) and >= opt / theorem1_bound.  We run enough trials that a
+// violation by more than statistical noise would fail.
+struct FamilyParam {
+  std::size_t m, n, k;
+  bool weighted;
+};
+
+class Guarantee : public ::testing::TestWithParam<FamilyParam> {};
+
+TEST_P(Guarantee, Corollary6AndTheorem1) {
+  const auto& p = GetParam();
+  Rng master(p.m * 1000 + p.n * 10 + p.k);
+  WeightModel wm =
+      p.weighted ? WeightModel::uniform(1, 8) : WeightModel::unit();
+  Instance inst = random_instance(p.m, p.n, p.k, wm, master);
+  InstanceStats st = inst.stats();
+  OfflineResult opt = exact_optimum(inst);
+  ASSERT_TRUE(opt.exact);
+  ASSERT_GT(opt.value, 0.0);
+
+  RunningStat benefit;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    RandPr alg(master.split(t));
+    benefit.add(play(inst, alg).benefit);
+  }
+  double guarantee_c6 = opt.value / corollary6_bound(st);
+  double guarantee_t1 = opt.value / theorem1_bound(st);
+  // Allow the 95% CI below the mean as statistical slack.
+  double floor = benefit.mean() + benefit.ci95_halfwidth();
+  EXPECT_GE(floor, guarantee_c6) << inst.describe();
+  EXPECT_GE(floor, guarantee_t1) << inst.describe();
+  // Theorem 1 is at least as sharp as Corollary 6.
+  EXPECT_LE(theorem1_bound(st), corollary6_bound(st) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomFamilies, Guarantee,
+    ::testing::Values(FamilyParam{10, 20, 2, false},
+                      FamilyParam{15, 20, 3, false},
+                      FamilyParam{20, 30, 4, false},
+                      FamilyParam{12, 15, 3, true},
+                      FamilyParam{18, 40, 2, true},
+                      FamilyParam{25, 25, 3, false}));
+
+TEST(RandPr, VariableCapacityGuarantee) {
+  // Theorem 4: ratio <= 16e·kmax·sqrt(avg(νσ$)/avg(σ$)).
+  Rng master(77);
+  Instance inst =
+      random_capacity_instance(18, 24, 3, 3, WeightModel::unit(), master);
+  InstanceStats st = inst.stats();
+  OfflineResult opt = exact_optimum(inst);
+  ASSERT_TRUE(opt.exact);
+
+  RunningStat benefit;
+  for (int t = 0; t < 400; ++t) {
+    RandPr alg(master.split(t));
+    benefit.add(play(inst, alg).benefit);
+  }
+  double floor = benefit.mean() + benefit.ci95_halfwidth();
+  EXPECT_GE(floor, opt.value / theorem4_bound(st));
+}
+
+TEST(HashedRandPr, MatchesLemma1Approximately) {
+  // With a fresh polynomial hash per trial, survival probabilities match
+  // the true-random analysis.
+  Instance inst = chain(1, 1, 1);
+  Rng master(31);
+  int wins = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    Rng r = master.split(t);
+    auto alg = HashedRandPr::with_polynomial(8, r);
+    if (play(inst, *alg).completed_mask[0]) ++wins;
+  }
+  EXPECT_NEAR(static_cast<double>(wins) / trials, 1.0 / 3.0, 0.015);
+}
+
+TEST(HashedRandPr, ConsistentAcrossRuns) {
+  // The same hash function gives the same decisions — the property that
+  // makes the distributed deployment work.
+  Rng r(11);
+  auto h = std::make_shared<PolynomialHash>(4, r);
+  auto make = [&] {
+    return HashedRandPr(
+        [h](std::uint64_t k) { return h->unit(k); }, "shared");
+  };
+  Rng gen(12);
+  Instance inst = random_instance(30, 40, 3, WeightModel::unit(), gen);
+  auto a1 = make(), a2 = make();
+  EXPECT_EQ(play(inst, a1).completed, play(inst, a2).completed);
+}
+
+TEST(HashedRandPr, FamiliesAllRun) {
+  Rng gen(13);
+  Instance inst = random_instance(25, 30, 3, WeightModel::uniform(1, 5), gen);
+  Rng r(14);
+  auto poly = HashedRandPr::with_polynomial(6, r);
+  auto tab = HashedRandPr::with_tabulation(r);
+  auto ms = HashedRandPr::with_multiply_shift(r);
+  EXPECT_NO_THROW(play(inst, *poly));
+  EXPECT_NO_THROW(play(inst, *tab));
+  EXPECT_NO_THROW(play(inst, *ms));
+  EXPECT_EQ(poly->name(), "hashPr/poly6");
+}
+
+TEST(RandPrOptions, FilterDeadNeverHurtsOnAverage) {
+  Rng master(99);
+  Instance inst = random_instance(30, 25, 3, WeightModel::unit(), master);
+  RunningStat plain, filtered;
+  for (int t = 0; t < 600; ++t) {
+    Rng seed = master.split(t);
+    Rng seed2 = seed;  // same priorities for both variants
+    RandPr a(seed);
+    RandPr b(seed2, {.filter_dead = true});
+    plain.add(play(inst, a).benefit);
+    filtered.add(play(inst, b).benefit);
+  }
+  EXPECT_GE(filtered.mean() + filtered.ci95_halfwidth() +
+                plain.ci95_halfwidth(),
+            plain.mean());
+}
+
+TEST(HashedRandPr, FilterDeadOptionWorks) {
+  // The hashed variant honours the same filtering knob as RandPr.
+  Rng gen(41);
+  Instance inst = random_instance(24, 20, 3, WeightModel::unit(), gen);
+  Rng hr(42);
+  auto h = std::make_shared<PolynomialHash>(6, hr);
+  HashedRandPr plain([h](std::uint64_t k) { return h->unit(k); }, "plain");
+  HashedRandPr filt([h](std::uint64_t k) { return h->unit(k); }, "filt",
+                    RandPrOptions{.filter_dead = true});
+  Weight p = play(inst, plain).benefit;
+  Weight f = play(inst, filt).benefit;
+  // Same hash => same priorities; filtering can only help.
+  EXPECT_GE(f, p);
+}
+
+TEST(RandPrOptions, AllowedMissesRelaxesFilter) {
+  // With a miss budget the filter keeps serving a once-missed set.
+  InstanceBuilder b;
+  b.add_sets(2);
+  b.add_element({0, 1});  // one of the two misses here
+  b.add_element({0, 1});  // strict filter ignores the loser here...
+  Instance inst = b.build();
+  Rng seed(5);
+  RandPr strict(seed, {.filter_dead = true, .allowed_misses = 0});
+  Outcome out = play(inst, strict);
+  // Strict: loser of element 0 is filtered at element 1, so exactly one
+  // set gets both elements and completes.
+  EXPECT_EQ(out.completed.size(), 1u);
+  EXPECT_EQ(out.decisions, 2u);
+
+  Rng seed2(5);
+  RandPr lax(seed2, {.filter_dead = true, .allowed_misses = 1});
+  Outcome out2 = play(inst, lax);
+  // Budget 1: the loser is still a candidate at element 1 but ranks
+  // below the winner (same priorities), so the outcome matches.
+  EXPECT_EQ(out2.completed, out.completed);
+}
+
+TEST(RandPrOptions, IgnoreWeightsHurtsOnWeightedInput) {
+  // On a strongly weighted instance, R_w priorities should beat uniform
+  // priorities (that is the whole point of the distribution).
+  InstanceBuilder b;
+  b.add_set(50.0);  // heavy set
+  for (int i = 0; i < 9; ++i) b.add_set(1.0);
+  // The heavy set collides with every light set once.
+  for (SetId s = 1; s < 10; ++s)
+    b.add_element({0, s});
+  Instance inst = b.build();
+
+  Rng master(123);
+  RunningStat with_w, without_w;
+  for (int t = 0; t < 4000; ++t) {
+    RandPr a(master.split(t));
+    RandPr u(master.split(t + 1'000'000), {.ignore_weights = true});
+    with_w.add(play(inst, a).benefit);
+    without_w.add(play(inst, u).benefit);
+  }
+  EXPECT_GT(with_w.mean(), without_w.mean() * 1.5);
+}
+
+TEST(RandPr, PrioritiesPersistAcrossElements) {
+  // The same set must win or lose consistently: if S beats S' at one
+  // element it beats S' at every element (fixed priorities).
+  Rng gen(55);
+  InstanceBuilder b;
+  b.add_sets(2);
+  for (int i = 0; i < 6; ++i) b.add_element({0, 1});
+  Instance inst = b.build();
+  for (int t = 0; t < 50; ++t) {
+    RandPr alg(gen.split(t));
+    Outcome out = play(inst, alg);
+    // Exactly one of the two sets completes — never zero.
+    EXPECT_EQ(out.completed.size(), 1u);
+  }
+}
+
+TEST(RandPr, FreshPrioritiesBreakConsistency) {
+  // Negative control: redrawing priorities per element almost never
+  // completes a set that shares all 6 elements with a rival.
+  Rng gen(56);
+  InstanceBuilder b;
+  b.add_sets(2);
+  for (int i = 0; i < 6; ++i) b.add_element({0, 1});
+  Instance inst = b.build();
+  int completions = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    RandPr alg(gen.split(t), {.fresh_priorities_per_element = true});
+    completions += static_cast<int>(play(inst, alg).completed.size());
+  }
+  // Pr[win all 6 coin flips] = 2 * (1/2)^6 ≈ 0.031 per trial.
+  EXPECT_LT(completions, trials / 10);
+}
+
+}  // namespace
+}  // namespace osp

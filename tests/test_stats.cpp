@@ -1,0 +1,163 @@
+// Unit tests for stats: RunningStat, SampleSet, KS distance, Table.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace osp {
+namespace {
+
+TEST(RunningStat, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, Basic) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, SingleObservation) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  Rng rng(3);
+  RunningStat whole, a, b;
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.uniform() * 10;
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStat, Ci95Shrinks) {
+  Rng rng(5);
+  RunningStat small, large;
+  for (int i = 0; i < 30; ++i) small.add(rng.uniform());
+  for (int i = 0; i < 3000; ++i) large.add(rng.uniform());
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(SampleSet, Quantiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-12);
+  EXPECT_NEAR(s.quantile(0.25), 25.75, 1e-12);
+}
+
+TEST(SampleSet, SingleSample) {
+  SampleSet s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.3), 7.0);
+  EXPECT_DOUBLE_EQ(s.median(), 7.0);
+}
+
+TEST(SampleSet, EmptyQuantileThrows) {
+  SampleSet s;
+  EXPECT_THROW(s.quantile(0.5), RequireError);
+}
+
+TEST(SampleSet, MeanStddev) {
+  SampleSet s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_NEAR(s.stddev(), 1.0, 1e-12);
+}
+
+double uniform_cdf(double x, double) {
+  if (x < 0) return 0;
+  if (x > 1) return 1;
+  return x;
+}
+
+TEST(KsDistance, UniformSamplesSmall) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.uniform());
+  // KS statistic for a correct distribution is ~ 1/sqrt(n).
+  EXPECT_LT(ks_distance(std::move(xs), uniform_cdf, 0.0), 0.02);
+}
+
+TEST(KsDistance, WrongDistributionLarge) {
+  Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.uniform() * rng.uniform());
+  // Product of uniforms is far from uniform.
+  EXPECT_GT(ks_distance(std::move(xs), uniform_cdf, 0.0), 0.1);
+}
+
+TEST(Table, AlignmentAndContent) {
+  Table t({"name", "value"});
+  t.row({"x", "1"});
+  t.row({"longer", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), RequireError);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), RequireError);
+}
+
+TEST(Fmt, TrimsTrailingZeros) {
+  EXPECT_EQ(fmt(1.5, 3), "1.5");
+  EXPECT_EQ(fmt(2.0, 3), "2");
+  EXPECT_EQ(fmt(0.125, 3), "0.125");
+  EXPECT_EQ(fmt(1.0 / 3.0, 4), "0.3333");
+}
+
+TEST(Fmt, Integers) {
+  EXPECT_EQ(fmt(42), "42");
+  EXPECT_EQ(fmt(std::size_t{7}), "7");
+  EXPECT_EQ(fmt(std::int64_t{-3}), "-3");
+}
+
+TEST(Fmt, Ratio) { EXPECT_EQ(fmt_ratio(2.5), "2.5x"); }
+
+}  // namespace
+}  // namespace osp

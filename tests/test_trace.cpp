@@ -1,0 +1,112 @@
+// Tests for trace-driven schedules.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "gen/trace.hpp"
+#include "gen/traffic.hpp"
+#include "gen/video.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace osp {
+namespace {
+
+bool same_schedule(const FrameSchedule& a, const FrameSchedule& b) {
+  if (a.frames.size() != b.frames.size()) return false;
+  for (std::size_t i = 0; i < a.frames.size(); ++i) {
+    if (a.frames[i].weight != b.frames[i].weight) return false;
+    if (a.frames[i].packet_slots != b.frames[i].packet_slots) return false;
+  }
+  return true;
+}
+
+TEST(Trace, RoundTripTiny) {
+  FrameSchedule sched;
+  sched.frames.push_back({2.5, {0, 3, 4}});
+  sched.frames.push_back({1.0, {1}});
+  sched.horizon = 5;
+  std::stringstream ss;
+  write_trace(ss, sched);
+  FrameSchedule back = read_trace(ss);
+  EXPECT_TRUE(same_schedule(sched, back));
+  EXPECT_EQ(back.horizon, 5u);
+}
+
+TEST(Trace, RoundTripVideoWorkload) {
+  Rng rng(1);
+  VideoParams params;
+  params.num_streams = 5;
+  params.frames_per_stream = 10;
+  VideoWorkload vw = make_video_workload(params, rng);
+  std::stringstream ss;
+  write_trace(ss, vw.schedule);
+  FrameSchedule back = read_trace(ss);
+  EXPECT_TRUE(same_schedule(vw.schedule, back));
+}
+
+TEST(Trace, RoundTripBurstySchedule) {
+  Rng rng(2);
+  PoissonBursts bursts(2.0);
+  FrameSchedule sched = bursty_schedule(bursts, 40, 3, rng);
+  std::stringstream ss;
+  write_trace(ss, sched);
+  EXPECT_TRUE(same_schedule(sched, read_trace(ss)));
+}
+
+TEST(Trace, HorizonInferredFromSlots) {
+  std::stringstream ss("osp-trace v1\nframes 1\n1.0 2 7\n");
+  FrameSchedule sched = read_trace(ss);
+  EXPECT_EQ(sched.horizon, 8u);
+}
+
+TEST(Trace, CommentsIgnored) {
+  std::stringstream ss(R"(# recorded at router X
+osp-trace v1
+frames 2
+4.0 0 1 2   # an I frame
+1.0 1       # a P frame
+)");
+  FrameSchedule sched = read_trace(ss);
+  EXPECT_EQ(sched.frames.size(), 2u);
+  EXPECT_DOUBLE_EQ(sched.frames[0].weight, 4.0);
+}
+
+TEST(Trace, RejectsBadHeader) {
+  std::stringstream ss("osp-trace v2\nframes 0\n");
+  EXPECT_THROW(read_trace(ss), RequireError);
+}
+
+TEST(Trace, RejectsEmptyFrame) {
+  std::stringstream ss("osp-trace v1\nframes 1\n1.0\n");
+  EXPECT_THROW(read_trace(ss), RequireError);
+}
+
+TEST(Trace, RejectsUnsortedSlots) {
+  std::stringstream ss("osp-trace v1\nframes 1\n1.0 5 2\n");
+  EXPECT_THROW(read_trace(ss), RequireError);
+}
+
+TEST(Trace, RejectsDuplicateSlots) {
+  std::stringstream ss("osp-trace v1\nframes 1\n1.0 2 2\n");
+  EXPECT_THROW(read_trace(ss), RequireError);
+}
+
+TEST(Trace, RejectsTruncated) {
+  std::stringstream ss("osp-trace v1\nframes 3\n1.0 0\n");
+  EXPECT_THROW(read_trace(ss), RequireError);
+}
+
+TEST(Trace, FileRoundTrip) {
+  Rng rng(3);
+  PoissonBursts bursts(1.5);
+  FrameSchedule sched = bursty_schedule(bursts, 20, 2, rng);
+  std::string path = "/tmp/osp_trace_test.txt";
+  save_trace(path, sched);
+  EXPECT_TRUE(same_schedule(sched, load_trace(path)));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace osp
