@@ -3,15 +3,26 @@
 // Each bench prints one or more tables in the uniform Table format with a
 // header naming the paper exhibit it reproduces, so the collected output
 // (bench_output.txt) reads as the paper's evaluation section.
+//
+// All trial loops run through the shared multi-threaded batch runner
+// (src/engine): per-trial Rngs are derived serially up front (preserving
+// the seed repo's exact per-trial streams), trials execute on the flat
+// allocation-free engine path in parallel, and aggregation happens in
+// trial order — so every number printed is bit-identical to the serial
+// seed loops at any thread count.
 #pragma once
 
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/game.hpp"
 #include "core/instance.hpp"
 #include "core/rand_pr.hpp"
+#include "engine/batch_runner.hpp"
+#include "stats/json.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 #include "util/rng.hpp"
@@ -24,28 +35,49 @@ inline void banner(const std::string& id, const std::string& claim) {
 }
 
 /// Mean benefit (with CI) of randPr over `trials` independent runs.
+/// Trial t plays RandPr(master.split(t)) — the same stream the serial
+/// seed loop used — on the flat engine, batched across worker threads.
 inline RunningStat measure_randpr(const Instance& inst, Rng& master,
                                   int trials,
                                   RandPrOptions options = {}) {
+  std::vector<Rng> rngs;
+  rngs.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t)
+    rngs.push_back(master.split(static_cast<std::uint64_t>(t)));
+
+  auto benefits = engine::shared_runner().map<Weight>(
+      static_cast<std::size_t>(trials),
+      [&](std::size_t t, engine::TrialContext& ctx) {
+        RandPr alg(rngs[t], options);
+        return play_flat(inst, alg, ctx.scratch).benefit;
+      });
+
   RunningStat stat;
-  for (int t = 0; t < trials; ++t) {
-    RandPr alg(master.split(static_cast<std::uint64_t>(t)), options);
-    stat.add(play(inst, alg).benefit);
-  }
+  for (Weight b : benefits) stat.add(b);
   return stat;
 }
 
 /// Mean benefit of an arbitrary algorithm factory over `trials` runs.
+/// Factories often close over a shared Rng and split it per trial, so
+/// they are invoked serially (in trial order, exactly as the seed loops
+/// did) and only the plays run on worker threads.
 inline RunningStat measure(
     const Instance& inst,
     const std::function<std::unique_ptr<OnlineAlgorithm>(std::uint64_t)>&
         make_alg,
     int trials) {
+  std::vector<std::unique_ptr<OnlineAlgorithm>> algs;
+  algs.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t)
+    algs.push_back(make_alg(static_cast<std::uint64_t>(t)));
+
+  auto benefits = engine::shared_runner().map<Weight>(
+      static_cast<std::size_t>(trials),
+      [&](std::size_t t, engine::TrialContext& ctx) {
+        return play_flat(inst, *algs[t], ctx.scratch).benefit;
+      });
   RunningStat stat;
-  for (int t = 0; t < trials; ++t) {
-    auto alg = make_alg(static_cast<std::uint64_t>(t));
-    stat.add(play(inst, *alg).benefit);
-  }
+  for (Weight b : benefits) stat.add(b);
   return stat;
 }
 
@@ -54,5 +86,38 @@ inline std::string fmt_mean_ci(const RunningStat& s, int precision = 2) {
   return fmt(s.mean(), precision) + " ±" +
          fmt(s.ci95_halfwidth(), precision);
 }
+
+/// Opens BENCH_<name>.json in the working directory and writes the shared
+/// preamble ({"bench": name, "threads": N, "results": [ ... ).  Callers
+/// append one object per row and then call json_close.
+class JsonSink {
+ public:
+  explicit JsonSink(const std::string& name)
+      : out_("BENCH_" + name + ".json"), writer_(out_) {
+    writer_.begin_object()
+        .kv("bench", name)
+        .kv("threads",
+            static_cast<std::uint64_t>(engine::shared_runner().num_threads()))
+        .key("results")
+        .begin_array();
+  }
+
+  JsonWriter& writer() { return writer_; }
+
+  /// Finishes the document; called automatically on destruction.
+  void close() {
+    if (closed_) return;
+    closed_ = true;
+    writer_.end_array().end_object();
+    out_ << '\n';
+  }
+
+  ~JsonSink() { close(); }
+
+ private:
+  std::ofstream out_;
+  JsonWriter writer_;
+  bool closed_ = false;
+};
 
 }  // namespace osp::bench

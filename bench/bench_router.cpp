@@ -9,11 +9,19 @@
 //      ranking policy;
 //  (c) burstiness sweep with on/off traffic: burstier arrivals (larger
 //      σmax) hurt everyone, randPr degrades most gracefully in value.
+//
+// The workload draws run as independent trials on the shared batch
+// runner: per-draw Rngs are split from the master serially in the seed
+// repo's exact order, each trial generates its workload once and runs
+// every policy against it (like the seed's serial inner loop), and
+// aggregation walks the results in draw order — so the printed numbers
+// match the original serial loops bit for bit at any thread count.
 #include <iostream>
 
 #include "algos/baselines.hpp"
 #include "bench_common.hpp"
 #include "core/rand_pr.hpp"
+#include "engine/batch_runner.hpp"
 #include "gen/traffic.hpp"
 #include "gen/video.hpp"
 #include "net/router_sim.hpp"
@@ -21,60 +29,90 @@
 namespace osp {
 namespace {
 
-void unbuffered_video() {
+void unbuffered_video(bench::JsonSink& json) {
   std::cout << "-- (a) unbuffered router, GOP video workload --\n";
   Table table({"streams", "policy", "frames ok", "of", "value ok", "of",
                "goodput"});
   Rng master(100);
   const int draws = 25;
+
+  const std::vector<std::string> policy_names = {
+      "randPr",       "randPr/filt",     "uniform-random",
+      "greedy-first", "greedy-maxw",     "greedy-progress",
+      "greedy-srpt",  "greedy-density",  "round-robin"};
+  const std::size_t num_policies = policy_names.size();
+
   for (std::size_t streams : {4, 8, 12}) {
-    // Accumulate per policy across workload draws.
-    struct Acc {
-      std::string name;
+    // Serial prep: the same master.split() call sequence as the seed loop.
+    std::vector<Rng> wl_rngs, rp_rngs, rpf_rngs, ur_rngs;
+    for (int d = 0; d < draws; ++d) {
+      wl_rngs.push_back(master.split(streams * 100 + d));
+      rp_rngs.push_back(master.split(50000 + streams * 100 + d));
+      rpf_rngs.push_back(master.split(60000 + streams * 100 + d));
+      ur_rngs.push_back(master.split(70000 + streams * 100 + d));
+    }
+
+    struct CellResult {
       double frames = 0, value = 0, total_frames = 0, total_value = 0;
     };
-    std::vector<Acc> accs;
-    auto acc_for = [&](const std::string& name) -> Acc& {
-      for (auto& a : accs)
-        if (a.name == name) return a;
-      accs.push_back({name, 0, 0, 0, 0});
-      return accs.back();
-    };
+    // One trial per draw: the workload is generated once and all policies
+    // run against it, exactly like the seed's serial inner loop.
+    auto cells = engine::shared_runner().map<std::vector<CellResult>>(
+        static_cast<std::size_t>(draws),
+        [&](std::size_t d, engine::TrialContext&) {
+          VideoParams params;
+          params.num_streams = streams;
+          params.frames_per_stream = 24;
+          Rng wl_rng = wl_rngs[d];
+          VideoWorkload vw = make_video_workload(params, wl_rng);
 
-    for (int d = 0; d < draws; ++d) {
-      VideoParams params;
-      params.num_streams = streams;
-      params.frames_per_stream = 24;
-      Rng wl_rng = master.split(streams * 100 + d);
-      VideoWorkload vw = make_video_workload(params, wl_rng);
+          std::vector<std::unique_ptr<OnlineAlgorithm>> policies;
+          policies.push_back(std::make_unique<RandPr>(rp_rngs[d]));
+          policies.push_back(std::make_unique<RandPr>(
+              rpf_rngs[d], RandPrOptions{.filter_dead = true}));
+          policies.push_back(
+              std::make_unique<UniformRandomChoice>(ur_rngs[d]));
+          for (auto& baseline : make_deterministic_baselines())
+            policies.push_back(std::move(baseline));
 
-      auto run_policy = [&](OnlineAlgorithm& alg) {
-        RouterStats st = simulate_router(vw.schedule, alg, 1);
-        Acc& a = acc_for(alg.name());
-        a.frames += static_cast<double>(st.frames_delivered);
-        a.value += st.value_delivered;
-        a.total_frames += static_cast<double>(st.frames_total);
-        a.total_value += st.value_total;
-      };
+          std::vector<CellResult> row;
+          row.reserve(num_policies);
+          for (std::size_t p = 0; p < num_policies; ++p) {
+            // Guard the hardcoded label list against factory reordering.
+            OSP_REQUIRE(policies[p]->name() == policy_names[p]);
+            RouterStats st = simulate_router(vw.schedule, *policies[p], 1);
+            row.push_back(CellResult{
+                static_cast<double>(st.frames_delivered), st.value_delivered,
+                static_cast<double>(st.frames_total), st.value_total});
+          }
+          return row;
+        });
 
-      RandPr rp(master.split(50000 + streams * 100 + d));
-      run_policy(rp);
-      RandPr rpf(master.split(60000 + streams * 100 + d),
-                 {.filter_dead = true});
-      run_policy(rpf);
-      UniformRandomChoice ur(master.split(70000 + streams * 100 + d));
-      run_policy(ur);
-      const std::size_t num_algs = make_deterministic_baselines().size();
-      for (std::size_t ai = 0; ai < num_algs; ++ai) {
-        auto alg = std::move(make_deterministic_baselines()[ai]);
-        run_policy(*alg);
+    for (std::size_t p = 0; p < num_policies; ++p) {
+      CellResult acc;
+      for (int d = 0; d < draws; ++d) {
+        const CellResult& c = cells[static_cast<std::size_t>(d)][p];
+        acc.frames += c.frames;
+        acc.value += c.value;
+        acc.total_frames += c.total_frames;
+        acc.total_value += c.total_value;
       }
+      table.row({fmt(streams), policy_names[p], fmt(acc.frames / draws, 1),
+                 fmt(acc.total_frames / draws, 0), fmt(acc.value / draws, 1),
+                 fmt(acc.total_value / draws, 0),
+                 fmt(acc.value / acc.total_value, 3)});
+      json.writer()
+          .begin_object()
+          .kv("sweep", "unbuffered_video")
+          .kv("streams", streams)
+          .kv("policy", policy_names[p])
+          .kv("frames_ok", acc.frames / draws)
+          .kv("frames_total", acc.total_frames / draws)
+          .kv("value_ok", acc.value / draws)
+          .kv("value_total", acc.total_value / draws)
+          .kv("goodput", acc.value / acc.total_value)
+          .end_object();
     }
-    for (const Acc& a : accs)
-      table.row({fmt(streams), a.name, fmt(a.frames / draws, 1),
-                 fmt(a.total_frames / draws, 0), fmt(a.value / draws, 1),
-                 fmt(a.total_value / draws, 0),
-                 fmt(a.value / a.total_value, 3)});
   }
   table.print(std::cout);
   std::cout << "Expected shape: randPr beats the memoryless randomized "
@@ -86,49 +124,64 @@ void unbuffered_video() {
                "little average goodput for its k*sqrt(smax) guarantee.\n\n";
 }
 
-void buffered_sweep() {
+void buffered_sweep(bench::JsonSink& json) {
   std::cout << "-- (b) buffered router (open problem 2) --\n";
   Table table({"buffer", "policy", "goodput"});
   Rng master(200);
   const int draws = 25;
-  for (std::size_t buf : {0, 2, 4, 8, 16}) {
-    struct Acc {
-      std::string name;
-      double good = 0;
-    };
-    std::vector<Acc> accs;
-    auto add = [&](const std::string& name, double g) {
-      for (auto& a : accs)
-        if (a.name == name) {
-          a.good += g;
-          return;
-        }
-      accs.push_back({name, g});
-    };
-    for (int d = 0; d < draws; ++d) {
-      VideoParams params;
-      params.num_streams = 10;
-      params.frames_per_stream = 24;
-      Rng wl_rng = master.split(buf * 100 + d);
-      VideoWorkload vw = make_video_workload(params, wl_rng);
-      BufferedRouterParams rp{.service_rate = 1,
-                              .buffer_size = buf,
-                              .drop_dead_frames = true};
+  const std::vector<std::string> policy_names = {"randPr", "by-weight",
+                                                 "drop-tail", "random-drop"};
+  const std::size_t num_policies = policy_names.size();
 
-      RandPrRanker randpr(master.split(90000 + buf * 100 + d));
-      add("randPr", simulate_buffered_router(vw.schedule, randpr, rp).goodput());
-      WeightRanker weight;
-      add("by-weight",
-          simulate_buffered_router(vw.schedule, weight, rp).goodput());
-      FifoRanker fifo;
-      add("drop-tail",
-          simulate_buffered_router(vw.schedule, fifo, rp).goodput());
-      RandomRanker rnd(master.split(95000 + buf * 100 + d));
-      add("random-drop",
-          simulate_buffered_router(vw.schedule, rnd, rp).goodput());
+  for (std::size_t buf : {0, 2, 4, 8, 16}) {
+    std::vector<Rng> wl_rngs, randpr_rngs, rnd_rngs;
+    for (int d = 0; d < draws; ++d) {
+      wl_rngs.push_back(master.split(buf * 100 + d));
+      randpr_rngs.push_back(master.split(90000 + buf * 100 + d));
+      rnd_rngs.push_back(master.split(95000 + buf * 100 + d));
     }
-    for (const Acc& a : accs)
-      table.row({fmt(buf), a.name, fmt(a.good / draws, 3)});
+
+    auto goodputs = engine::shared_runner().map<std::vector<double>>(
+        static_cast<std::size_t>(draws),
+        [&](std::size_t d, engine::TrialContext&) {
+          VideoParams params;
+          params.num_streams = 10;
+          params.frames_per_stream = 24;
+          Rng wl_rng = wl_rngs[d];
+          VideoWorkload vw = make_video_workload(params, wl_rng);
+          BufferedRouterParams rp{.service_rate = 1,
+                                  .buffer_size = buf,
+                                  .drop_dead_frames = true};
+
+          RandPrRanker randpr(randpr_rngs[d]);
+          WeightRanker weight;
+          FifoRanker fifo;
+          RandomRanker rnd(rnd_rngs[d]);
+          FrameRanker* rankers[] = {&randpr, &weight, &fifo, &rnd};
+          std::vector<double> row;
+          row.reserve(num_policies);
+          for (std::size_t p = 0; p < num_policies; ++p) {
+            OSP_REQUIRE(rankers[p]->name() == policy_names[p]);
+            row.push_back(
+                simulate_buffered_router(vw.schedule, *rankers[p], rp)
+                    .goodput());
+          }
+          return row;
+        });
+
+    for (std::size_t p = 0; p < num_policies; ++p) {
+      double good = 0;
+      for (int d = 0; d < draws; ++d)
+        good += goodputs[static_cast<std::size_t>(d)][p];
+      table.row({fmt(buf), policy_names[p], fmt(good / draws, 3)});
+      json.writer()
+          .begin_object()
+          .kv("sweep", "buffered")
+          .kv("buffer", buf)
+          .kv("policy", policy_names[p])
+          .kv("goodput", good / draws)
+          .end_object();
+    }
   }
   table.print(std::cout);
   std::cout << "Expected shape: goodput rises with buffer size for every "
@@ -136,13 +189,16 @@ void buffered_sweep() {
                "bursts (the effect the paper leaves open).\n\n";
 }
 
-void burstiness_sweep() {
+void burstiness_sweep(bench::JsonSink& json) {
   std::cout << "-- (c) burstiness sweep (on/off traffic, frames of 3 "
                "packets) --\n";
   Table table({"burst profile", "smax", "policy", "value ok", "of",
                "goodput"});
   Rng master(300);
   const int draws = 25;
+  const std::vector<std::string> policy_names = {"randPr", "greedy-progress",
+                                                 "greedy-first"};
+  const std::size_t num_policies = policy_names.size();
 
   struct Profile {
     std::string name;
@@ -152,43 +208,63 @@ void burstiness_sweep() {
        {Profile{"mild (poissonish)", 0.5, 0.5, 1.5, 1.5},
         Profile{"moderate", 0.3, 0.3, 3.0, 0.5},
         Profile{"savage", 0.15, 0.1, 6.0, 0.1}}) {
-    struct Acc {
-      std::string name;
-      double value = 0, total = 0;
-    };
-    std::vector<Acc> accs;
-    auto add = [&](const std::string& name, double v, double tot) {
-      for (auto& a : accs)
-        if (a.name == name) {
-          a.value += v;
-          a.total += tot;
-          return;
-        }
-      accs.push_back({name, v, tot});
-    };
-    double smax_acc = 0;
+    std::vector<Rng> wl_rngs, rp_rngs;
     for (int d = 0; d < draws; ++d) {
-      Rng wl_rng = master.split(d * 17 + static_cast<std::uint64_t>(
-                                              prof.rate_on * 10));
-      OnOffBursts bursts(prof.p_on_off, prof.p_off_on, prof.rate_on,
-                         prof.rate_off);
-      FrameSchedule sched = bursty_schedule(bursts, 80, 3, wl_rng, 1.0);
-      smax_acc += static_cast<double>(sched.max_burst());
-
-      RandPr rp(master.split(110000 + d));
-      RouterStats a = simulate_router(sched, rp, 1);
-      add("randPr", a.value_delivered, a.value_total);
-      GreedyMostProgress gp;
-      RouterStats b = simulate_router(sched, gp, 1);
-      add("greedy-progress", b.value_delivered, b.value_total);
-      GreedyFirst gf;
-      RouterStats c = simulate_router(sched, gf, 1);
-      add("greedy-first", c.value_delivered, c.value_total);
+      wl_rngs.push_back(master.split(d * 17 + static_cast<std::uint64_t>(
+                                                  prof.rate_on * 10)));
+      rp_rngs.push_back(master.split(110000 + d));
     }
-    for (const Acc& a : accs)
-      table.row({prof.name, fmt(smax_acc / draws, 1), a.name,
-                 fmt(a.value / draws, 1), fmt(a.total / draws, 0),
-                 fmt(a.value / a.total, 3)});
+
+    struct DrawResult {
+      double smax = 0;
+      std::vector<double> value, total;  // per policy
+    };
+    auto cells = engine::shared_runner().map<DrawResult>(
+        static_cast<std::size_t>(draws),
+        [&](std::size_t d, engine::TrialContext&) {
+          Rng wl_rng = wl_rngs[d];
+          OnOffBursts bursts(prof.p_on_off, prof.p_off_on, prof.rate_on,
+                             prof.rate_off);
+          FrameSchedule sched = bursty_schedule(bursts, 80, 3, wl_rng, 1.0);
+
+          RandPr rp(rp_rngs[d]);
+          GreedyMostProgress gp;
+          GreedyFirst gf;
+          OnlineAlgorithm* algs[] = {&rp, &gp, &gf};
+          DrawResult row;
+          row.smax = static_cast<double>(sched.max_burst());
+          for (std::size_t p = 0; p < num_policies; ++p) {
+            OSP_REQUIRE(algs[p]->name() == policy_names[p]);
+            RouterStats st = simulate_router(sched, *algs[p], 1);
+            row.value.push_back(st.value_delivered);
+            row.total.push_back(st.value_total);
+          }
+          return row;
+        });
+
+    double smax_acc = 0;
+    for (int d = 0; d < draws; ++d)
+      smax_acc += cells[static_cast<std::size_t>(d)].smax;
+    for (std::size_t p = 0; p < num_policies; ++p) {
+      double value = 0, total = 0;
+      for (int d = 0; d < draws; ++d) {
+        value += cells[static_cast<std::size_t>(d)].value[p];
+        total += cells[static_cast<std::size_t>(d)].total[p];
+      }
+      table.row({prof.name, fmt(smax_acc / draws, 1), policy_names[p],
+                 fmt(value / draws, 1), fmt(total / draws, 0),
+                 fmt(value / total, 3)});
+      json.writer()
+          .begin_object()
+          .kv("sweep", "burstiness")
+          .kv("profile", prof.name)
+          .kv("smax", smax_acc / draws)
+          .kv("policy", policy_names[p])
+          .kv("value_ok", value / draws)
+          .kv("value_total", total / draws)
+          .kv("goodput", value / total)
+          .end_object();
+    }
   }
   table.print(std::cout);
   std::cout << "Expected shape: goodput falls with burstiness for all "
@@ -203,9 +279,11 @@ int main() {
   osp::bench::banner(
       "E7 / Section 1 motivation (bottleneck router, video frames)",
       "Frame-aware random priorities vs classic drop heuristics on the "
-      "simulated router; plus the buffering extension.");
-  osp::unbuffered_video();
-  osp::buffered_sweep();
-  osp::burstiness_sweep();
+      "simulated router; plus the buffering extension.  All trials run "
+      "on the shared batch runner.");
+  osp::bench::JsonSink json("router");
+  osp::unbuffered_video(json);
+  osp::buffered_sweep(json);
+  osp::burstiness_sweep(json);
   return 0;
 }

@@ -16,7 +16,7 @@
 namespace osp {
 namespace {
 
-void corollary7_sweep() {
+void corollary7_sweep(bench::JsonSink& json) {
   std::cout << "-- Corollary 7: bi-regular instances, k = 3 fixed, sigma "
                "rising --\n";
   Table table({"m", "k", "sigma", "opt", "E[alg]", "ratio", "Cor7 bound(k)",
@@ -37,13 +37,26 @@ void corollary7_sweep() {
     table.row({fmt(m), fmt(k), fmt(sigma), fmt(opt.value, 1),
                bench::fmt_mean_ci(alg), fmt_ratio(ratio),
                fmt(corollary7_bound(st), 1), fmt(corollary6_bound(st), 2)});
+    json.writer()
+        .begin_object()
+        .kv("sweep", "corollary7")
+        .kv("m", m)
+        .kv("k", k)
+        .kv("sigma", sigma)
+        .kv("opt", opt.value)
+        .kv("alg_mean", alg.mean())
+        .kv("alg_ci95", alg.ci95_halfwidth())
+        .kv("ratio", ratio)
+        .kv("cor7_bound", corollary7_bound(st))
+        .kv("cor6_bound", corollary6_bound(st))
+        .end_object();
   }
   table.print(std::cout);
   std::cout << "Expected shape: ratio column stays flat near or below k=3 "
                "while Cor6 grows like sqrt(sigma).\n\n";
 }
 
-void theorem5_sweep() {
+void theorem5_sweep(bench::JsonSink& json) {
   std::cout << "-- Theorem 5: uniform size k, loads vary (random "
                "instances) --\n";
   Table table({"m", "n", "k", "avg(s^2)/avg(s)^2", "opt", "E[alg]", "ratio",
@@ -63,13 +76,25 @@ void theorem5_sweep() {
                fmt(dispersion, 3), fmt(opt.value, 1),
                bench::fmt_mean_ci(alg), fmt_ratio(ratio),
                fmt(theorem5_bound(st), 2)});
+    json.writer()
+        .begin_object()
+        .kv("sweep", "theorem5")
+        .kv("m", std::size_t{24})
+        .kv("n", inst.num_elements())
+        .kv("k", k)
+        .kv("dispersion", dispersion)
+        .kv("opt", opt.value)
+        .kv("alg_mean", alg.mean())
+        .kv("ratio", ratio)
+        .kv("thm5_bound", theorem5_bound(st))
+        .end_object();
   }
   table.print(std::cout);
   std::cout << "Expected shape: ratio below the Thm5 bound; bound scales "
                "with k times the load dispersion.\n\n";
 }
 
-void theorem6_sweep() {
+void theorem6_sweep(bench::JsonSink& json) {
   std::cout << "-- Theorem 6: uniform load sigma, sizes vary --\n";
   Table table({"m", "n", "sigma", "kbar", "opt", "E[alg]", "ratio",
                "Thm6 bound"});
@@ -88,6 +113,18 @@ void theorem6_sweep() {
                fmt(st.k_avg, 2), fmt(opt.value, 1),
                bench::fmt_mean_ci(alg), fmt_ratio(ratio),
                fmt(theorem6_bound(st), 2)});
+    json.writer()
+        .begin_object()
+        .kv("sweep", "theorem6")
+        .kv("m", std::size_t{20})
+        .kv("n", inst.num_elements())
+        .kv("sigma", sigma)
+        .kv("k_avg", st.k_avg)
+        .kv("opt", opt.value)
+        .kv("alg_mean", alg.mean())
+        .kv("ratio", ratio)
+        .kv("thm6_bound", theorem6_bound(st))
+        .end_object();
   }
   table.print(std::cout);
   std::cout << "Expected shape: ratio below kbar*sqrt(sigma), growing "
@@ -102,8 +139,9 @@ int main() {
       "E3 / Theorems 5, 6 and Corollary 7",
       "Refined bounds under uniform structure; the key signature is the "
       "sigma-INDEPENDENCE of the ratio for uniform size+load (Cor 7).");
-  osp::corollary7_sweep();
-  osp::theorem5_sweep();
-  osp::theorem6_sweep();
+  osp::bench::JsonSink json("uniform");
+  osp::corollary7_sweep(json);
+  osp::theorem5_sweep(json);
+  osp::theorem6_sweep(json);
   return 0;
 }

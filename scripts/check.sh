@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repository check: the tier-1 verify plus an ASan/UBSan build of the
+# engine-critical tests (the fuzz suite and the flat-engine golden tests).
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S .
+cmake --build build -j "${jobs}"
+(cd build && ctest --output-on-failure -j "${jobs}")
+
+echo
+echo "== sanitizers: ASan/UBSan build of fuzz + engine tests =="
+cmake -B build-asan -S . -DOSP_SANITIZE=ON
+cmake --build build-asan -j "${jobs}" --target test_fuzz test_engine test_game test_instance test_rand_pr
+(cd build-asan && ctest --output-on-failure -R 'test_(fuzz|engine|game|instance|rand_pr)')
+
+echo
+echo "== all checks passed =="

@@ -4,33 +4,51 @@
 
 namespace osp {
 
-std::vector<SetId> ScoredBaseline::on_element(
-    ElementId, Capacity capacity, const std::vector<SetId>& candidates) {
-  // Partition candidates into active and dead; rank actives by score.
-  std::vector<SetId> active;
-  std::vector<SetId> dead;
-  for (SetId s : candidates)
-    (is_active(s) ? active : dead).push_back(s);
+namespace {
 
-  std::stable_sort(active.begin(), active.end(), [&](SetId a, SetId b) {
+// Fills `out` (capacity `capacity`) from `first` then `second`; returns the
+// number written.  The shared tail of every baseline: ranked actives first,
+// dead filler after ("filling leftover capacity with dead sets is harmless;
+// doing so keeps the policy total, like a real link").
+std::size_t fill_choice(const std::vector<SetId>& first,
+                        const std::vector<SetId>& second, Capacity capacity,
+                        SetId* out) {
+  std::size_t n = 0;
+  for (SetId s : first) {
+    if (n == capacity) return n;
+    out[n++] = s;
+  }
+  for (SetId s : second) {
+    if (n == capacity) return n;
+    out[n++] = s;
+  }
+  return n;
+}
+
+}  // namespace
+
+void ScoredBaseline::partition(const SetId* candidates,
+                               std::size_t num_candidates) {
+  active_.clear();
+  dead_.clear();
+  for (std::size_t i = 0; i < num_candidates; ++i)
+    (is_active(candidates[i]) ? active_ : dead_).push_back(candidates[i]);
+}
+
+std::size_t ScoredBaseline::decide(ElementId, Capacity capacity,
+                                   const SetId* candidates,
+                                   std::size_t num_candidates, SetId* out) {
+  partition(candidates, num_candidates);
+  // (score desc, id asc) is a strict total order, so plain sort yields the
+  // same unique ordering the seed's stable_sort produced.
+  std::sort(active_.begin(), active_.end(), [&](SetId a, SetId b) {
     double sa = score(a), sb = score(b);
     if (sa != sb) return sa > sb;
     return a < b;
   });
-
-  std::vector<SetId> chosen;
-  for (SetId s : active) {
-    if (chosen.size() == capacity) break;
-    chosen.push_back(s);
-  }
-  // Filling leftover capacity with dead sets is harmless; doing so keeps
-  // the policy total (it always uses the full capacity, like a real link).
-  for (SetId s : dead) {
-    if (chosen.size() == capacity) break;
-    chosen.push_back(s);
-  }
-  record(candidates, chosen);
-  return chosen;
+  std::size_t n = fill_choice(active_, dead_, capacity, out);
+  record(candidates, num_candidates, out, n);
+  return n;
 }
 
 double GreedyFirst::score(SetId s) const {
@@ -59,51 +77,48 @@ void RoundRobin::start(const std::vector<SetMeta>& sets) {
   cursor_ = 0;
 }
 
-std::vector<SetId> RoundRobin::on_element(
-    ElementId, Capacity capacity, const std::vector<SetId>& candidates) {
-  std::vector<SetId> active;
-  std::vector<SetId> dead;
-  for (SetId s : candidates) (is_active(s) ? active : dead).push_back(s);
+std::size_t RoundRobin::decide(ElementId, Capacity capacity,
+                               const SetId* candidates,
+                               std::size_t num_candidates, SetId* out) {
+  active_.clear();
+  dead_.clear();
+  for (std::size_t i = 0; i < num_candidates; ++i)
+    (is_active(candidates[i]) ? active_ : dead_).push_back(candidates[i]);
 
-  // Rotate: candidates with id >= cursor first, then wrap-around.
-  std::stable_sort(active.begin(), active.end(), [&](SetId a, SetId b) {
+  // Rotate: candidates with id >= cursor first, then wrap-around.  The
+  // (wrap group, id) pair is a strict total order.
+  std::sort(active_.begin(), active_.end(), [&](SetId a, SetId b) {
     bool wa = a >= cursor_, wb = b >= cursor_;
     if (wa != wb) return wa;
     return a < b;
   });
 
-  std::vector<SetId> chosen;
-  for (SetId s : active) {
-    if (chosen.size() == capacity) break;
-    chosen.push_back(s);
-  }
-  for (SetId s : dead) {
-    if (chosen.size() == capacity) break;
-    chosen.push_back(s);
-  }
-  if (!chosen.empty()) cursor_ = chosen.front() + 1;
+  std::size_t n = fill_choice(active_, dead_, capacity, out);
+  if (n > 0) cursor_ = out[0] + 1;
   if (cursor_ >= meta().size()) cursor_ = 0;
-  record(candidates, chosen);
-  return chosen;
+  record(candidates, num_candidates, out, n);
+  return n;
 }
 
-std::vector<SetId> UniformRandomChoice::on_element(
-    ElementId, Capacity capacity, const std::vector<SetId>& candidates) {
-  std::vector<SetId> pool;
-  for (SetId s : candidates)
-    if (is_active(s)) pool.push_back(s);
-  if (pool.empty()) pool = candidates;
+std::size_t UniformRandomChoice::decide(ElementId, Capacity capacity,
+                                        const SetId* candidates,
+                                        std::size_t num_candidates,
+                                        SetId* out) {
+  pool_.clear();
+  for (std::size_t i = 0; i < num_candidates; ++i)
+    if (is_active(candidates[i])) pool_.push_back(candidates[i]);
+  if (pool_.empty()) pool_.assign(candidates, candidates + num_candidates);
 
-  std::vector<SetId> chosen;
+  std::size_t n = 0;
   // Partial Fisher–Yates: draw up to `capacity` distinct sets.
-  for (std::size_t i = 0; i < pool.size() && chosen.size() < capacity; ++i) {
+  for (std::size_t i = 0; i < pool_.size() && n < capacity; ++i) {
     std::size_t j = i + static_cast<std::size_t>(
-                            rng_.below(pool.size() - i));
-    std::swap(pool[i], pool[j]);
-    chosen.push_back(pool[i]);
+                            rng_.below(pool_.size() - i));
+    std::swap(pool_[i], pool_[j]);
+    out[n++] = pool_[i];
   }
-  record(candidates, chosen);
-  return chosen;
+  record(candidates, num_candidates, out, n);
+  return n;
 }
 
 std::vector<std::unique_ptr<OnlineAlgorithm>> make_deterministic_baselines() {

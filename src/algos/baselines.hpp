@@ -7,6 +7,10 @@
 //
 // All baselines prefer sets that are still completable ("active"): choosing
 // a set that already lost an element can never increase the benefit.
+//
+// Every baseline implements the flat decide() path with reusable internal
+// scratch, so batch trials run allocation-free in steady state; the
+// allocating on_element() entry point is inherited from the base class.
 #pragma once
 
 #include <memory>
@@ -24,12 +28,18 @@ namespace osp {
 /// toward lower set id.
 class ScoredBaseline : public ActiveTracking {
  public:
-  std::vector<SetId> on_element(ElementId u, Capacity capacity,
-                                const std::vector<SetId>& candidates) override;
+  std::size_t decide(ElementId u, Capacity capacity, const SetId* candidates,
+                     std::size_t num_candidates, SetId* out) override;
 
  protected:
   /// Score of candidate s for the current element; higher is better.
   virtual double score(SetId s) const = 0;
+
+  /// Splits candidates into the active_/dead_ scratch lists.
+  void partition(const SetId* candidates, std::size_t num_candidates);
+
+  std::vector<SetId> active_;  // scratch, reused across decisions
+  std::vector<SetId> dead_;    // scratch, reused across decisions
 };
 
 /// Picks the earliest-id active candidates ("first listed").
@@ -86,11 +96,13 @@ class RoundRobin final : public ActiveTracking {
  public:
   std::string name() const override { return "round-robin"; }
   void start(const std::vector<SetMeta>& sets) override;
-  std::vector<SetId> on_element(ElementId u, Capacity capacity,
-                                const std::vector<SetId>& candidates) override;
+  std::size_t decide(ElementId u, Capacity capacity, const SetId* candidates,
+                     std::size_t num_candidates, SetId* out) override;
 
  private:
   std::size_t cursor_ = 0;
+  std::vector<SetId> active_;  // scratch
+  std::vector<SetId> dead_;    // scratch
 };
 
 /// Memoryless randomized control: a uniformly random admissible choice at
@@ -99,11 +111,12 @@ class UniformRandomChoice final : public ActiveTracking {
  public:
   explicit UniformRandomChoice(Rng rng) : rng_(rng) {}
   std::string name() const override { return "uniform-random"; }
-  std::vector<SetId> on_element(ElementId u, Capacity capacity,
-                                const std::vector<SetId>& candidates) override;
+  std::size_t decide(ElementId u, Capacity capacity, const SetId* candidates,
+                     std::size_t num_candidates, SetId* out) override;
 
  private:
   Rng rng_;
+  std::vector<SetId> pool_;  // scratch
 };
 
 /// All deterministic baselines, freshly constructed (for benchmark loops).

@@ -9,7 +9,7 @@ FractionalOutcome fractional_online(const Instance& inst) {
   out.x.assign(inst.num_sets(), inst.num_sets() ? 1.0 : 0.0);
 
   for (ElementId u = 0; u < inst.num_elements(); ++u) {
-    const Arrival& a = inst.arrival(u);
+    const ArrivalView a = inst.arrival(u);
     if (a.parents.empty()) continue;
     double row = 0;
     for (SetId s : a.parents) row += out.x[s];

@@ -4,12 +4,26 @@
 // set's weight and size; at each step it receives an element (its capacity
 // and parent-set list) and must immediately output at most b(u) of those
 // sets.  A set is completed iff it is chosen at every one of its elements.
+//
+// Two decision entry points exist:
+//   * decide()     — the flat path: reads candidates from a contiguous
+//                    span and writes the choice into a caller-owned buffer.
+//                    Zero allocations per call once an implementation's
+//                    internal scratch has warmed up; this is what the game
+//                    engine and the batch runner drive.
+//   * on_element() — the legacy allocating path, kept for adaptive
+//                    adversaries and tests that script answers directly.
+// Implementations override at least one; each default-forwards to the
+// other, and ported algorithms implement decide() and get on_element()
+// for free.
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
 #include "core/types.hpp"
+#include "util/require.hpp"
 
 namespace osp {
 
@@ -21,8 +35,8 @@ struct SetMeta {
 
 /// Interface every online policy implements.
 ///
-/// The game engine calls start() once, then on_element() once per arrival
-/// in order.  Implementations must be deterministic given their own state
+/// The game engine calls start() once, then decide() once per arrival in
+/// order.  Implementations must be deterministic given their own state
 /// (randomized policies draw all randomness in start() or from an Rng they
 /// own), so runs are reproducible.
 class OnlineAlgorithm {
@@ -38,52 +52,125 @@ class OnlineAlgorithm {
   /// Element `u` arrives with capacity `capacity` and parent sets
   /// `candidates` (sorted, distinct).  Returns the chosen sets: a subset
   /// of `candidates` with at most `capacity` entries, no duplicates.
+  ///
+  /// Default: adapts the flat decide() path.
   virtual std::vector<SetId> on_element(ElementId u, Capacity capacity,
-                                        const std::vector<SetId>& candidates) = 0;
+                                        const std::vector<SetId>& candidates) {
+    DispatchGuard guard(*this);
+    std::vector<SetId> out(
+        std::min<std::size_t>(capacity, candidates.size()));
+    out.resize(decide(u, capacity, candidates.data(), candidates.size(),
+                      out.data()));
+    return out;
+  }
+
+  /// Allocation-free decision: candidates are `num_candidates` sorted,
+  /// distinct set ids; the choice is written to `out` and its length
+  /// returned.  `out` must have room for at least
+  /// min(capacity, num_candidates) entries, and implementations never
+  /// write more than that.
+  ///
+  /// Default: adapts the legacy on_element() path (one allocation per
+  /// call) so un-ported algorithms run on the flat engine unchanged.  The
+  /// capacity check happens here, before the copy, so a buggy policy
+  /// overflows into a RequireError instead of the buffer.
+  virtual std::size_t decide(ElementId u, Capacity capacity,
+                             const SetId* candidates,
+                             std::size_t num_candidates, SetId* out) {
+    DispatchGuard guard(*this);
+    adapter_scratch_.assign(candidates, candidates + num_candidates);
+    std::vector<SetId> chosen = on_element(u, capacity, adapter_scratch_);
+    OSP_REQUIRE_MSG(chosen.size() <= capacity &&
+                        chosen.size() <= num_candidates,
+                    "algorithm chose " << chosen.size()
+                                       << " sets, capacity is " << capacity
+                                       << ", candidates " << num_candidates);
+    std::copy(chosen.begin(), chosen.end(), out);
+    return chosen.size();
+  }
+
+ private:
+  // Each default entry point forwards to the other, so a subclass
+  // overriding neither would recurse forever; the guard turns that
+  // programming error into a RequireError on the first decision.
+  struct DispatchGuard {
+    explicit DispatchGuard(OnlineAlgorithm& alg) : alg_(alg) {
+      OSP_REQUIRE_MSG(!alg_.in_default_dispatch_,
+                      "algorithm overrides neither on_element() nor "
+                      "decide()");
+      alg_.in_default_dispatch_ = true;
+    }
+    ~DispatchGuard() { alg_.in_default_dispatch_ = false; }
+    OnlineAlgorithm& alg_;
+  };
+
+  std::vector<SetId> adapter_scratch_;  // reused by the default decide()
+  bool in_default_dispatch_ = false;
 };
 
 /// Base class that tracks which sets are still "active" — chosen at every
 /// one of their elements seen so far — which most deterministic policies
-/// condition on.  Subclasses must call record() once per on_element after
-/// deciding.
+/// condition on.  Subclasses must call record() once per decision.
 class ActiveTracking : public OnlineAlgorithm {
  public:
   void start(const std::vector<SetMeta>& sets) override {
     meta_ = sets;
-    seen_.assign(sets.size(), 0);
-    progress_.assign(sets.size(), 0);
+    counts_.assign(sets.size(), Counts{});
   }
 
   /// True while s has not yet missed any of its elements.
-  bool is_active(SetId s) const { return progress_[s] == seen_[s]; }
+  bool is_active(SetId s) const {
+    return counts_[s].progress == counts_[s].seen;
+  }
 
   /// Number of elements of s assigned to s so far.
-  std::size_t progress(SetId s) const { return progress_[s]; }
+  std::size_t progress(SetId s) const { return counts_[s].progress; }
 
   /// Number of elements of s that have arrived so far.
-  std::size_t seen(SetId s) const { return seen_[s]; }
+  std::size_t seen(SetId s) const { return counts_[s].seen; }
 
   /// Elements of s that arrived but were not assigned to it.
-  std::size_t misses(SetId s) const { return seen_[s] - progress_[s]; }
+  std::size_t misses(SetId s) const {
+    return counts_[s].seen - counts_[s].progress;
+  }
 
-  /// Elements of s still outstanding (declared size minus seen).
-  std::size_t remaining(SetId s) const { return meta_[s].size - seen_[s]; }
+  /// Elements of s still outstanding (declared size minus seen).  Clamped
+  /// at zero: an adaptive adversary (or a buggy schedule) may present a
+  /// set more elements than its declared SetMeta::size, and the subtraction
+  /// must not wrap std::size_t.
+  std::size_t remaining(SetId s) const {
+    return counts_[s].seen < meta_[s].size ? meta_[s].size - counts_[s].seen
+                                           : 0;
+  }
 
   const std::vector<SetMeta>& meta() const { return meta_; }
 
  protected:
   /// Advances per-set counters: every candidate saw the element; the chosen
   /// ones also received it.
+  void record(const SetId* candidates, std::size_t num_candidates,
+              const SetId* chosen, std::size_t num_chosen) {
+    for (std::size_t i = 0; i < num_candidates; ++i)
+      ++counts_[candidates[i]].seen;
+    for (std::size_t i = 0; i < num_chosen; ++i)
+      ++counts_[chosen[i]].progress;
+  }
+
   void record(const std::vector<SetId>& candidates,
               const std::vector<SetId>& chosen) {
-    for (SetId s : candidates) ++seen_[s];
-    for (SetId s : chosen) ++progress_[s];
+    record(candidates.data(), candidates.size(), chosen.data(),
+           chosen.size());
   }
 
  private:
+  // Both counters of a set share one 8-byte slot (elements are 32-bit
+  // ids, so the counts fit), halving the cache footprint of record().
+  struct Counts {
+    std::uint32_t seen = 0;
+    std::uint32_t progress = 0;
+  };
   std::vector<SetMeta> meta_;
-  std::vector<std::size_t> seen_;
-  std::vector<std::size_t> progress_;
+  std::vector<Counts> counts_;
 };
 
 }  // namespace osp

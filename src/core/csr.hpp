@@ -1,0 +1,138 @@
+// Span-style views and compressed-sparse-row (CSR) storage for the flat
+// engine.
+//
+// The seed engine stored Instance membership as vector<vector<ElementId>>,
+// which scatters every set's element list across the heap and costs one
+// allocation per row.  CSR packs all rows into one flat value array plus an
+// offsets array, so iterating a row is a contiguous scan and building the
+// structure is two passes and two allocations total — the layout used by
+// batched PRAM-style graph processing.
+//
+// C++17 has no std::span, so Span<T> below is the minimal read-only view
+// the library needs.  It converts implicitly to std::vector<T> and compares
+// against vectors so legacy call sites and gtest matchers keep working.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace osp {
+
+/// Read-only contiguous view, analogous to std::span<const T>.
+template <typename T>
+class Span {
+ public:
+  using value_type = T;
+  using const_iterator = const T*;
+
+  Span() = default;
+  Span(const T* data, std::size_t size) : data_(data), size_(size) {}
+  explicit Span(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
+
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  std::vector<T> to_vector() const { return std::vector<T>(begin(), end()); }
+
+  /// Implicit materialization keeps pre-CSR call sites (which passed
+  /// vectors around) compiling; the flat paths never invoke it.
+  operator std::vector<T>() const { return to_vector(); }
+
+ private:
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+template <typename T>
+bool operator==(Span<T> a, Span<T> b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+template <typename T>
+bool operator!=(Span<T> a, Span<T> b) {
+  return !(a == b);
+}
+template <typename T>
+bool operator==(Span<T> a, const std::vector<T>& b) {
+  return a == Span<T>(b);
+}
+template <typename T>
+bool operator==(const std::vector<T>& a, Span<T> b) {
+  return Span<T>(a) == b;
+}
+template <typename T>
+bool operator!=(Span<T> a, const std::vector<T>& b) {
+  return !(a == b);
+}
+template <typename T>
+bool operator!=(const std::vector<T>& a, Span<T> b) {
+  return !(a == b);
+}
+
+/// Rows of variable length packed into one flat array (CSR form).
+template <typename T>
+class CsrArray {
+ public:
+  CsrArray() : offsets_(1, 0) {}
+
+  /// Flattens `rows`; the result holds the same data contiguously.
+  static CsrArray from_rows(const std::vector<std::vector<T>>& rows) {
+    CsrArray csr;
+    csr.offsets_.reserve(rows.size() + 1);
+    std::size_t total = 0;
+    for (const auto& r : rows) total += r.size();
+    csr.values_.reserve(total);
+    for (const auto& r : rows) {
+      csr.values_.insert(csr.values_.end(), r.begin(), r.end());
+      csr.offsets_.push_back(csr.values_.size());
+    }
+    return csr;
+  }
+
+  /// Builds from per-row sizes, leaving values default-initialized; fill
+  /// through mutable_row() afterwards.
+  static CsrArray from_sizes(const std::vector<std::size_t>& sizes) {
+    CsrArray csr;
+    csr.offsets_.reserve(sizes.size() + 1);
+    std::size_t total = 0;
+    for (std::size_t s : sizes) {
+      total += s;
+      csr.offsets_.push_back(total);
+    }
+    csr.values_.resize(total);
+    return csr;
+  }
+
+  std::size_t num_rows() const { return offsets_.size() - 1; }
+  std::size_t total_values() const { return values_.size(); }
+
+  Span<T> row(std::size_t i) const {
+    OSP_ASSERT(i + 1 < offsets_.size());
+    return Span<T>(values_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]);
+  }
+
+  std::size_t row_size(std::size_t i) const {
+    return offsets_[i + 1] - offsets_[i];
+  }
+
+  T* mutable_row(std::size_t i) { return values_.data() + offsets_[i]; }
+
+  const std::vector<T>& values() const { return values_; }
+  const std::vector<std::size_t>& offsets() const { return offsets_; }
+
+ private:
+  std::vector<std::size_t> offsets_;  // size num_rows + 1, offsets_[0] == 0
+  std::vector<T> values_;
+};
+
+}  // namespace osp

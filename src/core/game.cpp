@@ -8,7 +8,8 @@ namespace osp {
 
 namespace {
 
-// Validates one answer against the rules; throws on violation.
+// Validates one answer against the rules; throws on violation.  Legacy
+// (allocating) form used by play_reference and GameEngine's public API.
 void check_answer(const std::vector<SetId>& chosen,
                   const std::vector<SetId>& candidates, Capacity capacity) {
   OSP_REQUIRE_MSG(chosen.size() <= capacity,
@@ -25,26 +26,31 @@ void check_answer(const std::vector<SetId>& chosen,
         "algorithm chose set " << s << " not containing the element");
 }
 
-}  // namespace
-
-Outcome play(const Instance& inst, OnlineAlgorithm& alg) {
-  std::vector<SetMeta> metas(inst.num_sets());
-  for (SetId s = 0; s < inst.num_sets(); ++s)
-    metas[s] = SetMeta{inst.weight(s), inst.set_size(s)};
-  alg.start(metas);
-
-  std::vector<std::size_t> got(inst.num_sets(), 0);
-  Outcome out;
-  out.completed_mask.assign(inst.num_sets(), false);
-
-  for (ElementId u = 0; u < inst.num_elements(); ++u) {
-    const Arrival& a = inst.arrival(u);
-    std::vector<SetId> chosen = alg.on_element(u, a.capacity, a.parents);
-    check_answer(chosen, a.parents, a.capacity);
-    for (SetId s : chosen) ++got[s];
-    out.decisions += chosen.size();
+// Allocation-free form of the same rules.  The chosen list is at most
+// `capacity` entries, so the quadratic duplicate scan is O(b(u)^2) with
+// b(u) tiny in practice — far cheaper than the copy + sort it replaces.
+void check_answer_flat(const SetId* chosen, std::size_t num_chosen,
+                       const SetId* candidates, std::size_t num_candidates,
+                       Capacity capacity) {
+  OSP_REQUIRE_MSG(num_chosen <= capacity,
+                  "algorithm chose " << num_chosen
+                                     << " sets, capacity is " << capacity);
+  for (std::size_t i = 0; i < num_chosen; ++i) {
+    OSP_REQUIRE_MSG(std::binary_search(candidates,
+                                       candidates + num_candidates,
+                                       chosen[i]),
+                    "algorithm chose set "
+                        << chosen[i] << " not containing the element");
+    for (std::size_t j = i + 1; j < num_chosen; ++j)
+      OSP_REQUIRE_MSG(chosen[i] != chosen[j],
+                      "algorithm chose a set twice for one element");
   }
+}
 
+template <class Count>
+void score(const Instance& inst, const std::vector<Count>& got,
+           Outcome& out) {
+  out.completed_mask.assign(inst.num_sets(), false);
   for (SetId s = 0; s < inst.num_sets(); ++s) {
     if (got[s] == inst.set_size(s)) {
       out.completed.push_back(s);
@@ -52,6 +58,66 @@ Outcome play(const Instance& inst, OnlineAlgorithm& alg) {
       out.benefit += inst.weight(s);
     }
   }
+}
+
+}  // namespace
+
+Outcome play_flat(const Instance& inst, OnlineAlgorithm& alg,
+                  PlayScratch& scratch) {
+  const std::size_t m = inst.num_sets();
+  scratch.metas.resize(m);
+  for (SetId s = 0; s < m; ++s)
+    scratch.metas[s] = SetMeta{inst.weight(s), inst.set_size(s)};
+  alg.start(scratch.metas);
+
+  scratch.got.assign(m, 0);
+  if (scratch.chosen.size() < inst.max_capacity())
+    scratch.chosen.resize(inst.max_capacity());
+
+  Outcome out;
+  for (ElementId u = 0; u < inst.num_elements(); ++u) {
+    const Span<SetId> parents = inst.parents(u);
+    const Capacity cap = inst.capacity(u);
+    std::size_t n = alg.decide(u, cap, parents.data(), parents.size(),
+                               scratch.chosen.data());
+    check_answer_flat(scratch.chosen.data(), n, parents.data(),
+                      parents.size(), cap);
+    for (std::size_t i = 0; i < n; ++i) ++scratch.got[scratch.chosen[i]];
+    out.decisions += n;
+  }
+
+  score(inst, scratch.got, out);
+  return out;
+}
+
+Outcome play(const Instance& inst, OnlineAlgorithm& alg) {
+  PlayScratch scratch;
+  return play_flat(inst, alg, scratch);
+}
+
+Outcome play_reference(const Instance& inst, OnlineAlgorithm& alg) {
+  std::vector<SetMeta> metas(inst.num_sets());
+  for (SetId s = 0; s < inst.num_sets(); ++s)
+    metas[s] = SetMeta{inst.weight(s), inst.set_size(s)};
+  alg.start(metas);
+
+  std::vector<std::size_t> got(inst.num_sets(), 0);
+  Outcome out;
+
+  // Reused buffer: the seed engine handed on_element the stored parent
+  // vector; with CSR storage the row is re-materialized, but not with a
+  // fresh allocation per arrival.
+  std::vector<SetId> parents;
+  for (ElementId u = 0; u < inst.num_elements(); ++u) {
+    const ArrivalView a = inst.arrival(u);
+    parents.assign(a.parents.begin(), a.parents.end());
+    std::vector<SetId> chosen = alg.on_element(u, a.capacity, parents);
+    check_answer(chosen, parents, a.capacity);
+    for (SetId s : chosen) ++got[s];
+    out.decisions += chosen.size();
+  }
+
+  score(inst, got, out);
   return out;
 }
 
@@ -64,23 +130,31 @@ GameEngine::GameEngine(std::vector<SetMeta> sets, OnlineAlgorithm& alg)
 
 std::vector<SetId> GameEngine::step(const std::vector<SetId>& parents,
                                     Capacity capacity) {
-  std::vector<SetId> sorted = parents;
-  std::sort(sorted.begin(), sorted.end());
-  OSP_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) ==
-              sorted.end());
-  for (SetId s : sorted) OSP_REQUIRE(s < sets_.size());
+  sorted_.assign(parents.begin(), parents.end());
+  std::sort(sorted_.begin(), sorted_.end());
+  OSP_REQUIRE(std::adjacent_find(sorted_.begin(), sorted_.end()) ==
+              sorted_.end());
+  for (SetId s : sorted_) OSP_REQUIRE(s < sets_.size());
 
-  std::vector<SetId> chosen = alg_.on_element(next_element_++, capacity, sorted);
-  check_answer(chosen, sorted, capacity);
-  decisions_ += chosen.size();
+  if (chosen_.size() < capacity) chosen_.resize(capacity);
+  std::size_t n = alg_.decide(next_element_++, capacity, sorted_.data(),
+                              sorted_.size(), chosen_.data());
+  check_answer_flat(chosen_.data(), n, sorted_.data(), sorted_.size(),
+                    capacity);
+  decisions_ += n;
 
-  std::vector<bool> was_chosen(sets_.size(), false);
-  for (SetId s : chosen) was_chosen[s] = true;
-  for (SetId s : sorted) {
+  for (SetId s : sorted_) {
     ++presented_[s];
-    if (!was_chosen[s]) alg_active_[s] = false;
+    bool was_chosen = false;
+    for (std::size_t i = 0; i < n; ++i)
+      if (chosen_[i] == s) {
+        was_chosen = true;
+        break;
+      }
+    if (!was_chosen) alg_active_[s] = false;
   }
-  return chosen;
+  return std::vector<SetId>(chosen_.begin(),
+                            chosen_.begin() + static_cast<std::ptrdiff_t>(n));
 }
 
 Outcome GameEngine::finish() const {

@@ -1,5 +1,15 @@
 // The online game engine: feeds an instance to an algorithm, enforces the
 // rules of osp, and scores the outcome.
+//
+// Two engines share one rule set:
+//   * play()/play_flat() — the flat engine: drives the allocation-free
+//     decide() path with caller-owned reusable buffers (PlayScratch), so a
+//     steady-state trial performs zero heap allocations per element.
+//   * play_reference()   — the seed engine, preserved verbatim as the
+//     golden reference: drives on_element() and validates with the
+//     original allocating checks.  The fuzz suite proves both produce
+//     identical Outcomes (including the decision count) for every
+//     algorithm in the library.
 #pragma once
 
 #include <vector>
@@ -17,6 +27,14 @@ struct Outcome {
   std::size_t decisions = 0;          // total set-assignments made
 };
 
+/// Reusable buffers for the flat engine.  One per thread; passing the same
+/// scratch to successive runs amortizes every per-run allocation away.
+struct PlayScratch {
+  std::vector<SetMeta> metas;        // per-set metadata handed to start()
+  std::vector<std::uint32_t> got;    // per-set received-element counts
+  std::vector<SetId> chosen;         // per-element decision buffer
+};
+
 /// Runs `alg` over `inst` from the beginning and scores it.
 ///
 /// Enforces the osp rules: each answer must be a duplicate-free subset of
@@ -25,10 +43,21 @@ struct Outcome {
 /// was chosen at every one of its elements; empty sets complete vacuously.
 Outcome play(const Instance& inst, OnlineAlgorithm& alg);
 
+/// play() with caller-owned scratch: identical semantics, but all engine
+/// buffers are reused across calls (the batch runner's per-thread path).
+Outcome play_flat(const Instance& inst, OnlineAlgorithm& alg,
+                  PlayScratch& scratch);
+
+/// The seed engine, kept as the golden reference for equivalence tests:
+/// drives the allocating on_element() path exactly as the original
+/// implementation did.  Semantically identical to play().
+Outcome play_reference(const Instance& inst, OnlineAlgorithm& alg);
+
 /// Incremental engine used by adaptive adversaries (Theorem 3), which must
 /// interleave construction of the arrival sequence with the algorithm's
 /// answers.  Feed elements one at a time and inspect which sets remain
-/// completable.
+/// completable.  Runs on the flat decide() path internally; step() keeps
+/// its vector API because adversaries build parent lists incrementally.
 class GameEngine {
  public:
   /// Starts a game over m sets with the given metadata.
@@ -55,6 +84,8 @@ class GameEngine {
   OnlineAlgorithm& alg_;
   std::vector<bool> alg_active_;
   std::vector<std::size_t> presented_;
+  std::vector<SetId> sorted_;  // scratch: sorted candidates per step
+  std::vector<SetId> chosen_;  // scratch: decision buffer per step
   ElementId next_element_ = 0;
   std::size_t decisions_ = 0;
 };

@@ -27,7 +27,13 @@ namespace osp {
 struct UnitDemand {
   SetId set = 0;
   std::uint32_t units = 1;
-  friend bool operator==(const UnitDemand&, const UnitDemand&) = default;
+  // Explicit rather than `= default`: the library builds as C++17.
+  friend bool operator==(const UnitDemand& a, const UnitDemand& b) {
+    return a.set == b.set && a.units == b.units;
+  }
+  friend bool operator!=(const UnitDemand& a, const UnitDemand& b) {
+    return !(a == b);
+  }
 };
 
 /// One arrival in the general model.

@@ -10,13 +10,12 @@ namespace osp {
 
 Weight Instance::weighted_load(ElementId u) const {
   Weight w = 0;
-  for (SetId s : arrivals_[u].parents) w += weights_[s];
+  for (SetId s : parents_.row(u)) w += weights_[s];
   return w;
 }
 
 double Instance::adjusted_load(ElementId u) const {
-  return static_cast<double>(load(u)) /
-         static_cast<double>(arrivals_[u].capacity);
+  return static_cast<double>(load(u)) / static_cast<double>(capacities_[u]);
 }
 
 InstanceStats Instance::stats() const {
@@ -33,7 +32,7 @@ InstanceStats Instance::stats() const {
   }
   if (!weights_.empty()) st.k_avg /= static_cast<double>(weights_.size());
 
-  for (ElementId u = 0; u < arrivals_.size(); ++u) {
+  for (ElementId u = 0; u < num_elements(); ++u) {
     std::size_t sigma = load(u);
     Weight sw = weighted_load(u);
     double nu = adjusted_load(u);
@@ -45,12 +44,12 @@ InstanceStats Instance::stats() const {
     st.nu_max = std::max(st.nu_max, nu);
     st.nu_avg += nu;
     st.nu_sigma_w_avg += nu * sw;
-    st.b_max = std::max(st.b_max, arrivals_[u].capacity);
-    if (arrivals_[u].capacity != 1) st.unit_capacity = false;
+    st.b_max = std::max(st.b_max, capacities_[u]);
+    if (capacities_[u] != 1) st.unit_capacity = false;
     if (sigma != load(0)) st.uniform_load = false;
   }
-  if (!arrivals_.empty()) {
-    auto n = static_cast<double>(arrivals_.size());
+  if (num_elements() > 0) {
+    auto n = static_cast<double>(num_elements());
     st.sigma_avg /= n;
     st.sigma_sq_avg /= n;
     st.sigma_w_avg /= n;
@@ -63,23 +62,25 @@ InstanceStats Instance::stats() const {
 
 void Instance::validate() const {
   OSP_REQUIRE(set_sizes_.size() == weights_.size());
-  OSP_REQUIRE(members_.size() == weights_.size());
+  OSP_REQUIRE(members_.num_rows() == weights_.size());
+  OSP_REQUIRE(parents_.num_rows() == capacities_.size());
+  OSP_REQUIRE(parents_.total_values() == members_.total_values());
   for (std::size_t s = 0; s < weights_.size(); ++s) {
     OSP_REQUIRE_MSG(weights_[s] >= 0, "negative weight for set " << s);
-    OSP_REQUIRE(members_[s].size() == set_sizes_[s]);
-    for (ElementId u : members_[s]) {
-      OSP_REQUIRE(u < arrivals_.size());
-      const auto& par = arrivals_[u].parents;
+    OSP_REQUIRE(members_.row_size(s) == set_sizes_[s]);
+    for (ElementId u : members_.row(s)) {
+      OSP_REQUIRE(u < num_elements());
+      Span<SetId> par = parents_.row(u);
       OSP_REQUIRE(std::binary_search(par.begin(), par.end(),
                                      static_cast<SetId>(s)));
     }
   }
-  for (const Arrival& a : arrivals_) {
-    OSP_REQUIRE_MSG(a.capacity >= 1, "element capacity must be >= 1");
-    OSP_REQUIRE(std::is_sorted(a.parents.begin(), a.parents.end()));
-    OSP_REQUIRE(std::adjacent_find(a.parents.begin(), a.parents.end()) ==
-                a.parents.end());
-    for (SetId s : a.parents) OSP_REQUIRE(s < weights_.size());
+  for (ElementId u = 0; u < num_elements(); ++u) {
+    OSP_REQUIRE_MSG(capacities_[u] >= 1, "element capacity must be >= 1");
+    Span<SetId> par = parents_.row(u);
+    OSP_REQUIRE(std::is_sorted(par.begin(), par.end()));
+    OSP_REQUIRE(std::adjacent_find(par.begin(), par.end()) == par.end());
+    for (SetId s : par) OSP_REQUIRE(s < weights_.size());
   }
 }
 
@@ -124,14 +125,30 @@ ElementId InstanceBuilder::add_element(std::vector<SetId> parents,
 Instance InstanceBuilder::build() {
   Instance inst;
   inst.weights_ = std::move(weights_);
-  inst.arrivals_ = std::move(arrivals_);
   inst.set_sizes_.assign(inst.weights_.size(), 0);
-  inst.members_.assign(inst.weights_.size(), {});
-  for (ElementId u = 0; u < inst.arrivals_.size(); ++u)
-    for (SetId s : inst.arrivals_[u].parents) {
-      ++inst.set_sizes_[s];
-      inst.members_[s].push_back(u);
-    }
+  inst.capacities_.reserve(arrivals_.size());
+  for (const Arrival& a : arrivals_) {
+    inst.capacities_.push_back(a.capacity);
+    inst.max_capacity_ = std::max(inst.max_capacity_, a.capacity);
+    for (SetId s : a.parents) ++inst.set_sizes_[s];
+  }
+
+  // Flatten parent lists (already per-element) and scatter the transpose
+  // into the per-set member CSR using set_sizes_ as row extents.
+  {
+    std::vector<std::vector<SetId>> rows;
+    rows.reserve(arrivals_.size());
+    for (Arrival& a : arrivals_) rows.push_back(std::move(a.parents));
+    inst.parents_ = CsrArray<SetId>::from_rows(rows);
+  }
+  inst.members_ = CsrArray<ElementId>::from_sizes(inst.set_sizes_);
+  {
+    std::vector<std::size_t> fill(inst.weights_.size(), 0);
+    for (ElementId u = 0; u < inst.num_elements(); ++u)
+      for (SetId s : inst.parents_.row(u))
+        inst.members_.mutable_row(s)[fill[s]++] = u;
+  }
+
   inst.validate();
   weights_.clear();
   arrivals_.clear();

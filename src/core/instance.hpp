@@ -1,20 +1,32 @@
 // The osp instance model: a weighted set system whose elements arrive
 // online in a fixed order, each with a capacity and the list of sets that
 // contain it (Section 2 of the paper).
+//
+// Storage is flat (CSR): all parent lists live in one contiguous array and
+// all member lists in another, so the per-arrival decision path touches a
+// single cache-resident row instead of chasing a vector-of-vectors.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/csr.hpp"
 #include "core/types.hpp"
 
 namespace osp {
 
-/// One online arrival: element u with capacity b(u) and parent sets C(u).
+/// One online arrival as supplied to the builder: element u with capacity
+/// b(u) and parent sets C(u).
 struct Arrival {
   Capacity capacity = 1;
   std::vector<SetId> parents;  // sorted, distinct
+};
+
+/// Zero-copy view of one arrival inside a built Instance.
+struct ArrivalView {
+  Capacity capacity = 1;
+  Span<SetId> parents;  // sorted, distinct, borrowed from the instance
 };
 
 /// Aggregate statistics of an instance, in the paper's notation.
@@ -51,7 +63,7 @@ struct InstanceStats {
 class Instance {
  public:
   std::size_t num_sets() const { return weights_.size(); }
-  std::size_t num_elements() const { return arrivals_.size(); }
+  std::size_t num_elements() const { return capacities_.size(); }
 
   Weight weight(SetId s) const { return weights_[s]; }
   const std::vector<Weight>& weights() const { return weights_; }
@@ -60,16 +72,26 @@ class Instance {
   std::size_t set_size(SetId s) const { return set_sizes_[s]; }
   const std::vector<std::size_t>& set_sizes() const { return set_sizes_; }
 
-  const Arrival& arrival(ElementId u) const { return arrivals_[u]; }
-  const std::vector<Arrival>& arrivals() const { return arrivals_; }
+  /// Capacity b(u).
+  Capacity capacity(ElementId u) const { return capacities_[u]; }
 
-  /// Elements of set s in arrival order.
-  const std::vector<ElementId>& elements_of(SetId s) const {
-    return members_[s];
+  /// Parent sets C(u), sorted and distinct (contiguous view).
+  Span<SetId> parents(ElementId u) const { return parents_.row(u); }
+
+  /// Capacity and parents of one arrival as a single view.
+  ArrivalView arrival(ElementId u) const {
+    return ArrivalView{capacities_[u], parents_.row(u)};
   }
 
+  /// Elements of set s in arrival order (contiguous view).
+  Span<ElementId> elements_of(SetId s) const { return members_.row(s); }
+
   /// Load σ(u).
-  std::size_t load(ElementId u) const { return arrivals_[u].parents.size(); }
+  std::size_t load(ElementId u) const { return parents_.row_size(u); }
+
+  /// Largest capacity over all elements (1 if there are none); used to
+  /// size decision buffers once per run.
+  Capacity max_capacity() const { return max_capacity_; }
 
   /// Weighted load σ$(u) = total weight of sets containing u.
   Weight weighted_load(ElementId u) const;
@@ -92,8 +114,10 @@ class Instance {
   friend class InstanceBuilder;
   std::vector<Weight> weights_;
   std::vector<std::size_t> set_sizes_;
-  std::vector<Arrival> arrivals_;
-  std::vector<std::vector<ElementId>> members_;  // per-set element lists
+  std::vector<Capacity> capacities_;   // per element
+  CsrArray<SetId> parents_;            // per-element parent lists
+  CsrArray<ElementId> members_;        // per-set element lists
+  Capacity max_capacity_ = 1;
 };
 
 /// Incremental constructor for Instance.

@@ -50,7 +50,7 @@ void write_instance(std::ostream& os, const Instance& inst) {
   for (SetId s = 0; s < inst.num_sets(); ++s) os << inst.weight(s) << "\n";
   os << "elements " << inst.num_elements() << "\n";
   for (ElementId u = 0; u < inst.num_elements(); ++u) {
-    const Arrival& a = inst.arrival(u);
+    const ArrivalView a = inst.arrival(u);
     os << a.capacity;
     for (SetId s : a.parents) os << ' ' << s;
     os << "\n";

@@ -6,29 +6,96 @@
 
 namespace osp {
 
+std::size_t top_by_priority_soa(const SetId* candidates, std::size_t n,
+                                const double* keys,
+                                const std::uint64_t* ties, Capacity capacity,
+                                SetId* out, std::vector<SetId>& scratch) {
+  if (n <= capacity) {
+    std::copy(candidates, candidates + n, out);
+    return n;
+  }
+  if (capacity == 1) {
+    // Branchless argmax scan: priorities are effectively random, so a
+    // branchy max would mispredict ~ln(n) times per element; conditional
+    // moves keep the pipeline full.  Exact key collisions (probability ~0
+    // for sampled keys, boundary clamps for hashed ones) fall back to the
+    // tie field in a cold branch.
+    SetId best = candidates[0];
+    double best_key = keys[best];
+    for (std::size_t i = 1; i < n; ++i) {
+      const SetId c = candidates[i];
+      const double k = keys[c];
+      if (k == best_key) {  // cold: resolve by tie, preserving total order
+        if (ties[c] > ties[best]) best = c;
+        continue;
+      }
+      const bool better = k > best_key;
+      best = better ? c : best;
+      best_key = better ? k : best_key;
+    }
+    out[0] = best;
+    return 1;
+  }
+  const auto higher = [&](SetId a, SetId b) {
+    if (keys[a] != keys[b]) return keys[a] > keys[b];
+    return ties[a] > ties[b];
+  };
+  scratch.assign(candidates, candidates + n);
+  auto mid = scratch.begin() + static_cast<std::ptrdiff_t>(capacity);
+  std::nth_element(scratch.begin(), mid - 1, scratch.end(), higher);
+  std::sort(scratch.begin(), mid, higher);
+  std::copy(scratch.begin(), mid, out);
+  return capacity;
+}
+
+std::size_t top_by_priority_flat(const SetId* candidates, std::size_t n,
+                                 const std::vector<PriorityKey>& keys,
+                                 Capacity capacity, SetId* out,
+                                 std::vector<SetId>& scratch) {
+  if (n <= capacity) {
+    std::copy(candidates, candidates + n, out);
+    return n;
+  }
+  const auto higher = [&](SetId a, SetId b) { return keys[a] > keys[b]; };
+  if (capacity == 1) {
+    SetId best = candidates[0];
+    for (std::size_t i = 1; i < n; ++i)
+      if (higher(candidates[i], best)) best = candidates[i];
+    out[0] = best;
+    return 1;
+  }
+  scratch.assign(candidates, candidates + n);
+  auto mid = scratch.begin() + static_cast<std::ptrdiff_t>(capacity);
+  std::nth_element(scratch.begin(), mid - 1, scratch.end(), higher);
+  std::sort(scratch.begin(), mid, higher);
+  std::copy(scratch.begin(), mid, out);
+  return capacity;
+}
+
 std::vector<SetId> top_by_priority(const std::vector<SetId>& candidates,
                                    const std::vector<PriorityKey>& keys,
                                    Capacity capacity) {
-  if (candidates.size() <= capacity) return candidates;
-  std::vector<SetId> chosen = candidates;
-  std::partial_sort(chosen.begin(), chosen.begin() + capacity, chosen.end(),
-                    [&](SetId a, SetId b) { return keys[a] > keys[b]; });
-  chosen.resize(capacity);
+  std::vector<SetId> chosen(
+      std::min<std::size_t>(capacity, candidates.size()));
+  std::vector<SetId> scratch;
+  chosen.resize(top_by_priority_flat(candidates.data(), candidates.size(),
+                                     keys, capacity, chosen.data(), scratch));
   return chosen;
 }
 
 namespace {
 
-// Applies the filter_dead ablation: drops candidates the tracker knows
-// can no longer earn value (missed more than allowed_misses elements).
-std::vector<SetId> filter_active(const ActiveTracking& tracker,
-                                 const std::vector<SetId>& candidates,
-                                 std::size_t allowed_misses) {
-  std::vector<SetId> alive;
-  alive.reserve(candidates.size());
-  for (SetId s : candidates)
-    if (tracker.misses(s) <= allowed_misses) alive.push_back(s);
-  return alive;
+// Applies the filter_dead ablation: keeps candidates the tracker still
+// expects to earn value (missed at most allowed_misses elements).
+std::size_t filter_active(const ActiveTracking& tracker,
+                          const SetId* candidates, std::size_t n,
+                          std::size_t allowed_misses,
+                          std::vector<SetId>& alive) {
+  alive.clear();
+  for (std::size_t i = 0; i < n; ++i)
+    if (tracker.misses(candidates[i]) <= allowed_misses)
+      alive.push_back(candidates[i]);
+  return alive.size();
 }
 
 }  // namespace
@@ -46,28 +113,41 @@ std::string RandPr::name() const {
 
 void RandPr::start(const std::vector<SetMeta>& sets) {
   ActiveTracking::start(sets);
-  priorities_.resize(sets.size());
+  keys_.resize(sets.size());
+  ties_.resize(sets.size());
   for (SetId s = 0; s < sets.size(); ++s) {
     double w = options_.ignore_weights ? 1.0 : std::max(sets[s].weight, 1e-12);
-    priorities_[s] = sample_rw_key(w, rng_);
+    PriorityKey k = sample_rw_key(w, rng_);
+    keys_[s] = k.key;
+    ties_[s] = k.tie;
   }
 }
 
-std::vector<SetId> RandPr::on_element(ElementId, Capacity capacity,
-                                      const std::vector<SetId>& candidates) {
+std::size_t RandPr::decide(ElementId, Capacity capacity,
+                           const SetId* candidates,
+                           std::size_t num_candidates, SetId* out) {
   if (options_.fresh_priorities_per_element) {
-    for (SetId s : candidates) {
+    for (std::size_t i = 0; i < num_candidates; ++i) {
+      SetId s = candidates[i];
       double w =
           options_.ignore_weights ? 1.0 : std::max(meta()[s].weight, 1e-12);
-      priorities_[s] = sample_rw_key(w, rng_);
+      PriorityKey k = sample_rw_key(w, rng_);
+      keys_[s] = k.key;
+      ties_[s] = k.tie;
     }
   }
-  const std::vector<SetId> pool =
-      options_.filter_dead
-          ? filter_active(*this, candidates, options_.allowed_misses)
-          : candidates;
-  std::vector<SetId> chosen = top_by_priority(pool, priorities_, capacity);
-  record(candidates, chosen);
+  // Paper-exact configuration: selection only, no pool copy and (since
+  // the algorithm never reads the activity tracker) no bookkeeping.
+  if (!options_.filter_dead)
+    return top_by_priority_soa(candidates, num_candidates, keys_.data(),
+                               ties_.data(), capacity, out, topk_scratch_);
+
+  std::size_t pool_n = filter_active(*this, candidates, num_candidates,
+                                     options_.allowed_misses, pool_scratch_);
+  std::size_t chosen =
+      top_by_priority_soa(pool_scratch_.data(), pool_n, keys_.data(),
+                          ties_.data(), capacity, out, topk_scratch_);
+  record(candidates, num_candidates, out, chosen);
   return chosen;
 }
 
@@ -101,25 +181,33 @@ std::string HashedRandPr::name() const { return label_; }
 
 void HashedRandPr::start(const std::vector<SetMeta>& sets) {
   ActiveTracking::start(sets);
-  priorities_.resize(sets.size());
+  keys_.resize(sets.size());
+  ties_.resize(sets.size());
   for (SetId s = 0; s < sets.size(); ++s) {
     double u = hash_(s);
     // Clamp hash output into the open interval required by the key
     // transform; collisions at the boundary are broken by the tie field.
     u = std::min(std::max(u, 1e-15), 1.0 - 1e-15);
     double w = options_.ignore_weights ? 1.0 : std::max(sets[s].weight, 1e-12);
-    priorities_[s] = rw_key_from_uniform(u, w, /*tie=*/s);
+    PriorityKey k = rw_key_from_uniform(u, w, /*tie=*/s);
+    keys_[s] = k.key;
+    ties_[s] = k.tie;
   }
 }
 
-std::vector<SetId> HashedRandPr::on_element(
-    ElementId, Capacity capacity, const std::vector<SetId>& candidates) {
-  const std::vector<SetId> pool =
-      options_.filter_dead
-          ? filter_active(*this, candidates, options_.allowed_misses)
-          : candidates;
-  std::vector<SetId> chosen = top_by_priority(pool, priorities_, capacity);
-  record(candidates, chosen);
+std::size_t HashedRandPr::decide(ElementId, Capacity capacity,
+                                 const SetId* candidates,
+                                 std::size_t num_candidates, SetId* out) {
+  if (!options_.filter_dead)
+    return top_by_priority_soa(candidates, num_candidates, keys_.data(),
+                               ties_.data(), capacity, out, topk_scratch_);
+
+  std::size_t pool_n = filter_active(*this, candidates, num_candidates,
+                                     options_.allowed_misses, pool_scratch_);
+  std::size_t chosen =
+      top_by_priority_soa(pool_scratch_.data(), pool_n, keys_.data(),
+                          ties_.data(), capacity, out, topk_scratch_);
+  record(candidates, num_candidates, out, chosen);
   return chosen;
 }
 

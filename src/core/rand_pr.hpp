@@ -9,6 +9,11 @@
 // shared hash function h, which is what a distributed deployment (several
 // routers seeing parts of the same frame) would use; Section 3.1 notes that
 // kmax·σmax-wise independence suffices.
+//
+// Both variants implement the flat decide() path: selection is a linear
+// argmax scan for b(u) = 1 and an O(σ) std::nth_element otherwise, with all
+// working storage held in reusable member buffers — zero allocations per
+// decision in steady state.
 #pragma once
 
 #include <functional>
@@ -46,6 +51,11 @@ struct RandPrOptions {
 };
 
 /// The paper's randPr with true (pseudo-)randomness.
+///
+/// Perf note: the paper-exact configuration never reads the activity
+/// tracker (randPr conditions on nothing but its fixed priorities), so
+/// this class updates ActiveTracking only when filter_dead is set; with
+/// the default options the tracker stays at its start() state.
 class RandPr : public ActiveTracking {
  public:
   /// `rng` seeds the per-run priority draws.
@@ -53,16 +63,23 @@ class RandPr : public ActiveTracking {
 
   std::string name() const override;
   void start(const std::vector<SetMeta>& sets) override;
-  std::vector<SetId> on_element(ElementId u, Capacity capacity,
-                                const std::vector<SetId>& candidates) override;
+  std::size_t decide(ElementId u, Capacity capacity, const SetId* candidates,
+                     std::size_t num_candidates, SetId* out) override;
 
   /// Priority key currently assigned to set s (for tests).
-  PriorityKey priority(SetId s) const { return priorities_[s]; }
+  PriorityKey priority(SetId s) const {
+    return PriorityKey{keys_[s], ties_[s]};
+  }
 
  private:
   Rng rng_;
   RandPrOptions options_;
-  std::vector<PriorityKey> priorities_;
+  // Priorities in structure-of-arrays form: the selection loop compares
+  // keys_ (8-byte loads); ties_ is consulted only on exact key equality.
+  std::vector<double> keys_;
+  std::vector<std::uint64_t> ties_;
+  std::vector<SetId> pool_scratch_;  // filter_dead survivors
+  std::vector<SetId> topk_scratch_;  // nth_element workspace
 };
 
 /// Distributed randPr: priorities come from a shared hash of the set id,
@@ -70,6 +87,10 @@ class RandPr : public ActiveTracking {
 ///
 /// HashFn maps a set id to a uniform double in (0, 1); the class adapts
 /// any of the families in hash/universal_hash.hpp.
+///
+/// Perf note: like RandPr, the activity tracker is updated only when
+/// filter_dead is set; with default options the inherited accessors stay
+/// at their start() state.
 class HashedRandPr : public ActiveTracking {
  public:
   using HashFn = std::function<double(std::uint64_t)>;
@@ -85,20 +106,42 @@ class HashedRandPr : public ActiveTracking {
 
   std::string name() const override;
   void start(const std::vector<SetMeta>& sets) override;
-  std::vector<SetId> on_element(ElementId u, Capacity capacity,
-                                const std::vector<SetId>& candidates) override;
+  std::size_t decide(ElementId u, Capacity capacity, const SetId* candidates,
+                     std::size_t num_candidates, SetId* out) override;
 
  private:
   HashFn hash_;
   std::string label_;
   RandPrOptions options_;
-  std::vector<PriorityKey> priorities_;
+  std::vector<double> keys_;
+  std::vector<std::uint64_t> ties_;
+  std::vector<SetId> pool_scratch_;
+  std::vector<SetId> topk_scratch_;
 };
 
-/// Shared helper: picks the `capacity` candidates with the highest keys.
-/// Exposed for reuse by HashedRandPr and tests.
+/// Shared helper: picks the `capacity` candidates with the highest keys,
+/// in descending key order.  Allocating convenience wrapper over the flat
+/// form below; exposed for reuse by tests.
 std::vector<SetId> top_by_priority(const std::vector<SetId>& candidates,
                                    const std::vector<PriorityKey>& keys,
                                    Capacity capacity);
+
+/// Flat form: writes the min(capacity, n) highest-key candidates into
+/// `out` (descending key order when a selection happens; input order when
+/// every candidate fits) and returns the count.  `scratch` is reused as
+/// the nth_element workspace.  O(n) plus O(c log c) for the final order of
+/// the c = capacity winners.
+std::size_t top_by_priority_flat(const SetId* candidates, std::size_t n,
+                                 const std::vector<PriorityKey>& keys,
+                                 Capacity capacity, SetId* out,
+                                 std::vector<SetId>& scratch);
+
+/// Structure-of-arrays form used by the RandPr decide() hot path: `keys`
+/// orders candidates, `ties` breaks exact key collisions (same total order
+/// as PriorityKey).  Identical selection semantics to the forms above.
+std::size_t top_by_priority_soa(const SetId* candidates, std::size_t n,
+                                const double* keys,
+                                const std::uint64_t* ties, Capacity capacity,
+                                SetId* out, std::vector<SetId>& scratch);
 
 }  // namespace osp

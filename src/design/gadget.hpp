@@ -31,7 +31,13 @@ namespace osp {
 struct GadgetItem {
   std::uint32_t row;
   std::uint32_t col;
-  friend bool operator==(const GadgetItem&, const GadgetItem&) = default;
+  // Explicit rather than `= default`: the library builds as C++17.
+  friend bool operator==(const GadgetItem& a, const GadgetItem& b) {
+    return a.row == b.row && a.col == b.col;
+  }
+  friend bool operator!=(const GadgetItem& a, const GadgetItem& b) {
+    return !(a == b);
+  }
 };
 
 /// An (M,N)-gadget over GF(N).

@@ -1,0 +1,23 @@
+#include "engine/batch_runner.hpp"
+
+#include <cstdlib>
+
+namespace osp::engine {
+
+std::size_t resolve_num_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("OSP_THREADS")) {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end && *end == '\0' && v >= 1) return static_cast<std::size_t>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+const BatchRunner& shared_runner() {
+  static const BatchRunner runner{BatchOptions{}};
+  return runner;
+}
+
+}  // namespace osp::engine

@@ -1,0 +1,63 @@
+#include "engine/trial.hpp"
+
+#include "engine/batch_runner.hpp"
+#include "util/require.hpp"
+
+namespace osp::engine {
+
+std::uint64_t trial_seed(std::uint64_t master_seed, std::size_t instance_idx,
+                         std::size_t alg_idx, std::uint64_t trial) {
+  // Feed the coordinates through SplitMix64 one at a time; each call
+  // advances the state, so (i, a, t) and (a, i, t) produce unrelated
+  // seeds and no coordinate can cancel another.
+  std::uint64_t state = master_seed;
+  splitmix64(state);
+  state ^= 0x9e3779b97f4a7c15ULL * (instance_idx + 1);
+  splitmix64(state);
+  state ^= 0xbf58476d1ce4e5b9ULL * (alg_idx + 1);
+  splitmix64(state);
+  state ^= trial;
+  return splitmix64(state);
+}
+
+TrialResult run_play_trial(const Instance& inst, const AlgSpec& alg,
+                           std::uint64_t seed, TrialContext& ctx) {
+  OSP_REQUIRE(alg.make != nullptr);
+  std::unique_ptr<OnlineAlgorithm> policy = alg.make(Rng(seed));
+  OSP_REQUIRE(policy != nullptr);
+  Outcome out = play_flat(inst, *policy, ctx.scratch);
+  return TrialResult{out.benefit, out.decisions, out.completed.size()};
+}
+
+std::vector<CellStats> run_grid(const BatchRunner& runner,
+                                const GridSpec& spec) {
+  OSP_REQUIRE(spec.trials >= 1);
+  const std::size_t num_algs = spec.algorithms.size();
+  const std::size_t trials = static_cast<std::size_t>(spec.trials);
+  const std::size_t total = spec.instances.size() * num_algs * trials;
+
+  // Flat trial index -> (instance, algorithm, trial); trial varies fastest
+  // so neighbouring indices share an instance and stay cache-warm.
+  auto results = runner.map<TrialResult>(
+      total, [&](std::size_t idx, TrialContext& ctx) {
+        const std::size_t t = idx % trials;
+        const std::size_t a = (idx / trials) % num_algs;
+        const std::size_t i = idx / (trials * num_algs);
+        return run_play_trial(*spec.instances[i], spec.algorithms[a],
+                              trial_seed(spec.master_seed, i, a, t), ctx);
+      });
+
+  // Serial aggregation in index order: deterministic for any thread count.
+  std::vector<CellStats> cells(spec.instances.size() * num_algs);
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    const std::size_t a = (idx / trials) % num_algs;
+    const std::size_t i = idx / (trials * num_algs);
+    CellStats& cell = cells[i * num_algs + a];
+    cell.benefit.add(results[idx].benefit);
+    cell.decisions.add(static_cast<double>(results[idx].decisions));
+    cell.elements += spec.instances[i]->num_elements();
+  }
+  return cells;
+}
+
+}  // namespace osp::engine

@@ -1,0 +1,79 @@
+// Trial abstractions for the shared batch runner.
+//
+// A trial is one (instance × algorithm × seed) cell of an experiment grid.
+// Seeds are derived deterministically from the grid coordinates — never
+// from thread ids or scheduling order — so every result is bit-identical
+// regardless of how many workers execute the batch.  Per-thread state
+// (engine scratch, decision buffers) lives in TrialContext and is reused
+// across all trials a worker executes, keeping the steady state
+// allocation-free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/game.hpp"
+#include "core/instance.hpp"
+#include "stats/summary.hpp"
+#include "util/rng.hpp"
+
+namespace osp::engine {
+
+class BatchRunner;
+
+/// Per-worker reusable state handed to every trial body.
+struct TrialContext {
+  PlayScratch scratch;
+  std::size_t thread_index = 0;
+};
+
+/// Derives the seed of trial `trial` of algorithm `alg_idx` on instance
+/// `instance_idx`: a SplitMix64 mix of the coordinates, independent of
+/// execution order.
+std::uint64_t trial_seed(std::uint64_t master_seed, std::size_t instance_idx,
+                         std::size_t alg_idx, std::uint64_t trial);
+
+/// Builds a fresh algorithm for one trial from that trial's seeded Rng.
+using AlgFactory = std::function<std::unique_ptr<OnlineAlgorithm>(Rng)>;
+
+/// A named algorithm column of the grid.
+struct AlgSpec {
+  std::string name;
+  AlgFactory make;
+};
+
+/// Scalar outcomes of one play trial.
+struct TrialResult {
+  Weight benefit = 0;
+  std::size_t decisions = 0;
+  std::size_t completed = 0;
+};
+
+/// Runs one seeded trial of `alg` on `inst` through the flat engine.
+TrialResult run_play_trial(const Instance& inst, const AlgSpec& alg,
+                           std::uint64_t seed, TrialContext& ctx);
+
+/// Aggregates of one (instance, algorithm) grid cell over its trials.
+struct CellStats {
+  RunningStat benefit;
+  RunningStat decisions;
+  std::uint64_t elements = 0;  // total elements processed across trials
+};
+
+/// An (instances × algorithms × trials) experiment grid.
+struct GridSpec {
+  std::vector<const Instance*> instances;
+  std::vector<AlgSpec> algorithms;
+  int trials = 1;
+  std::uint64_t master_seed = 0x05e7facade5ULL;
+};
+
+/// Runs the whole grid on `runner`; cell (i, a) of the result is at index
+/// i * algorithms.size() + a.  Deterministic for any worker count.
+std::vector<CellStats> run_grid(const BatchRunner& runner,
+                                const GridSpec& spec);
+
+}  // namespace osp::engine

@@ -46,6 +46,7 @@ RouterStats simulate_router(const FrameSchedule& schedule,
 
   RouterStats stats;
   std::vector<std::size_t> served(schedule.frames.size(), 0);
+  std::vector<SetId> chosen(service_rate);  // reusable decision buffer
   ElementId element = 0;
   for (std::size_t slot = 0; slot < schedule.horizon; ++slot) {
     auto& burst = slot_frames[slot];
@@ -53,14 +54,16 @@ RouterStats simulate_router(const FrameSchedule& schedule,
     std::sort(burst.begin(), burst.end());
     stats.packets_arrived += burst.size();
 
-    std::vector<SetId> chosen = alg.on_element(element++, service_rate, burst);
-    OSP_REQUIRE(chosen.size() <= service_rate);
-    for (SetId f : chosen) {
+    std::size_t n = alg.decide(element++, service_rate, burst.data(),
+                               burst.size(), chosen.data());
+    OSP_REQUIRE(n <= service_rate);
+    for (std::size_t i = 0; i < n; ++i) {
+      SetId f = chosen[i];
       OSP_REQUIRE(std::binary_search(burst.begin(), burst.end(), f));
       ++served[f];
       ++stats.packets_served;
     }
-    stats.packets_dropped += burst.size() - chosen.size();
+    stats.packets_dropped += burst.size() - n;
   }
   tally_frames(schedule, served, stats);
   return stats;

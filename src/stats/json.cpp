@@ -1,0 +1,114 @@
+#include "stats/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/require.hpp"
+
+namespace osp {
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // comma was handled by key()
+  }
+  if (!comma_stack_.empty()) {
+    if (comma_stack_.back()) os_ << ',';
+    comma_stack_.back() = true;
+  }
+}
+
+void JsonWriter::escape(const std::string& s) {
+  os_ << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\t': os_ << "\\t"; break;
+      case '\r': os_ << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  comma_stack_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  OSP_REQUIRE(!comma_stack_.empty() && !pending_key_);
+  comma_stack_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  comma_stack_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  OSP_REQUIRE(!comma_stack_.empty() && !pending_key_);
+  comma_stack_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  OSP_REQUIRE(!comma_stack_.empty() && !pending_key_);
+  if (comma_stack_.back()) os_ << ',';
+  comma_stack_.back() = true;
+  escape(name);
+  os_ << ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no inf/nan
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::integer(std::int64_t bits, bool is_signed) {
+  before_value();
+  if (is_signed)
+    os_ << bits;
+  else
+    os_ << static_cast<std::uint64_t>(bits);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  escape(v);
+  return *this;
+}
+
+}  // namespace osp

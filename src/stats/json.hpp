@@ -1,0 +1,66 @@
+// Minimal streaming JSON writer for the benchmark binaries.
+//
+// Every bench emits a BENCH_<name>.json next to its console table so the
+// perf trajectory is machine-readable across PRs.  The writer is a thin
+// state machine over an ostream: begin/end object and array scopes, keys,
+// and scalar values; commas and quoting are handled automatically.  No DOM,
+// no dependencies.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace osp {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the key of the next member; must be inside an object.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+
+  /// Any integer type (bool excluded — it has its own overload above).
+  template <class T,
+            typename std::enable_if<std::is_integral<T>::value &&
+                                        !std::is_same<T, bool>::value,
+                                    int>::type = 0>
+  JsonWriter& value(T v) {
+    if (std::is_signed<T>::value)
+      return integer(static_cast<std::int64_t>(v), true);
+    return integer(static_cast<std::int64_t>(
+                       static_cast<std::uint64_t>(v)),
+                   false);
+  }
+
+  /// key() + value() in one call.
+  template <class T>
+  JsonWriter& kv(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+ private:
+  JsonWriter& integer(std::int64_t bits, bool is_signed);
+  void before_value();
+  void escape(const std::string& s);
+
+  std::ostream& os_;
+  // One frame per open scope: true once the first member was written.
+  std::vector<bool> comma_stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace osp

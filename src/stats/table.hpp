@@ -39,9 +39,10 @@ class Table {
 /// Formats a double with the given precision, trimming trailing zeros.
 std::string fmt(double value, int precision = 3);
 
-/// Formats any integer type.
-template <class T>
-  requires std::is_integral_v<T>
+/// Formats any integer type.  (SFINAE rather than a C++20 requires-clause:
+/// the library builds as C++17.)
+template <class T,
+          typename std::enable_if<std::is_integral<T>::value, int>::type = 0>
 std::string fmt(T value) {
   return std::to_string(value);
 }

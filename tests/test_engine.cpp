@@ -1,0 +1,503 @@
+// Tests for the flat engine: golden equivalence against the seed engine
+// and seed algorithms, batch-runner determinism, and scratch reuse.
+//
+// The equivalence suite works at two levels:
+//  * engine level — play() / play_flat() must reproduce play_reference()
+//    (the seed engine, preserved verbatim) exactly, including the
+//    per-element decision traces, for every algorithm in the library;
+//  * algorithm level — the ported decide() implementations must reproduce
+//    the SEED implementations of randPr / the baselines (replicated here
+//    verbatim from the pre-refactor sources) decision for decision.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "algos/baselines.hpp"
+#include "core/game.hpp"
+#include "core/priority.hpp"
+#include "core/rand_pr.hpp"
+#include "engine/batch_runner.hpp"
+#include "engine/trial.hpp"
+#include "gen/random_instances.hpp"
+#include "testing/seed_reference.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace osp {
+namespace {
+
+// ---------------------------------------------------------------------
+// Seed algorithm replicas (verbatim from the pre-refactor sources).
+
+/// The seed repo's greedy-maxw baseline: stable_sort selection.
+class SeedGreedyMaxWeight final : public ActiveTracking {
+ public:
+  std::string name() const override { return "seed-greedy-maxw"; }
+  std::vector<SetId> on_element(
+      ElementId, Capacity capacity,
+      const std::vector<SetId>& candidates) override {
+    std::vector<SetId> active, dead;
+    for (SetId s : candidates)
+      (is_active(s) ? active : dead).push_back(s);
+    std::stable_sort(active.begin(), active.end(), [&](SetId a, SetId b) {
+      double sa = meta()[a].weight, sb = meta()[b].weight;
+      if (sa != sb) return sa > sb;
+      return a < b;
+    });
+    std::vector<SetId> chosen;
+    for (SetId s : active) {
+      if (chosen.size() == capacity) break;
+      chosen.push_back(s);
+    }
+    for (SetId s : dead) {
+      if (chosen.size() == capacity) break;
+      chosen.push_back(s);
+    }
+    record(candidates, chosen);
+    return chosen;
+  }
+};
+
+/// The seed repo's round-robin baseline, cursor behaviour included.
+class SeedRoundRobin final : public ActiveTracking {
+ public:
+  std::string name() const override { return "seed-round-robin"; }
+  void start(const std::vector<SetMeta>& sets) override {
+    ActiveTracking::start(sets);
+    cursor_ = 0;
+  }
+  std::vector<SetId> on_element(
+      ElementId, Capacity capacity,
+      const std::vector<SetId>& candidates) override {
+    std::vector<SetId> active, dead;
+    for (SetId s : candidates) (is_active(s) ? active : dead).push_back(s);
+    std::stable_sort(active.begin(), active.end(), [&](SetId a, SetId b) {
+      bool wa = a >= cursor_, wb = b >= cursor_;
+      if (wa != wb) return wa;
+      return a < b;
+    });
+    std::vector<SetId> chosen;
+    for (SetId s : active) {
+      if (chosen.size() == capacity) break;
+      chosen.push_back(s);
+    }
+    for (SetId s : dead) {
+      if (chosen.size() == capacity) break;
+      chosen.push_back(s);
+    }
+    if (!chosen.empty()) cursor_ = chosen.front() + 1;
+    if (cursor_ >= meta().size()) cursor_ = 0;
+    record(candidates, chosen);
+    return chosen;
+  }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+/// The seed repo's uniform-random baseline: identical Rng draw sequence.
+class SeedUniformRandomChoice final : public ActiveTracking {
+ public:
+  explicit SeedUniformRandomChoice(Rng rng) : rng_(rng) {}
+  std::string name() const override { return "seed-uniform-random"; }
+  std::vector<SetId> on_element(
+      ElementId, Capacity capacity,
+      const std::vector<SetId>& candidates) override {
+    std::vector<SetId> pool;
+    for (SetId s : candidates)
+      if (is_active(s)) pool.push_back(s);
+    if (pool.empty()) pool = candidates;
+    std::vector<SetId> chosen;
+    for (std::size_t i = 0; i < pool.size() && chosen.size() < capacity;
+         ++i) {
+      std::size_t j =
+          i + static_cast<std::size_t>(rng_.below(pool.size() - i));
+      std::swap(pool[i], pool[j]);
+      chosen.push_back(pool[i]);
+    }
+    record(candidates, chosen);
+    return chosen;
+  }
+
+ private:
+  Rng rng_;
+};
+
+// ---------------------------------------------------------------------
+// Helpers.
+
+/// Wraps an algorithm and records every answer it gives, on either path.
+class Recording final : public OnlineAlgorithm {
+ public:
+  explicit Recording(OnlineAlgorithm& inner) : inner_(inner) {}
+  std::string name() const override { return inner_.name(); }
+  void start(const std::vector<SetMeta>& sets) override {
+    inner_.start(sets);
+  }
+  std::vector<SetId> on_element(
+      ElementId u, Capacity capacity,
+      const std::vector<SetId>& candidates) override {
+    std::vector<SetId> chosen = inner_.on_element(u, capacity, candidates);
+    trace.push_back(chosen);
+    return chosen;
+  }
+  std::size_t decide(ElementId u, Capacity capacity, const SetId* candidates,
+                     std::size_t num_candidates, SetId* out) override {
+    std::size_t n =
+        inner_.decide(u, capacity, candidates, num_candidates, out);
+    trace.emplace_back(out, out + n);
+    return n;
+  }
+
+  std::vector<std::vector<SetId>> trace;
+
+ private:
+  OnlineAlgorithm& inner_;
+};
+
+void expect_same_outcome(const Outcome& a, const Outcome& b,
+                         const std::string& what) {
+  EXPECT_EQ(a.completed, b.completed) << what;
+  EXPECT_EQ(a.completed_mask, b.completed_mask) << what;
+  EXPECT_EQ(a.decisions, b.decisions) << what;
+  EXPECT_DOUBLE_EQ(a.benefit, b.benefit) << what;
+}
+
+Instance fuzz_instance(std::size_t round, Rng& gen) {
+  const std::size_t m = 3 + gen.below(30);
+  const std::size_t n = 4 + gen.below(60);
+  const std::size_t k = 1 + gen.below(4);  // k <= 4 <= n always
+  const WeightModel wm = (round % 3 == 0) ? WeightModel::unit()
+                         : (round % 3 == 1)
+                             ? WeightModel::uniform(1, 9)
+                             : WeightModel::zipf(1.3);
+  if (round % 2 == 0)
+    return random_instance(m, n, k, wm, gen);
+  return random_capacity_instance(m, n, k, /*cap_max=*/3, wm, gen);
+}
+
+// ---------------------------------------------------------------------
+// Golden equivalence: flat engine vs seed engine, ported vs seed algs.
+
+TEST(GoldenEquivalence, FlatEngineMatchesSeedEngineForAllAlgorithms) {
+  Rng master(0xf1a7);
+  PlayScratch scratch;  // deliberately shared across all runs
+  for (std::size_t round = 0; round < 24; ++round) {
+    Rng gen = master.split(round);
+    Instance inst = fuzz_instance(round, gen);
+
+    struct Maker {
+      std::string label;
+      std::function<std::unique_ptr<OnlineAlgorithm>(Rng)> make;
+    };
+    std::vector<Maker> makers;
+    makers.push_back({"randPr", [](Rng r) {
+                        return std::make_unique<RandPr>(r);
+                      }});
+    makers.push_back({"randPr/filt", [](Rng r) {
+                        return std::make_unique<RandPr>(
+                            r, RandPrOptions{.filter_dead = true});
+                      }});
+    makers.push_back(
+        {"randPr/filt1", [](Rng r) {
+           RandPrOptions o;
+           o.filter_dead = true;
+           o.allowed_misses = 1;
+           return std::make_unique<RandPr>(r, o);
+         }});
+    makers.push_back({"randPr/unif", [](Rng r) {
+                        return std::make_unique<RandPr>(
+                            r, RandPrOptions{.ignore_weights = true});
+                      }});
+    makers.push_back(
+        {"randPr/fresh", [](Rng r) {
+           RandPrOptions o;
+           o.fresh_priorities_per_element = true;
+           return std::make_unique<RandPr>(r, o);
+         }});
+    makers.push_back({"hashPr/poly", [](Rng r) {
+                        return HashedRandPr::with_polynomial(8, r);
+                      }});
+    makers.push_back({"hashPr/tab", [](Rng r) {
+                        return HashedRandPr::with_tabulation(r);
+                      }});
+    makers.push_back({"hashPr/ms", [](Rng r) {
+                        return HashedRandPr::with_multiply_shift(r);
+                      }});
+    makers.push_back({"uniform-random", [](Rng r) {
+                        return std::make_unique<UniformRandomChoice>(r);
+                      }});
+    const std::size_t num_baselines = make_deterministic_baselines().size();
+    for (std::size_t b = 0; b < num_baselines; ++b)
+      makers.push_back({"baseline" + std::to_string(b), [b](Rng) {
+                          return std::move(make_deterministic_baselines()[b]);
+                        }});
+
+    for (const Maker& mk : makers) {
+      Rng seed_rng = master.split(1000 + round);
+      auto ref_alg = mk.make(seed_rng);
+      auto flat_alg = mk.make(seed_rng);
+      auto plain_alg = mk.make(seed_rng);
+
+      Recording ref_rec(*ref_alg);
+      Recording flat_rec(*flat_alg);
+
+      Outcome ref = play_reference(inst, ref_rec);
+      Outcome flat = play_flat(inst, flat_rec, scratch);
+      Outcome plain = play(inst, *plain_alg);
+
+      const std::string what = mk.label + " round " + std::to_string(round);
+      expect_same_outcome(ref, flat, what + " (reference vs flat)");
+      expect_same_outcome(ref, plain, what + " (reference vs play)");
+      EXPECT_EQ(ref_rec.trace, flat_rec.trace) << what << " decision trace";
+    }
+  }
+}
+
+TEST(GoldenEquivalence, PortedRandPrMatchesSeedImplementation) {
+  Rng master(0x5eed);
+  PlayScratch scratch;
+  for (std::size_t round = 0; round < 16; ++round) {
+    Rng gen = master.split(round);
+    Instance inst = fuzz_instance(round, gen);
+    struct Opt {
+      std::string label;
+      RandPrOptions options;
+    };
+    for (const Opt& o :
+         {Opt{"paper", {}},
+          Opt{"filt", {.filter_dead = true}},
+          Opt{"filt2", {.filter_dead = true, .allowed_misses = 2}},
+          Opt{"unif", {.ignore_weights = true}},
+          Opt{"fresh", {.fresh_priorities_per_element = true}}}) {
+      Rng trial_rng = master.split(500 + round);
+      seedref::SeedRandPr seed_alg(trial_rng, o.options);
+      RandPr ported_alg(trial_rng, o.options);
+      Recording seed_rec(seed_alg);
+      Recording ported_rec(ported_alg);
+      Outcome seed_out = play_reference(inst, seed_rec);
+      Outcome ported_out = play_flat(inst, ported_rec, scratch);
+      const std::string what = "randPr/" + o.label + " round " +
+                               std::to_string(round) + " on " +
+                               inst.describe();
+      expect_same_outcome(seed_out, ported_out, what);
+      EXPECT_EQ(seed_rec.trace, ported_rec.trace) << what;
+    }
+  }
+}
+
+TEST(GoldenEquivalence, PortedBaselinesMatchSeedImplementations) {
+  Rng master(0xba5e);
+  PlayScratch scratch;
+  for (std::size_t round = 0; round < 16; ++round) {
+    Rng gen = master.split(round);
+    Instance inst = fuzz_instance(round, gen);
+
+    {
+      SeedGreedyMaxWeight seed_alg;
+      GreedyMaxWeight ported_alg;
+      Recording seed_rec(seed_alg);
+      Recording ported_rec(ported_alg);
+      Outcome a = play_reference(inst, seed_rec);
+      Outcome b = play_flat(inst, ported_rec, scratch);
+      expect_same_outcome(a, b, "greedy-maxw round " + std::to_string(round));
+      EXPECT_EQ(seed_rec.trace, ported_rec.trace) << "greedy-maxw trace";
+    }
+    {
+      SeedRoundRobin seed_alg;
+      RoundRobin ported_alg;
+      Recording seed_rec(seed_alg);
+      Recording ported_rec(ported_alg);
+      Outcome a = play_reference(inst, seed_rec);
+      Outcome b = play_flat(inst, ported_rec, scratch);
+      expect_same_outcome(a, b, "round-robin round " + std::to_string(round));
+      EXPECT_EQ(seed_rec.trace, ported_rec.trace) << "round-robin trace";
+    }
+    {
+      Rng trial_rng = master.split(700 + round);
+      SeedUniformRandomChoice seed_alg(trial_rng);
+      UniformRandomChoice ported_alg(trial_rng);
+      Recording seed_rec(seed_alg);
+      Recording ported_rec(ported_alg);
+      Outcome a = play_reference(inst, seed_rec);
+      Outcome b = play_flat(inst, ported_rec, scratch);
+      expect_same_outcome(a, b,
+                          "uniform-random round " + std::to_string(round));
+      EXPECT_EQ(seed_rec.trace, ported_rec.trace) << "uniform-random trace";
+    }
+  }
+}
+
+TEST(GoldenEquivalence, TopByPriorityMatchesPartialSortReference) {
+  Rng rng(0x70b);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t m = 2 + rng.below(40);
+    std::vector<PriorityKey> keys(m);
+    for (auto& k : keys) {
+      k = sample_rw_key(1.0 + rng.uniform() * 5, rng);
+      if (rng.chance(0.2)) k.key = -1.0;  // force some exact collisions
+    }
+    std::vector<SetId> candidates;
+    for (SetId s = 0; s < m; ++s)
+      if (rng.chance(0.7)) candidates.push_back(s);
+    if (candidates.empty()) candidates.push_back(0);
+    const Capacity capacity = 1 + rng.below(4);
+
+    // Seed selection: partial_sort on a copy.
+    std::vector<SetId> expected = candidates;
+    if (expected.size() > capacity) {
+      std::partial_sort(expected.begin(), expected.begin() + capacity,
+                        expected.end(),
+                        [&](SetId a, SetId b) { return keys[a] > keys[b]; });
+      expected.resize(capacity);
+    }
+    std::vector<SetId> got = top_by_priority(candidates, keys, capacity);
+    ASSERT_EQ(expected.size(), got.size());
+    // PriorityKey's (key, tie) order is total, so the selections agree
+    // element for element, order included.
+    EXPECT_EQ(expected, got) << "round " << round;
+
+    // SoA form agrees with the AoS form.
+    std::vector<double> ks(m);
+    std::vector<std::uint64_t> ts(m);
+    for (std::size_t s = 0; s < m; ++s) {
+      ks[s] = keys[s].key;
+      ts[s] = keys[s].tie;
+    }
+    std::vector<SetId> soa(std::min<std::size_t>(capacity, candidates.size()));
+    std::vector<SetId> scratch;
+    soa.resize(top_by_priority_soa(candidates.data(), candidates.size(),
+                                   ks.data(), ts.data(), capacity, soa.data(),
+                                   scratch));
+    EXPECT_EQ(expected, soa) << "soa round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Batch runner.
+
+engine::GridSpec small_grid(const std::vector<const Instance*>& instances) {
+  engine::GridSpec spec;
+  spec.instances = instances;
+  spec.algorithms.push_back(
+      {"randPr", [](Rng r) { return std::make_unique<RandPr>(r); }});
+  spec.algorithms.push_back(
+      {"greedy-maxw",
+       [](Rng) { return std::make_unique<GreedyMaxWeight>(); }});
+  spec.trials = 9;
+  spec.master_seed = 0xabcdef;
+  return spec;
+}
+
+TEST(BatchRunner, DeterministicAcrossThreadCounts) {
+  Rng gen(77);
+  Instance a = random_instance(12, 20, 3, WeightModel::unit(), gen);
+  Instance b = random_instance(20, 30, 4, WeightModel::uniform(1, 5), gen);
+  engine::GridSpec spec = small_grid({&a, &b});
+
+  auto run_with = [&](std::size_t threads) {
+    engine::BatchRunner runner{engine::BatchOptions{threads}};
+    return engine::run_grid(runner, spec);
+  };
+  auto cells1 = run_with(1);
+  auto cells2 = run_with(2);
+  auto cells5 = run_with(5);
+
+  ASSERT_EQ(cells1.size(), 4u);
+  ASSERT_EQ(cells2.size(), cells1.size());
+  ASSERT_EQ(cells5.size(), cells1.size());
+  for (std::size_t i = 0; i < cells1.size(); ++i) {
+    // Bitwise equality: seeding depends only on grid coordinates and
+    // aggregation order is fixed, so thread count must not matter at all.
+    EXPECT_EQ(cells1[i].benefit.mean(), cells2[i].benefit.mean()) << i;
+    EXPECT_EQ(cells1[i].benefit.mean(), cells5[i].benefit.mean()) << i;
+    EXPECT_EQ(cells1[i].benefit.stddev(), cells5[i].benefit.stddev()) << i;
+    EXPECT_EQ(cells1[i].decisions.mean(), cells5[i].decisions.mean()) << i;
+    EXPECT_EQ(cells1[i].elements, cells5[i].elements) << i;
+    EXPECT_EQ(cells1[i].benefit.count(), 9u) << i;
+  }
+}
+
+TEST(BatchRunner, MapReturnsResultsInIndexOrder) {
+  engine::BatchRunner runner{engine::BatchOptions{4}};
+  auto out = runner.map<std::size_t>(
+      100, [](std::size_t i, engine::TrialContext&) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(BatchRunner, PropagatesExceptions) {
+  engine::BatchRunner runner{engine::BatchOptions{3}};
+  EXPECT_THROW(
+      runner.map<int>(50,
+                      [](std::size_t i, engine::TrialContext&) {
+                        if (i == 31) throw RequireError("boom");
+                        return 0;
+                      }),
+      RequireError);
+}
+
+TEST(BatchRunner, TrialSeedsAreStableAndDistinct) {
+  // Stability: the same coordinates always give the same seed (documented
+  // contract — results must be reproducible across runs and machines).
+  EXPECT_EQ(engine::trial_seed(1, 2, 3, 4), engine::trial_seed(1, 2, 3, 4));
+  // Distinctness across each coordinate.
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 4; ++i)
+    for (std::uint64_t a = 0; a < 4; ++a)
+      for (std::uint64_t t = 0; t < 4; ++t)
+        seeds.push_back(engine::trial_seed(42, i, a, t));
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+// ---------------------------------------------------------------------
+// ActiveTracking underflow guard (satellite fix).
+
+TEST(ActiveTracking, RemainingClampsWhenSetOverflowsDeclaredSize) {
+  class Probe final : public ActiveTracking {
+   public:
+    std::string name() const override { return "probe"; }
+    std::size_t decide(ElementId, Capacity, const SetId* candidates,
+                       std::size_t num_candidates, SetId* out) override {
+      out[0] = candidates[0];
+      record(candidates, num_candidates, out, 1);
+      return 1;
+    }
+  };
+  Probe p;
+  p.start({{1.0, /*declared size=*/1}});
+  std::vector<SetId> cands{0};
+  SetId out[1];
+  p.decide(0, 1, cands.data(), 1, out);
+  EXPECT_EQ(p.remaining(0), 0u);
+  // A second arrival of the same set exceeds the declared size; before the
+  // guard this wrapped std::size_t to ~2^64.
+  p.decide(1, 1, cands.data(), 1, out);
+  EXPECT_EQ(p.seen(0), 2u);
+  EXPECT_EQ(p.remaining(0), 0u);
+  EXPECT_EQ(p.misses(0), 0u);
+  EXPECT_TRUE(p.is_active(0));
+}
+
+// ---------------------------------------------------------------------
+// Scratch reuse across differently-shaped instances.
+
+TEST(PlayScratch, ReusableAcrossInstancesOfDifferentShape) {
+  Rng gen(123);
+  PlayScratch scratch;
+  Instance big = random_instance(40, 60, 4, WeightModel::unit(), gen);
+  Instance small = random_instance(4, 6, 2, WeightModel::unit(), gen);
+  for (const Instance* inst : {&big, &small, &big, &small}) {
+    Rng r(99);
+    RandPr flat_alg(r);
+    RandPr ref_alg(r);
+    Outcome a = play_flat(*inst, flat_alg, scratch);
+    Outcome b = play_reference(*inst, ref_alg);
+    expect_same_outcome(a, b, inst->describe());
+  }
+}
+
+}  // namespace
+}  // namespace osp
