@@ -1,14 +1,20 @@
 // E7 — the networking motivation (Section 1): video frames through a
 // bottleneck router.
 //
-// Three tables:
+// Five tables:
 //  (a) unbuffered drop policies on the GOP video workload across traffic
 //      intensities — randPr vs the natural deterministic heuristics,
 //      in delivered frame VALUE (an I frame is worth 4 P frames);
 //  (b) buffered router (open problem 2): goodput vs buffer size per
 //      ranking policy;
 //  (c) burstiness sweep with on/off traffic: burstier arrivals (larger
-//      σmax) hurt everyone, randPr degrades most gracefully in value.
+//      σmax) hurt everyone, randPr degrades most gracefully in value;
+//  (d) multi-stream overload: 64 streams / ≥1M packets into a link at a
+//      third of the offered load — the heavy-traffic regime the indexed
+//      heap queue (net/queue.hpp) exists for;
+//  (e) queue-structure throughput: slots/sec of the indexed-heap router
+//      vs the full-sort reference on the largest buffered workload, with
+//      a decision-identity cross-check between the two paths.
 //
 // The workload draws run as independent trials on the shared batch
 // runner: per-draw Rngs are split from the master serially in the seed
@@ -16,6 +22,15 @@
 // every policy against it (like the seed's serial inner loop), and
 // aggregation walks the results in draw order — so the printed numbers
 // match the original serial loops bit for bit at any thread count.
+// Policies and rankers are constructed once per worker thread and
+// re-armed per draw through the reseed() API, so steady-state trials are
+// allocation-free.
+//
+// `bench_router --smoke` runs every section (including the (e)
+// cross-check) at toy sizes; scripts/check.sh drives that under
+// ASan/UBSan on every repository check.
+#include <chrono>
+#include <cstring>
 #include <iostream>
 
 #include "algos/baselines.hpp"
@@ -29,18 +44,29 @@
 namespace osp {
 namespace {
 
-void unbuffered_video(bench::JsonSink& json) {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void unbuffered_video(bench::JsonSink& json, bool smoke) {
   std::cout << "-- (a) unbuffered router, GOP video workload --\n";
   Table table({"streams", "policy", "frames ok", "of", "value ok", "of",
                "goodput"});
   Rng master(100);
-  const int draws = 25;
+  const int draws = smoke ? 4 : 25;
 
   const std::vector<std::string> policy_names = {
       "randPr",       "randPr/filt",     "uniform-random",
       "greedy-first", "greedy-maxw",     "greedy-progress",
       "greedy-srpt",  "greedy-density",  "round-robin"};
   const std::size_t num_policies = policy_names.size();
+
+  // One policy set per worker, built on first use and reseeded per draw.
+  struct Worker {
+    std::vector<std::unique_ptr<OnlineAlgorithm>> policies;
+  };
+  std::vector<Worker> workers(engine::shared_runner().num_threads());
 
   for (std::size_t streams : {4, 8, 12}) {
     // Serial prep: the same master.split() call sequence as the seed loop.
@@ -59,28 +85,35 @@ void unbuffered_video(bench::JsonSink& json) {
     // run against it, exactly like the seed's serial inner loop.
     auto cells = engine::shared_runner().map<std::vector<CellResult>>(
         static_cast<std::size_t>(draws),
-        [&](std::size_t d, engine::TrialContext&) {
+        [&](std::size_t d, engine::TrialContext& ctx) {
           VideoParams params;
           params.num_streams = streams;
           params.frames_per_stream = 24;
           Rng wl_rng = wl_rngs[d];
           VideoWorkload vw = make_video_workload(params, wl_rng);
 
-          std::vector<std::unique_ptr<OnlineAlgorithm>> policies;
-          policies.push_back(std::make_unique<RandPr>(rp_rngs[d]));
-          policies.push_back(std::make_unique<RandPr>(
-              rpf_rngs[d], RandPrOptions{.filter_dead = true}));
-          policies.push_back(
-              std::make_unique<UniformRandomChoice>(ur_rngs[d]));
-          for (auto& baseline : make_deterministic_baselines())
-            policies.push_back(std::move(baseline));
+          Worker& w = workers[ctx.thread_index];
+          if (w.policies.empty()) {
+            w.policies.push_back(std::make_unique<RandPr>(Rng(0)));
+            w.policies.push_back(std::make_unique<RandPr>(
+                Rng(0), RandPrOptions{.filter_dead = true}));
+            w.policies.push_back(
+                std::make_unique<UniformRandomChoice>(Rng(0)));
+            for (auto& baseline : make_deterministic_baselines())
+              w.policies.push_back(std::move(baseline));
+          }
+          // Re-arm the randomized policies with this draw's streams; the
+          // deterministic baselines reset themselves in start().
+          w.policies[0]->reseed(rp_rngs[d]);
+          w.policies[1]->reseed(rpf_rngs[d]);
+          w.policies[2]->reseed(ur_rngs[d]);
 
           std::vector<CellResult> row;
           row.reserve(num_policies);
           for (std::size_t p = 0; p < num_policies; ++p) {
             // Guard the hardcoded label list against factory reordering.
-            OSP_REQUIRE(policies[p]->name() == policy_names[p]);
-            RouterStats st = simulate_router(vw.schedule, *policies[p], 1);
+            OSP_REQUIRE(w.policies[p]->name() == policy_names[p]);
+            RouterStats st = simulate_router(vw.schedule, *w.policies[p], 1);
             row.push_back(CellResult{
                 static_cast<double>(st.frames_delivered), st.value_delivered,
                 static_cast<double>(st.frames_total), st.value_total});
@@ -124,16 +157,37 @@ void unbuffered_video(bench::JsonSink& json) {
                "little average goodput for its k*sqrt(smax) guarantee.\n\n";
 }
 
-void buffered_sweep(bench::JsonSink& json) {
+// Shared per-worker state of the buffered sweeps: rankers plus the router
+// scratch (queue, slot index, tallies), all reused across draws.
+struct BufferedWorker {
+  std::unique_ptr<RandPrRanker> randpr;
+  WeightRanker weight;
+  FifoRanker fifo;
+  std::unique_ptr<RandomRanker> rnd;
+  BufferedRouterScratch scratch;
+
+  void ensure() {
+    if (randpr == nullptr) {
+      randpr = std::make_unique<RandPrRanker>(Rng(0));
+      rnd = std::make_unique<RandomRanker>(Rng(0));
+    }
+  }
+};
+
+void buffered_sweep(bench::JsonSink& json, bool smoke) {
   std::cout << "-- (b) buffered router (open problem 2) --\n";
   Table table({"buffer", "policy", "goodput"});
   Rng master(200);
-  const int draws = 25;
+  const int draws = smoke ? 4 : 25;
   const std::vector<std::string> policy_names = {"randPr", "by-weight",
                                                  "drop-tail", "random-drop"};
   const std::size_t num_policies = policy_names.size();
+  std::vector<BufferedWorker> workers(engine::shared_runner().num_threads());
 
-  for (std::size_t buf : {0, 2, 4, 8, 16}) {
+  const std::vector<std::size_t> ladder =
+      smoke ? std::vector<std::size_t>{0, 4, 16}
+            : std::vector<std::size_t>{0, 2, 4, 8, 16, 32, 64};
+  for (std::size_t buf : ladder) {
     std::vector<Rng> wl_rngs, randpr_rngs, rnd_rngs;
     for (int d = 0; d < draws; ++d) {
       wl_rngs.push_back(master.split(buf * 100 + d));
@@ -143,7 +197,7 @@ void buffered_sweep(bench::JsonSink& json) {
 
     auto goodputs = engine::shared_runner().map<std::vector<double>>(
         static_cast<std::size_t>(draws),
-        [&](std::size_t d, engine::TrialContext&) {
+        [&](std::size_t d, engine::TrialContext& ctx) {
           VideoParams params;
           params.num_streams = 10;
           params.frames_per_stream = 24;
@@ -153,18 +207,19 @@ void buffered_sweep(bench::JsonSink& json) {
                                   .buffer_size = buf,
                                   .drop_dead_frames = true};
 
-          RandPrRanker randpr(randpr_rngs[d]);
-          WeightRanker weight;
-          FifoRanker fifo;
-          RandomRanker rnd(rnd_rngs[d]);
-          FrameRanker* rankers[] = {&randpr, &weight, &fifo, &rnd};
+          BufferedWorker& w = workers[ctx.thread_index];
+          w.ensure();
+          w.randpr->reseed(randpr_rngs[d]);
+          w.rnd->reseed(rnd_rngs[d]);
+          FrameRanker* rankers[] = {w.randpr.get(), &w.weight, &w.fifo,
+                                    w.rnd.get()};
           std::vector<double> row;
           row.reserve(num_policies);
           for (std::size_t p = 0; p < num_policies; ++p) {
             OSP_REQUIRE(rankers[p]->name() == policy_names[p]);
-            row.push_back(
-                simulate_buffered_router(vw.schedule, *rankers[p], rp)
-                    .goodput());
+            row.push_back(simulate_buffered_router(vw.schedule, *rankers[p],
+                                                   rp, &w.scratch)
+                              .goodput());
           }
           return row;
         });
@@ -189,16 +244,23 @@ void buffered_sweep(bench::JsonSink& json) {
                "bursts (the effect the paper leaves open).\n\n";
 }
 
-void burstiness_sweep(bench::JsonSink& json) {
+void burstiness_sweep(bench::JsonSink& json, bool smoke) {
   std::cout << "-- (c) burstiness sweep (on/off traffic, frames of 3 "
                "packets) --\n";
   Table table({"burst profile", "smax", "policy", "value ok", "of",
                "goodput"});
   Rng master(300);
-  const int draws = 25;
+  const int draws = smoke ? 4 : 25;
   const std::vector<std::string> policy_names = {"randPr", "greedy-progress",
                                                  "greedy-first"};
   const std::size_t num_policies = policy_names.size();
+
+  struct Worker {
+    std::unique_ptr<RandPr> rp;
+    GreedyMostProgress gp;
+    GreedyFirst gf;
+  };
+  std::vector<Worker> workers(engine::shared_runner().num_threads());
 
   struct Profile {
     std::string name;
@@ -221,16 +283,16 @@ void burstiness_sweep(bench::JsonSink& json) {
     };
     auto cells = engine::shared_runner().map<DrawResult>(
         static_cast<std::size_t>(draws),
-        [&](std::size_t d, engine::TrialContext&) {
+        [&](std::size_t d, engine::TrialContext& ctx) {
           Rng wl_rng = wl_rngs[d];
           OnOffBursts bursts(prof.p_on_off, prof.p_off_on, prof.rate_on,
                              prof.rate_off);
           FrameSchedule sched = bursty_schedule(bursts, 80, 3, wl_rng, 1.0);
 
-          RandPr rp(rp_rngs[d]);
-          GreedyMostProgress gp;
-          GreedyFirst gf;
-          OnlineAlgorithm* algs[] = {&rp, &gp, &gf};
+          Worker& w = workers[ctx.thread_index];
+          if (w.rp == nullptr) w.rp = std::make_unique<RandPr>(Rng(0));
+          w.rp->reseed(rp_rngs[d]);
+          OnlineAlgorithm* algs[] = {w.rp.get(), &w.gp, &w.gf};
           DrawResult row;
           row.smax = static_cast<double>(sched.max_burst());
           for (std::size_t p = 0; p < num_policies; ++p) {
@@ -269,21 +331,213 @@ void burstiness_sweep(bench::JsonSink& json) {
   table.print(std::cout);
   std::cout << "Expected shape: goodput falls with burstiness for all "
                "policies (sqrt(smax) in the bound); the ordering among "
-               "policies is preserved.\n";
+               "policies is preserved.\n\n";
+}
+
+/// Parameters of the big buffered scenario shared by sections (d)/(e).
+struct OverloadConfig {
+  std::size_t streams;
+  std::size_t frames_per_stream;
+  Capacity service_rate;
+  std::vector<std::size_t> buffers;  // ascending; back() is the largest
+};
+
+OverloadConfig overload_config(bool smoke) {
+  // Full size: 64 streams × 6720 frames = 64 × 15680 packets ≈ 1.0M
+  // packets over ~20k slots (≈50 packets/slot against a service rate of
+  // 32 — sustained ~1.6× overload).
+  if (smoke)
+    return OverloadConfig{8, 60, 4, {16, 64}};
+  return OverloadConfig{64, 6720, 32, {256, 1024, 4096}};
+}
+
+VideoWorkload overload_workload(const OverloadConfig& cfg, Rng rng) {
+  VideoParams params;
+  params.num_streams = cfg.streams;
+  params.frames_per_stream = cfg.frames_per_stream;
+  return make_video_workload(params, rng);
+}
+
+void overload_sweep(bench::JsonSink& json, bool smoke) {
+  const OverloadConfig cfg = overload_config(smoke);
+  std::cout << "-- (d) multi-stream overload (" << cfg.streams
+            << " streams, service rate " << cfg.service_rate << ") --\n";
+  Table table({"buffer", "policy", "packets", "served", "dropped",
+               "goodput"});
+  Rng master(400);
+  const int draws = smoke ? 2 : 3;
+  const std::vector<std::string> policy_names = {"randPr", "by-weight",
+                                                 "drop-tail"};
+  const std::size_t num_policies = policy_names.size();
+  std::vector<BufferedWorker> workers(engine::shared_runner().num_threads());
+
+  std::vector<Rng> wl_rngs, randpr_rngs;
+  for (int d = 0; d < draws; ++d) {
+    wl_rngs.push_back(master.split(1000 + d));
+    randpr_rngs.push_back(master.split(2000 + d));
+  }
+
+  struct Cell {
+    double packets = 0, served = 0, dropped = 0, value = 0, total = 0;
+  };
+  // One trial per draw; each draw generates its workload once and sweeps
+  // the whole buffer ladder on it.
+  auto cells = engine::shared_runner().map<std::vector<Cell>>(
+      static_cast<std::size_t>(draws),
+      [&](std::size_t d, engine::TrialContext& ctx) {
+        VideoWorkload vw = overload_workload(cfg, wl_rngs[d]);
+        BufferedWorker& w = workers[ctx.thread_index];
+        w.ensure();
+        std::vector<Cell> row(cfg.buffers.size() * num_policies);
+        for (std::size_t b = 0; b < cfg.buffers.size(); ++b) {
+          BufferedRouterParams rp{.service_rate = cfg.service_rate,
+                                  .buffer_size = cfg.buffers[b],
+                                  .drop_dead_frames = true};
+          w.randpr->reseed(randpr_rngs[d]);
+          FrameRanker* rankers[] = {w.randpr.get(), &w.weight, &w.fifo};
+          for (std::size_t p = 0; p < num_policies; ++p) {
+            OSP_REQUIRE(rankers[p]->name() == policy_names[p]);
+            RouterStats st = simulate_buffered_router(
+                vw.schedule, *rankers[p], rp, &w.scratch);
+            OSP_REQUIRE(st.packets_arrived ==
+                        st.packets_served + st.packets_dropped);
+            row[b * num_policies + p] =
+                Cell{static_cast<double>(st.packets_arrived),
+                     static_cast<double>(st.packets_served),
+                     static_cast<double>(st.packets_dropped),
+                     st.value_delivered, st.value_total};
+          }
+        }
+        return row;
+      });
+
+  for (std::size_t b = 0; b < cfg.buffers.size(); ++b) {
+    for (std::size_t p = 0; p < num_policies; ++p) {
+      Cell acc;
+      for (int d = 0; d < draws; ++d) {
+        const Cell& c = cells[static_cast<std::size_t>(d)][b * num_policies + p];
+        acc.packets += c.packets;
+        acc.served += c.served;
+        acc.dropped += c.dropped;
+        acc.value += c.value;
+        acc.total += c.total;
+      }
+      table.row({fmt(cfg.buffers[b]), policy_names[p],
+                 fmt(acc.packets / draws, 0), fmt(acc.served / draws, 0),
+                 fmt(acc.dropped / draws, 0), fmt(acc.value / acc.total, 3)});
+      json.writer()
+          .begin_object()
+          .kv("sweep", "overload")
+          .kv("streams", cfg.streams)
+          .kv("service_rate", cfg.service_rate)
+          .kv("buffer", cfg.buffers[b])
+          .kv("policy", policy_names[p])
+          .kv("packets", acc.packets / draws)
+          .kv("served", acc.served / draws)
+          .kv("dropped", acc.dropped / draws)
+          .kv("goodput", acc.value / acc.total)
+          .end_object();
+    }
+  }
+  table.print(std::cout);
+  std::cout << "Expected shape: under sustained overload the frame-aware "
+               "rankers keep whole frames alive while drop-tail sheds "
+               "packets of every frame; bigger buffers widen the gap.\n\n";
+}
+
+void throughput_section(bench::JsonSink& json, bool smoke) {
+  const OverloadConfig cfg = overload_config(smoke);
+  const std::size_t buffer = cfg.buffers.back();
+  std::cout << "-- (e) queue-structure throughput (buffer " << buffer
+            << ", largest overload workload) --\n";
+  Table table({"path", "slots", "packets", "seconds", "slots/sec",
+               "speedup"});
+
+  VideoWorkload vw = overload_workload(cfg, Rng(4242));
+  const BufferedRouterParams rp{.service_rate = cfg.service_rate,
+                                .buffer_size = buffer,
+                                .drop_dead_frames = true};
+  const double slots = static_cast<double>(vw.schedule.horizon);
+  const double packets = static_cast<double>(vw.schedule.total_packets());
+  RandPrRanker ranker{Rng(7)};
+
+  // Old path: the straightened-out full-sort reference.
+  ranker.reseed(Rng(7));
+  auto t0 = std::chrono::steady_clock::now();
+  RouterStats sort_stats =
+      simulate_buffered_router_reference(vw.schedule, ranker, rp);
+  const double sort_s = seconds_since(t0);
+
+  // New path: the indexed-heap PacketQueue.
+  BufferedRouterScratch scratch;
+  ranker.reseed(Rng(7));
+  t0 = std::chrono::steady_clock::now();
+  RouterStats heap_stats =
+      simulate_buffered_router(vw.schedule, ranker, rp, &scratch);
+  const double heap_s = seconds_since(t0);
+
+  // Decision-identity cross-check: the two paths must agree on every
+  // counter before their timings mean anything.
+  OSP_REQUIRE(heap_stats.packets_arrived == sort_stats.packets_arrived);
+  OSP_REQUIRE(heap_stats.packets_served == sort_stats.packets_served);
+  OSP_REQUIRE(heap_stats.packets_dropped == sort_stats.packets_dropped);
+  OSP_REQUIRE(heap_stats.frames_delivered == sort_stats.frames_delivered);
+  OSP_REQUIRE(heap_stats.value_delivered == sort_stats.value_delivered);
+
+  const double sort_rate = slots / sort_s;
+  const double heap_rate = slots / heap_s;
+  const double speedup = sort_s / heap_s;
+  table.row({"sort", fmt(slots, 0), fmt(packets, 0), fmt(sort_s, 3),
+             fmt(sort_rate, 0), "1.0"});
+  table.row({"heap", fmt(slots, 0), fmt(packets, 0), fmt(heap_s, 3),
+             fmt(heap_rate, 0), fmt(speedup, 1)});
+  table.print(std::cout);
+  for (const char* path : {"sort", "heap"}) {
+    const bool heap = std::strcmp(path, "heap") == 0;
+    json.writer()
+        .begin_object()
+        .kv("sweep", "throughput")
+        .kv("path", path)
+        .kv("buffer", buffer)
+        .kv("slots", slots)
+        .kv("packets", packets)
+        .kv("seconds", heap ? heap_s : sort_s)
+        .kv("slots_per_sec", heap ? heap_rate : sort_rate)
+        .kv("speedup_vs_sort", heap ? speedup : 1.0)
+        .kv("cross_check", "pass")
+        .end_object();
+  }
+  std::cout << "Cross-check: heap and sort paths decision-identical.  "
+            << "Gate (heap >= 3x sort on the largest buffered sweep): "
+            << (speedup >= 3.0 ? "MET" : "NOT MET") << " (" << fmt(speedup, 1)
+            << "x)"
+            << (smoke ? " — gate is judged on the full-size run; smoke "
+                        "queues are too small for the asymptotic gap"
+                      : "")
+            << ".\n";
 }
 
 }  // namespace
 }  // namespace osp
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   osp::bench::banner(
       "E7 / Section 1 motivation (bottleneck router, video frames)",
-      "Frame-aware random priorities vs classic drop heuristics on the "
-      "simulated router; plus the buffering extension.  All trials run "
-      "on the shared batch runner.");
-  osp::bench::JsonSink json("router");
-  osp::unbuffered_video(json);
-  osp::buffered_sweep(json);
-  osp::burstiness_sweep(json);
+      std::string("Frame-aware random priorities vs classic drop heuristics "
+                  "on the simulated router; the buffering extension runs on "
+                  "the indexed-heap PacketQueue.  All trials run on the "
+                  "shared batch runner.") +
+          (smoke ? "  [--smoke: toy sizes]" : ""));
+  // Smoke runs write a separate artifact so a toy-size run can never
+  // overwrite the committed full-size BENCH_router.json.
+  osp::bench::JsonSink json(smoke ? "router_smoke" : "router");
+  osp::unbuffered_video(json, smoke);
+  osp::buffered_sweep(json, smoke);
+  osp::burstiness_sweep(json, smoke);
+  osp::overload_sweep(json, smoke);
+  osp::throughput_section(json, smoke);
   return 0;
 }

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Repository check: the tier-1 verify plus an ASan/UBSan build of the
-# engine-critical tests (the fuzz suite and the flat-engine golden tests).
+# engine-critical tests (the fuzz suite, the flat-engine golden tests,
+# and the router-queue suites), and a sanitized `bench_router --smoke`
+# run so the indexed-heap queue is exercised against the full-sort
+# reference cross-check on every repository check.
 #
 # Usage: scripts/check.sh
 set -euo pipefail
@@ -14,10 +17,14 @@ cmake --build build -j "${jobs}"
 (cd build && ctest --output-on-failure -j "${jobs}")
 
 echo
-echo "== sanitizers: ASan/UBSan build of fuzz + engine tests =="
+echo "== sanitizers: ASan/UBSan build of fuzz + engine + queue tests =="
 cmake -B build-asan -S . -DOSP_SANITIZE=ON
-cmake --build build-asan -j "${jobs}" --target test_fuzz test_engine test_game test_instance test_rand_pr
-(cd build-asan && ctest --output-on-failure -R 'test_(fuzz|engine|game|instance|rand_pr)')
+cmake --build build-asan -j "${jobs}" --target test_fuzz test_engine test_game test_instance test_rand_pr test_net test_queue bench_router
+(cd build-asan && ctest --output-on-failure -R 'test_(fuzz|engine|game|instance|rand_pr|net|queue)')
+
+echo
+echo "== sanitizers: bench_router --smoke (heap vs sort cross-check) =="
+(cd build-asan && ./bench_router --smoke)
 
 echo
 echo "== all checks passed =="

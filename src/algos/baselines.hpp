@@ -31,6 +31,10 @@ class ScoredBaseline : public ActiveTracking {
   std::size_t decide(ElementId u, Capacity capacity, const SetId* candidates,
                      std::size_t num_candidates, SetId* out) override;
 
+  /// Deterministic: start() resets all decision-relevant state, so the
+  /// default no-op reseed() is a complete re-arm.
+  bool reseedable() const override { return true; }
+
  protected:
   /// Score of candidate s for the current element; higher is better.
   virtual double score(SetId s) const = 0;
@@ -98,6 +102,7 @@ class RoundRobin final : public ActiveTracking {
   void start(const std::vector<SetMeta>& sets) override;
   std::size_t decide(ElementId u, Capacity capacity, const SetId* candidates,
                      std::size_t num_candidates, SetId* out) override;
+  bool reseedable() const override { return true; }  // start() resets cursor
 
  private:
   std::size_t cursor_ = 0;
@@ -113,6 +118,8 @@ class UniformRandomChoice final : public ActiveTracking {
   std::string name() const override { return "uniform-random"; }
   std::size_t decide(ElementId u, Capacity capacity, const SetId* candidates,
                      std::size_t num_candidates, SetId* out) override;
+  void reseed(Rng rng) override { rng_ = rng; }
+  bool reseedable() const override { return true; }
 
  private:
   Rng rng_;

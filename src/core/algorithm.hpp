@@ -24,6 +24,7 @@
 
 #include "core/types.hpp"
 #include "util/require.hpp"
+#include "util/rng.hpp"
 
 namespace osp {
 
@@ -48,6 +49,24 @@ class OnlineAlgorithm {
 
   /// Announces the instance: one SetMeta per set, ids 0..m-1.
   virtual void start(const std::vector<SetMeta>& sets) = 0;
+
+  /// Re-arms the algorithm's randomness for a fresh trial without
+  /// reallocating its internal arrays.
+  ///
+  /// Contract: when reseedable() is true, `alg.reseed(rng); alg.start(s);`
+  /// must be decision-identical to a freshly constructed algorithm built
+  /// from the same rng — the batch runner relies on this to reuse one
+  /// algorithm object per worker across all trials of a grid cell, making
+  /// steady-state trials allocation-free.  Default: no-op, for policies
+  /// whose start() already resets every decision-relevant bit of state.
+  virtual void reseed(Rng /*rng*/) {}
+
+  /// True when reseed() fully re-arms this algorithm (see contract
+  /// above).  Defaults to false — the conservative answer for randomized
+  /// policies that bake randomness in at construction — so the batch
+  /// runner falls back to fresh construction; deterministic policies and
+  /// those overriding reseed() return true.
+  virtual bool reseedable() const { return false; }
 
   /// Element `u` arrives with capacity `capacity` and parent sets
   /// `candidates` (sorted, distinct).  Returns the chosen sets: a subset

@@ -157,24 +157,48 @@ HashedRandPr::HashedRandPr(HashFn hash, std::string label,
   OSP_REQUIRE(hash_ != nullptr);
 }
 
+namespace {
+
+// Builds the HashFn each with_* factory uses; also serves as the rehash
+// recipe, so reseed(rng) reproduces construction from the same rng.
+template <class Hash, class... Args>
+HashedRandPr::HashFn make_unit_hash(Rng& rng, Args... args) {
+  auto h = std::make_shared<Hash>(args..., rng);
+  return [h](std::uint64_t key) { return h->unit(key); };
+}
+
+}  // namespace
+
 std::unique_ptr<HashedRandPr> HashedRandPr::with_polynomial(
     unsigned independence, Rng& rng) {
-  auto h = std::make_shared<PolynomialHash>(independence, rng);
-  return std::make_unique<HashedRandPr>(
-      [h](std::uint64_t key) { return h->unit(key); },
+  auto alg = std::make_unique<HashedRandPr>(
+      make_unit_hash<PolynomialHash>(rng, independence),
       "hashPr/poly" + std::to_string(independence));
+  alg->set_rehash([independence](Rng r) {
+    return make_unit_hash<PolynomialHash>(r, independence);
+  });
+  return alg;
 }
 
 std::unique_ptr<HashedRandPr> HashedRandPr::with_tabulation(Rng& rng) {
-  auto h = std::make_shared<TabulationHash>(rng);
-  return std::make_unique<HashedRandPr>(
-      [h](std::uint64_t key) { return h->unit(key); }, "hashPr/tab");
+  auto alg = std::make_unique<HashedRandPr>(
+      make_unit_hash<TabulationHash>(rng), "hashPr/tab");
+  alg->set_rehash([](Rng r) { return make_unit_hash<TabulationHash>(r); });
+  return alg;
 }
 
 std::unique_ptr<HashedRandPr> HashedRandPr::with_multiply_shift(Rng& rng) {
-  auto h = std::make_shared<MultiplyShiftHash>(rng);
-  return std::make_unique<HashedRandPr>(
-      [h](std::uint64_t key) { return h->unit(key); }, "hashPr/ms");
+  auto alg = std::make_unique<HashedRandPr>(
+      make_unit_hash<MultiplyShiftHash>(rng), "hashPr/ms");
+  alg->set_rehash(
+      [](Rng r) { return make_unit_hash<MultiplyShiftHash>(r); });
+  return alg;
+}
+
+void HashedRandPr::reseed(Rng rng) {
+  OSP_REQUIRE_MSG(rehash_ != nullptr,
+                  "HashedRandPr without a rehash recipe cannot reseed");
+  hash_ = rehash_(rng);
 }
 
 std::string HashedRandPr::name() const { return label_; }

@@ -66,6 +66,11 @@ class RandPr : public ActiveTracking {
   std::size_t decide(ElementId u, Capacity capacity, const SetId* candidates,
                      std::size_t num_candidates, SetId* out) override;
 
+  /// All randomness flows through rng_, and start() draws every priority
+  /// fresh from it, so swapping the generator is a complete re-arm.
+  void reseed(Rng rng) override { rng_ = rng; }
+  bool reseedable() const override { return true; }
+
   /// Priority key currently assigned to set s (for tests).
   PriorityKey priority(SetId s) const {
     return PriorityKey{keys_[s], ties_[s]};
@@ -109,8 +114,19 @@ class HashedRandPr : public ActiveTracking {
   std::size_t decide(ElementId u, Capacity capacity, const SetId* candidates,
                      std::size_t num_candidates, SetId* out) override;
 
+  /// The hashed variant's randomness is the hash function itself, drawn
+  /// at construction; reseeding therefore needs a recipe for rebuilding
+  /// the hash from an Rng.  The with_* factories install one, making
+  /// those instances reseedable; a bare HashedRandPr(hash, label) has no
+  /// recipe and reports reseedable() == false.
+  using Rehash = std::function<HashFn(Rng)>;
+  void set_rehash(Rehash rehash) { rehash_ = std::move(rehash); }
+  void reseed(Rng rng) override;
+  bool reseedable() const override { return rehash_ != nullptr; }
+
  private:
   HashFn hash_;
+  Rehash rehash_;
   std::string label_;
   RandPrOptions options_;
   std::vector<double> keys_;

@@ -29,6 +29,25 @@ TrialResult run_play_trial(const Instance& inst, const AlgSpec& alg,
   return TrialResult{out.benefit, out.decisions, out.completed.size()};
 }
 
+TrialResult run_play_trial_cached(const Instance& inst, const AlgSpec& alg,
+                                  std::size_t alg_idx, std::uint64_t seed,
+                                  TrialContext& ctx) {
+  OSP_REQUIRE(alg.make != nullptr);
+  if (ctx.alg_cache.size() <= alg_idx) ctx.alg_cache.resize(alg_idx + 1);
+  std::unique_ptr<OnlineAlgorithm>& policy = ctx.alg_cache[alg_idx];
+  if (policy != nullptr && policy->reseedable()) {
+    // Decision-identical to fresh construction (reseed() contract), but
+    // the policy's internal arrays survive — play_flat's start() resizes
+    // them in place, so the whole trial allocates nothing.
+    policy->reseed(Rng(seed));
+  } else {
+    policy = alg.make(Rng(seed));
+    OSP_REQUIRE(policy != nullptr);
+  }
+  Outcome out = play_flat(inst, *policy, ctx.scratch);
+  return TrialResult{out.benefit, out.decisions, out.completed.size()};
+}
+
 std::vector<CellStats> run_grid(const BatchRunner& runner,
                                 const GridSpec& spec) {
   OSP_REQUIRE(spec.trials >= 1);
@@ -43,8 +62,10 @@ std::vector<CellStats> run_grid(const BatchRunner& runner,
         const std::size_t t = idx % trials;
         const std::size_t a = (idx / trials) % num_algs;
         const std::size_t i = idx / (trials * num_algs);
-        return run_play_trial(*spec.instances[i], spec.algorithms[a],
-                              trial_seed(spec.master_seed, i, a, t), ctx);
+        return run_play_trial_cached(*spec.instances[i], spec.algorithms[a],
+                                     a,
+                                     trial_seed(spec.master_seed, i, a, t),
+                                     ctx);
       });
 
   // Serial aggregation in index order: deterministic for any thread count.

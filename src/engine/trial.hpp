@@ -28,6 +28,11 @@ class BatchRunner;
 struct TrialContext {
   PlayScratch scratch;
   std::size_t thread_index = 0;
+  /// One cached algorithm per grid column (run_grid's reseed path): a
+  /// reseedable policy is constructed once per worker and re-armed with
+  /// reseed() + start() for every later trial, so steady-state trials
+  /// allocate nothing.  Non-reseedable policies are rebuilt each trial.
+  std::vector<std::unique_ptr<OnlineAlgorithm>> alg_cache;
 };
 
 /// Derives the seed of trial `trial` of algorithm `alg_idx` on instance
@@ -52,9 +57,17 @@ struct TrialResult {
   std::size_t completed = 0;
 };
 
-/// Runs one seeded trial of `alg` on `inst` through the flat engine.
+/// Runs one seeded trial of `alg` on `inst` through the flat engine,
+/// constructing the algorithm fresh.
 TrialResult run_play_trial(const Instance& inst, const AlgSpec& alg,
                            std::uint64_t seed, TrialContext& ctx);
+
+/// Like run_play_trial, but reuses ctx.alg_cache[alg_idx] across calls
+/// when the policy is reseedable (decision-identical to fresh
+/// construction by the reseed() contract); what run_grid uses.
+TrialResult run_play_trial_cached(const Instance& inst, const AlgSpec& alg,
+                                  std::size_t alg_idx, std::uint64_t seed,
+                                  TrialContext& ctx);
 
 /// Aggregates of one (instance, algorithm) grid cell over its trials.
 struct CellStats {

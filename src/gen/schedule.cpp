@@ -27,7 +27,12 @@ std::size_t FrameSchedule::max_burst() const {
 
 void FrameSchedule::validate() const {
   for (const Frame& f : frames) {
-    OSP_REQUIRE(f.weight >= 0);
+    // Positive, not just non-negative: the R_w priority distribution is
+    // undefined at w <= 0 (rw_key_from_uniform rejects it), and a frame
+    // that cannot carry value has no business on the link.  Validating
+    // here once lets every ranker drop its defensive clamp.
+    OSP_REQUIRE_MSG(f.weight > 0, "frame weight must be positive, got "
+                                      << f.weight);
     OSP_REQUIRE(std::is_sorted(f.packet_slots.begin(), f.packet_slots.end()));
     OSP_REQUIRE(std::adjacent_find(f.packet_slots.begin(),
                                    f.packet_slots.end()) ==

@@ -1,6 +1,7 @@
 #include "net/router_sim.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "core/priority.hpp"
 #include "util/require.hpp"
@@ -9,12 +10,28 @@ namespace osp {
 
 namespace {
 
-std::vector<SetMeta> frame_metas(const FrameSchedule& schedule) {
-  std::vector<SetMeta> metas;
+void frame_metas(const FrameSchedule& schedule, std::vector<SetMeta>& metas) {
+  metas.clear();
   metas.reserve(schedule.frames.size());
   for (const Frame& f : schedule.frames)
     metas.push_back(SetMeta{f.weight, f.packet_slots.size()});
+}
+
+std::vector<SetMeta> frame_metas(const FrameSchedule& schedule) {
+  std::vector<SetMeta> metas;
+  frame_metas(schedule, metas);
   return metas;
+}
+
+void build_slot_frames(const FrameSchedule& schedule,
+                       std::vector<std::vector<SetId>>& slot_frames) {
+  if (slot_frames.size() < schedule.horizon)
+    slot_frames.resize(schedule.horizon);
+  for (std::size_t slot = 0; slot < schedule.horizon; ++slot)
+    slot_frames[slot].clear();
+  for (std::size_t fi = 0; fi < schedule.frames.size(); ++fi)
+    for (std::size_t slot : schedule.frames[fi].packet_slots)
+      slot_frames[slot].push_back(static_cast<SetId>(fi));
 }
 
 void tally_frames(const FrameSchedule& schedule,
@@ -40,9 +57,7 @@ RouterStats simulate_router(const FrameSchedule& schedule,
 
   // Frames with a packet in each slot.
   std::vector<std::vector<SetId>> slot_frames(schedule.horizon);
-  for (std::size_t fi = 0; fi < schedule.frames.size(); ++fi)
-    for (std::size_t slot : schedule.frames[fi].packet_slots)
-      slot_frames[slot].push_back(static_cast<SetId>(fi));
+  build_slot_frames(schedule, slot_frames);
 
   RouterStats stats;
   std::vector<std::size_t> served(schedule.frames.size(), 0);
@@ -51,7 +66,9 @@ RouterStats simulate_router(const FrameSchedule& schedule,
   for (std::size_t slot = 0; slot < schedule.horizon; ++slot) {
     auto& burst = slot_frames[slot];
     if (burst.empty()) continue;
-    std::sort(burst.begin(), burst.end());
+    // Bursts are built by ascending frame id, so they arrive sorted — the
+    // per-slot sort the seed simulator did here was pure waste.
+    assert(std::is_sorted(burst.begin(), burst.end()));
     stats.packets_arrived += burst.size();
 
     std::size_t n = alg.decide(element++, service_rate, burst.data(),
@@ -71,9 +88,11 @@ RouterStats simulate_router(const FrameSchedule& schedule,
 
 void RandPrRanker::start(const std::vector<SetMeta>& frames) {
   ranks_.resize(frames.size());
+  // Weights were validated positive by FrameSchedule::validate(); a
+  // non-positive weight reaching sample_rw_key throws rather than being
+  // silently clamped.
   for (std::size_t f = 0; f < frames.size(); ++f)
-    ranks_[f] =
-        sample_rw_key(std::max(frames[f].weight, 1e-12), rng_).key;
+    ranks_[f] = sample_rw_key(frames[f].weight, rng_).key;
 }
 
 void WeightRanker::start(const std::vector<SetMeta>& frames) {
@@ -89,18 +108,85 @@ void RandomRanker::start(const std::vector<SetMeta>& frames) {
 
 RouterStats simulate_buffered_router(const FrameSchedule& schedule,
                                      FrameRanker& ranker,
-                                     const BufferedRouterParams& params) {
+                                     const BufferedRouterParams& params,
+                                     BufferedRouterScratch* scratch,
+                                     RouterTrace* trace) {
   OSP_REQUIRE(params.service_rate >= 1);
   schedule.validate();
+  if (trace != nullptr) trace->served.clear();
+
+  BufferedRouterScratch local;
+  BufferedRouterScratch& s = scratch != nullptr ? *scratch : local;
+  frame_metas(schedule, s.metas);
+  ranker.start(s.metas);
+  build_slot_frames(schedule, s.slot_frames);
+  s.served.assign(schedule.frames.size(), 0);
+  PacketQueue& queue = s.queue;
+  queue.reset(schedule.frames.size());
+
+  RouterStats stats;
+  std::uint64_t seq = 0;
+  for (std::size_t slot = 0; slot < schedule.horizon; ++slot) {
+    // Arrivals.  A packet of a frame already known dead is refused on the
+    // spot: it can never contribute value, so it must not consume buffer
+    // space or link capacity.
+    for (SetId f : s.slot_frames[slot]) {
+      ++stats.packets_arrived;
+      const std::uint64_t arrival = seq++;
+      if (params.drop_dead_frames && queue.is_dead(f)) {
+        ++stats.packets_dropped;
+        continue;
+      }
+      queue.push(f, ranker.rank(f), arrival);
+    }
+
+    // Serve the best live packets; dead packets never consume capacity
+    // (the queue discards them lazily during the pop).
+    for (Capacity i = 0; i < params.service_rate; ++i) {
+      SetId f;
+      std::uint64_t packet_seq;
+      if (!queue.pop_best(&f, &packet_seq)) break;
+      ++s.served[f];
+      ++stats.packets_served;
+      if (trace != nullptr)
+        trace->served.push_back(RouterTrace::Served{slot, f, packet_seq});
+    }
+
+    // Trim to the buffer: evict the worst live packet until everything
+    // fits.  Every eviction kills its frame; with drop_dead_frames the
+    // rest of that frame's packets are written off with it (lazy
+    // deletion), often ending the trim early — the buffer keeps only
+    // packets that can still pay off.
+    while (queue.live_size() > params.buffer_size) {
+      SetId f;
+      queue.pop_worst(&f);
+      ++stats.packets_dropped;
+      if (params.drop_dead_frames)
+        stats.packets_dropped += queue.kill_frame(f);
+    }
+  }
+  // Packets still queued at the end of the horizon never made it out
+  // (lazily deleted ones were already counted when their frame died).
+  stats.packets_dropped += queue.live_size();
+
+  tally_frames(schedule, s.served, stats);
+  return stats;
+}
+
+RouterStats simulate_buffered_router_reference(
+    const FrameSchedule& schedule, FrameRanker& ranker,
+    const BufferedRouterParams& params, RouterTrace* trace) {
+  OSP_REQUIRE(params.service_rate >= 1);
+  schedule.validate();
+  if (trace != nullptr) trace->served.clear();
   ranker.start(frame_metas(schedule));
 
   std::vector<std::vector<SetId>> slot_frames(schedule.horizon);
-  for (std::size_t fi = 0; fi < schedule.frames.size(); ++fi)
-    for (std::size_t slot : schedule.frames[fi].packet_slots)
-      slot_frames[slot].push_back(static_cast<SetId>(fi));
+  build_slot_frames(schedule, slot_frames);
 
   struct QueuedPacket {
     SetId frame;
+    double rank;
     std::uint64_t seq;  // global arrival order, for FIFO tie-breaking
   };
 
@@ -112,45 +198,58 @@ RouterStats simulate_buffered_router(const FrameSchedule& schedule,
 
   for (std::size_t slot = 0; slot < schedule.horizon; ++slot) {
     for (SetId f : slot_frames[slot]) {
-      queue.push_back(QueuedPacket{f, seq++});
       ++stats.packets_arrived;
+      const std::uint64_t arrival = seq++;
+      if (params.drop_dead_frames && dead[f]) {
+        ++stats.packets_dropped;
+        continue;
+      }
+      queue.push_back(QueuedPacket{f, ranker.rank(f), arrival});
     }
     if (queue.empty()) continue;
 
-    // Order: live frames before dead ones (when enabled), then rank
-    // descending, then FIFO.
+    // (rank desc, seq asc) — the queue never holds a dead packet in
+    // drop_dead_frames mode, so the (live, rank, seq) order of the model
+    // reduces to this.
     std::sort(queue.begin(), queue.end(),
-              [&](const QueuedPacket& a, const QueuedPacket& b) {
-                if (params.drop_dead_frames && dead[a.frame] != dead[b.frame])
-                  return !dead[a.frame];
-                double ra = ranker.rank(a.frame), rb = ranker.rank(b.frame);
-                if (ra != rb) return ra > rb;
+              [](const QueuedPacket& a, const QueuedPacket& b) {
+                if (a.rank != b.rank) return a.rank > b.rank;
                 return a.seq < b.seq;
               });
 
     // Serve the head of the ordered queue.
-    std::size_t to_serve = std::min<std::size_t>(params.service_rate,
-                                                 queue.size());
+    std::size_t to_serve =
+        std::min<std::size_t>(params.service_rate, queue.size());
     for (std::size_t i = 0; i < to_serve; ++i) {
       ++served[queue[i].frame];
       ++stats.packets_served;
+      if (trace != nullptr)
+        trace->served.push_back(
+            RouterTrace::Served{slot, queue[i].frame, queue[i].seq});
     }
     queue.erase(queue.begin(),
                 queue.begin() + static_cast<std::ptrdiff_t>(to_serve));
 
-    // Keep up to buffer_size survivors; the rest are dropped, and every
-    // dropped packet kills its frame.
-    if (queue.size() > params.buffer_size) {
-      for (std::size_t i = params.buffer_size; i < queue.size(); ++i) {
-        dead[queue[i].frame] = true;
-        ++stats.packets_dropped;
-      }
-      queue.resize(params.buffer_size);
+    // Trim to the buffer from the tail; in drop_dead_frames mode an
+    // overflow drop kills its frame and evicts the frame's other queued
+    // packets with it.
+    while (queue.size() > params.buffer_size) {
+      const QueuedPacket worst = queue.back();
+      queue.pop_back();
+      ++stats.packets_dropped;
+      if (!params.drop_dead_frames) continue;
+      dead[worst.frame] = true;
+      auto doomed = std::remove_if(queue.begin(), queue.end(),
+                                   [&](const QueuedPacket& p) {
+                                     return p.frame == worst.frame;
+                                   });
+      stats.packets_dropped +=
+          static_cast<std::size_t>(queue.end() - doomed);
+      queue.erase(doomed, queue.end());
     }
   }
   // Packets still queued at the end of the horizon never made it out.
   stats.packets_dropped += queue.size();
-  for (const auto& qp : queue) dead[qp.frame] = true;
   queue.clear();
 
   tally_frames(schedule, served, stats);

@@ -6,10 +6,27 @@
 // the osp game on FrameSchedule::to_instance (tested in test_net.cpp).
 //
 // Buffered mode probes the paper's open problem 2 ("the effect of
-// buffers"): packets that lose the link can wait in a FIFO of bounded
-// size.  Decisions are made by a FrameRanker — a per-frame priority
-// oracle; randPr's persistent R_w priorities fit this interface directly,
-// which is itself evidence for the algorithm's practicality.
+// buffers"): packets that lose the link can wait in a bounded buffer.
+// Decisions are made by a FrameRanker — a per-frame priority oracle;
+// randPr's persistent R_w priorities fit this interface directly, which
+// is itself evidence for the algorithm's practicality.
+//
+// The buffered queue is ordered by (live, rank, seq): packets of live
+// frames before packets of dead ones, then rank descending, then global
+// arrival order.  With drop_dead_frames set, a frame death is final — its
+// packets can never contribute value — so the simulator never spends link
+// capacity or buffer space on them: arrivals of dead frames are refused,
+// and a frame killed by an overflow drop has its queued packets evicted
+// with it.  (The pre-queue.hpp simulator kept such packets around and
+// served them when the queue ran short; see the goodput regression test
+// in test_net.cpp.)
+//
+// simulate_buffered_router runs on the indexed-heap PacketQueue —
+// O((arrivals + served + dropped) · log Q) per slot;
+// simulate_buffered_router_reference is the straightened-out full-sort
+// implementation — O(Q log Q) per slot — kept as the decision-identical
+// cross-check (proven slot for slot in test_net.cpp, re-proven on every
+// bench_router run).
 #pragma once
 
 #include <memory>
@@ -18,6 +35,7 @@
 
 #include "core/algorithm.hpp"
 #include "gen/schedule.hpp"
+#include "net/queue.hpp"
 #include "util/rng.hpp"
 
 namespace osp {
@@ -53,6 +71,11 @@ class FrameRanker {
   virtual void start(const std::vector<SetMeta>& frames) = 0;
   /// Priority of a frame; higher survives congestion longer.
   virtual double rank(SetId frame) const = 0;
+  /// Re-arms the ranker's randomness for a fresh trial without
+  /// reallocating: reseed(rng) followed by start(frames) must rank
+  /// exactly like a freshly constructed ranker given the same rng.
+  /// Default: no-op (deterministic rankers).
+  virtual void reseed(Rng /*rng*/) {}
 };
 
 /// randPr as a ranker: persistent R_w priorities per frame.
@@ -62,6 +85,7 @@ class RandPrRanker final : public FrameRanker {
   std::string name() const override { return "randPr"; }
   void start(const std::vector<SetMeta>& frames) override;
   double rank(SetId frame) const override { return ranks_[frame]; }
+  void reseed(Rng rng) override { rng_ = rng; }
 
  private:
   Rng rng_;
@@ -95,6 +119,7 @@ class RandomRanker final : public FrameRanker {
   std::string name() const override { return "random-drop"; }
   void start(const std::vector<SetMeta>& frames) override;
   double rank(SetId frame) const override { return ranks_[frame]; }
+  void reseed(Rng rng) override { rng_ = rng; }
 
  private:
   Rng rng_;
@@ -105,15 +130,50 @@ class RandomRanker final : public FrameRanker {
 struct BufferedRouterParams {
   Capacity service_rate = 1;
   std::size_t buffer_size = 0;    // packets that can wait
-  bool drop_dead_frames = true;   // evict packets of frames that already
-                                  // lost a packet (their value is gone)
+  bool drop_dead_frames = true;   // refuse/evict packets of frames that
+                                  // already lost a packet (value is gone)
 };
 
-/// Buffered router: each slot the queue plus the new burst are ordered by
-/// frame rank (ties: earlier arrival first); `service_rate` packets are
-/// served, up to `buffer_size` wait, and the rest are dropped.
+/// Optional per-decision record of a buffered run: every serviced packet
+/// in service order.  Two runs are decision-identical iff their traces
+/// (and stats) are equal — what test_net uses to prove the heap router
+/// against the sort reference.
+struct RouterTrace {
+  struct Served {
+    std::size_t slot;
+    SetId frame;
+    std::uint64_t seq;  // global arrival index of the packet
+  };
+  std::vector<Served> served;
+};
+
+/// Reusable working state for simulate_buffered_router; pass the same
+/// scratch to successive runs (one per worker thread) and the steady
+/// state performs no heap allocations.
+struct BufferedRouterScratch {
+  PacketQueue queue;
+  std::vector<std::vector<SetId>> slot_frames;
+  std::vector<SetMeta> metas;
+  std::vector<std::size_t> served;
+};
+
+/// Buffered router on the indexed-heap PacketQueue: each slot, arriving
+/// packets join the queue, the best `service_rate` live packets are
+/// served, and the queue is then trimmed to `buffer_size` by evicting the
+/// worst live packets (each eviction kills its frame, and with
+/// drop_dead_frames the rest of that frame's packets are evicted with
+/// it).  O((arrivals + served + dropped) · log Q) per slot.
 RouterStats simulate_buffered_router(const FrameSchedule& schedule,
                                      FrameRanker& ranker,
-                                     const BufferedRouterParams& params);
+                                     const BufferedRouterParams& params,
+                                     BufferedRouterScratch* scratch = nullptr,
+                                     RouterTrace* trace = nullptr);
+
+/// The full-sort reference implementation of the same semantics —
+/// O(Q log Q) per slot.  Kept for the decision-identity cross-check and
+/// as the "old path" baseline of bench_router's throughput section.
+RouterStats simulate_buffered_router_reference(
+    const FrameSchedule& schedule, FrameRanker& ranker,
+    const BufferedRouterParams& params, RouterTrace* trace = nullptr);
 
 }  // namespace osp

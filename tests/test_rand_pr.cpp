@@ -87,6 +87,42 @@ TEST(RandPr, DeterministicGivenSeed) {
   EXPECT_EQ(play(inst, a).completed, play(inst, b).completed);
 }
 
+TEST(Reseed, RandPrMatchesFreshConstruction) {
+  // The reseed() contract: reseed(rng) + start() must be decision-
+  // identical to a freshly constructed algorithm given the same rng —
+  // what lets the batch runner reuse one policy object across trials.
+  Rng gen(6);
+  Instance warmup = random_instance(10, 15, 2, WeightModel::unit(), gen);
+  Instance inst = random_instance(25, 50, 3, WeightModel::uniform(1, 5), gen);
+
+  RandPr fresh{Rng(123)};
+  RandPr reused{Rng(777)};
+  EXPECT_TRUE(reused.reseedable());
+  play(warmup, reused);  // consume randomness and warm internal arrays
+  reused.reseed(Rng(123));
+  EXPECT_EQ(play(inst, fresh).completed, play(inst, reused).completed);
+}
+
+TEST(Reseed, HashedRandPrFactoriesInstallARehashRecipe) {
+  Rng gen(7);
+  Instance warmup = random_instance(10, 15, 2, WeightModel::unit(), gen);
+  Instance inst = random_instance(25, 50, 3, WeightModel::uniform(1, 5), gen);
+
+  Rng fresh_rng(4242);
+  auto fresh = HashedRandPr::with_polynomial(8, fresh_rng);
+  Rng other(1);
+  auto reused = HashedRandPr::with_polynomial(8, other);
+  EXPECT_TRUE(reused->reseedable());
+  play(warmup, *reused);
+  reused->reseed(Rng(4242));
+  EXPECT_EQ(play(inst, *fresh).completed, play(inst, *reused).completed);
+
+  // A bare HashedRandPr has no recipe to rebuild its hash from an Rng.
+  HashedRandPr bare([](std::uint64_t) { return 0.5; }, "bare");
+  EXPECT_FALSE(bare.reseedable());
+  EXPECT_THROW(bare.reseed(Rng(1)), RequireError);
+}
+
 TEST(RandPr, NameReflectsOptions) {
   EXPECT_EQ(RandPr(Rng(1)).name(), "randPr");
   EXPECT_EQ(RandPr(Rng(1), {.filter_dead = true}).name(), "randPr/filt");
