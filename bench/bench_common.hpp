@@ -34,6 +34,32 @@ inline void banner(const std::string& id, const std::string& claim) {
   std::cout << "\n=== " << id << " ===\n" << claim << "\n\n";
 }
 
+/// One engine-throughput workload shape: a random instance with m sets of
+/// size k over ~n arrivals.
+struct EngineWorkload {
+  const char* label;
+  std::size_t m, n, k;
+};
+
+/// The workload table shared by every engine throughput measurement, so
+/// all BENCH_engine.json rows carry identical labels across modes and
+/// PRs (the perf trajectory is keyed on them).  The last entry is the
+/// "largest workload" that the acceptance gates are measured on:
+/// overload/256k mirrors bench_router's overload sweep — sustained
+/// congestion with ~16 streams competing per slot (sigma ~ 16, the
+/// regime the paper's sigma-dependent bounds are about) over a
+/// quarter-million arrivals and ~4M packet memberships, the heaviest
+/// shape in the table by every measure.
+inline const std::vector<EngineWorkload>& engine_workloads() {
+  static const std::vector<EngineWorkload> shapes{
+      {"legacy/64", 64, 128, 4},      {"legacy/1024", 1024, 2048, 4},
+      {"legacy/4096", 4096, 8192, 4}, {"router/32k", 1024, 32768, 64},
+      {"router/128k", 4096, 131072, 64},
+      {"overload/256k", 8192, 262144, 512},
+  };
+  return shapes;
+}
+
 /// Mean benefit (with CI) of randPr over `trials` independent runs.
 /// Trial t plays RandPr(master.split(t)) — the same stream the serial
 /// seed loop used — on the flat engine, batched across worker threads.

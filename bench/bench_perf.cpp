@@ -1,7 +1,7 @@
 // E9 — engineering throughput benchmarks for the flat engine.
 //
 // Not a paper exhibit: measures the elements/sec of the decision path and
-// tracks the flat-engine refactor's gains from this PR on.  Three modes per
+// tracks the engine refactors' gains from PR 1 on.  Four modes per
 // workload:
 //   seed  — the seed repo's engine AND algorithm, replicated verbatim:
 //           randPr's on_element() allocating a candidate-pool copy plus a
@@ -12,14 +12,19 @@
 //           this one must not either);
 //   flat  — play_flat(): CSR candidate spans, decide() into a reusable
 //           buffer, allocation-free validation, single thread;
-//   batch — the same flat trials fanned across the BatchRunner's workers.
+//   block — play_flat_blocks(): decide_batch() over whole CSR arrival
+//           blocks (one virtual call per block, SoA selection kernel),
+//           single thread;
+//   batch — the same block-stepped trials fanned across the BatchRunner's
+//           workers.
 //
 // Per-trial Rng streams are identical across modes and every trial's
 // outcome is checksummed, so the modes are proven to compute the same
 // thing.  Results go to stdout and BENCH_engine.json; the acceptance
-// target is batch >= 5x seed on the largest workload (the flat single-
-// thread gain times the worker count — on a single-core container the
-// second factor is 1x, which the JSON records via "threads").
+// targets on the largest workload are batch >= 5x seed (the flat gain
+// times the worker count — on a single-core container the second factor
+// is 1x, which the JSON records via "threads") and block >= 1.3x flat
+// single-thread (the decide_batch amortization gate).
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -51,8 +56,16 @@ struct WorkloadResult {
   std::size_t m = 0;
   std::size_t n = 0;
   int trials = 0;
-  ModeResult seed, flat, batch;
+  ModeResult seed, flat, block, batch;
 };
+
+// Number of interleaved measurement passes per workload.  Each pass times
+// every mode once and a mode's reported throughput is its best pass:
+// peak-of-N is the standard estimator on shared/noisy hosts, and
+// interleaving the modes means transient interference (another container
+// on the box, a frequency dip) cannot systematically bias one mode's
+// ratio against another's.
+constexpr int kPasses = 3;
 
 WorkloadResult measure_workload(const std::string& label, std::size_t m,
                                 std::size_t n, std::size_t k) {
@@ -77,40 +90,62 @@ WorkloadResult measure_workload(const std::string& label, std::size_t m,
   const double total_elements =
       static_cast<double>(r.n) * static_cast<double>(r.trials);
 
-  {  // seed mode: original algorithm + original engine
-    auto t0 = Clock::now();
-    for (int t = 0; t < r.trials; ++t) {
-      seedref::SeedRandPr alg(rngs[static_cast<std::size_t>(t)]);
-      r.seed.checksum += seedref::seed_play(inst, alg, arrivals).benefit;
+  PlayScratch flat_scratch, block_scratch;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    double seed_sum = 0, flat_sum = 0, block_sum = 0, batch_sum = 0;
+
+    {  // seed mode: original algorithm + original engine
+      auto t0 = Clock::now();
+      for (int t = 0; t < r.trials; ++t) {
+        seedref::SeedRandPr alg(rngs[static_cast<std::size_t>(t)]);
+        seed_sum += seedref::seed_play(inst, alg, arrivals).benefit;
+      }
+      r.seed.elements_per_sec = std::max(r.seed.elements_per_sec,
+                                         total_elements / seconds_since(t0));
     }
-    r.seed.elements_per_sec = total_elements / seconds_since(t0);
-  }
 
-  {  // flat mode, single thread
-    PlayScratch scratch;
-    auto t0 = Clock::now();
-    for (int t = 0; t < r.trials; ++t) {
-      RandPr alg(rngs[static_cast<std::size_t>(t)]);
-      r.flat.checksum += play_flat(inst, alg, scratch).benefit;
+    {  // flat mode, single thread: decide() per element
+      auto t0 = Clock::now();
+      for (int t = 0; t < r.trials; ++t) {
+        RandPr alg(rngs[static_cast<std::size_t>(t)]);
+        flat_sum += play_flat(inst, alg, flat_scratch).benefit;
+      }
+      r.flat.elements_per_sec = std::max(r.flat.elements_per_sec,
+                                         total_elements / seconds_since(t0));
     }
-    r.flat.elements_per_sec = total_elements / seconds_since(t0);
-  }
 
-  {  // batch mode, all workers
-    auto t0 = Clock::now();
-    auto benefits = engine::shared_runner().map<Weight>(
-        static_cast<std::size_t>(r.trials),
-        [&](std::size_t t, engine::TrialContext& ctx) {
-          RandPr alg(rngs[t]);
-          return play_flat(inst, alg, ctx.scratch).benefit;
-        });
-    r.batch.elements_per_sec = total_elements / seconds_since(t0);
-    for (Weight b : benefits) r.batch.checksum += b;
-  }
+    {  // block mode, single thread: decide_batch() per arrival block
+      auto t0 = Clock::now();
+      for (int t = 0; t < r.trials; ++t) {
+        RandPr alg(rngs[static_cast<std::size_t>(t)]);
+        block_sum += play_flat_blocks(inst, alg, block_scratch).benefit;
+      }
+      r.block.elements_per_sec = std::max(r.block.elements_per_sec,
+                                          total_elements / seconds_since(t0));
+    }
 
-  // All three modes must agree on every trial's outcome.
-  OSP_REQUIRE(r.seed.checksum == r.flat.checksum);
-  OSP_REQUIRE(r.seed.checksum == r.batch.checksum);
+    {  // batch mode: block-stepped trials across all workers
+      auto t0 = Clock::now();
+      auto benefits = engine::shared_runner().map<Weight>(
+          static_cast<std::size_t>(r.trials),
+          [&](std::size_t t, engine::TrialContext& ctx) {
+            RandPr alg(rngs[t]);
+            return play_flat_blocks(inst, alg, ctx.scratch).benefit;
+          });
+      r.batch.elements_per_sec = std::max(r.batch.elements_per_sec,
+                                          total_elements / seconds_since(t0));
+      for (Weight b : benefits) batch_sum += b;
+    }
+
+    // All four modes must agree on every trial's outcome, in every pass.
+    OSP_REQUIRE(seed_sum == flat_sum);
+    OSP_REQUIRE(seed_sum == block_sum);
+    OSP_REQUIRE(seed_sum == batch_sum);
+    r.seed.checksum = seed_sum;
+    r.flat.checksum = flat_sum;
+    r.block.checksum = block_sum;
+    r.batch.checksum = batch_sum;
+  }
   return r;
 }
 
@@ -122,42 +157,37 @@ std::string fmt_meps(double eps) { return fmt(eps / 1e6, 2) + "M"; }
 int main() {
   using namespace osp;
   bench::banner(
-      "E9 / engine throughput (flat engine vs seed engine)",
+      "E9 / engine throughput (flat + block engines vs seed engine)",
       "Elements/sec of randPr trials: seed on_element path vs the "
-      "allocation-free CSR decide path vs the multi-threaded batch "
-      "runner.  Checksums verify all modes produce identical outcomes.");
+      "allocation-free CSR decide path vs the block-batched decide_batch "
+      "path vs the multi-threaded batch runner.  Checksums verify all "
+      "modes produce identical outcomes.");
 
   const std::size_t threads = engine::shared_runner().num_threads();
   std::cout << "batch runner threads: " << threads << "\n\n";
 
   Table table({"workload", "m", "n", "trials", "seed el/s", "flat el/s",
-               "batch el/s", "flat/seed", "batch/seed"});
+               "block el/s", "batch el/s", "flat/seed", "block/flat",
+               "batch/seed"});
   bench::JsonSink json("engine");
 
-  struct Shape {
-    const char* label;
-    std::size_t m, n, k;
-  };
-  // The legacy sweep (m, 2m, 4) plus router-scale workloads where the
-  // per-trial priority draw amortizes over many arrivals; the last entry
-  // is the "largest workload" of the acceptance gate.
-  const Shape shapes[] = {
-      {"legacy/64", 64, 128, 4},       {"legacy/1024", 1024, 2048, 4},
-      {"legacy/4096", 4096, 8192, 4},  {"router/32k", 1024, 32768, 64},
-      {"router/128k", 4096, 131072, 64},
-  };
-
   WorkloadResult largest;
-  for (const Shape& s : shapes) {
+  for (const bench::EngineWorkload& s : bench::engine_workloads()) {
     WorkloadResult r = measure_workload(s.label, s.m, s.n, s.k);
     largest = r;
     double flat_speedup = r.flat.elements_per_sec / r.seed.elements_per_sec;
+    double block_speedup =
+        r.block.elements_per_sec / r.seed.elements_per_sec;
+    double block_vs_flat =
+        r.block.elements_per_sec / r.flat.elements_per_sec;
     double batch_speedup = r.batch.elements_per_sec / r.seed.elements_per_sec;
     table.row({r.label, fmt(r.m), fmt(r.n), fmt(r.trials),
                fmt_meps(r.seed.elements_per_sec),
                fmt_meps(r.flat.elements_per_sec),
+               fmt_meps(r.block.elements_per_sec),
                fmt_meps(r.batch.elements_per_sec),
-               fmt_ratio(flat_speedup), fmt_ratio(batch_speedup)});
+               fmt_ratio(flat_speedup), fmt_ratio(block_vs_flat),
+               fmt_ratio(batch_speedup)});
     json.writer()
         .begin_object()
         .kv("workload", r.label)
@@ -166,8 +196,11 @@ int main() {
         .kv("trials", r.trials)
         .kv("seed_elements_per_sec", r.seed.elements_per_sec)
         .kv("flat_elements_per_sec", r.flat.elements_per_sec)
+        .kv("block_elements_per_sec", r.block.elements_per_sec)
         .kv("batch_elements_per_sec", r.batch.elements_per_sec)
         .kv("flat_speedup", flat_speedup)
+        .kv("block_speedup", block_speedup)
+        .kv("block_vs_flat", block_vs_flat)
         .kv("batch_speedup", batch_speedup)
         .end_object();
   }
@@ -175,6 +208,8 @@ int main() {
 
   const double final_speedup =
       largest.batch.elements_per_sec / largest.seed.elements_per_sec;
+  const double final_block_vs_flat =
+      largest.block.elements_per_sec / largest.flat.elements_per_sec;
   std::cout << "\nlargest workload (" << largest.label
             << "): batch engine is " << fmt_ratio(final_speedup)
             << " the seed path ("
@@ -183,6 +218,12 @@ int main() {
             << " elements/sec) on " << threads
             << " worker(s); target >= 5x: "
             << (final_speedup >= 5.0 ? "MET" : "NOT MET") << "\n";
+  std::cout << "largest workload block path: " << fmt_ratio(final_block_vs_flat)
+            << " the flat path single-thread ("
+            << fmt_meps(largest.block.elements_per_sec) << " vs "
+            << fmt_meps(largest.flat.elements_per_sec)
+            << " elements/sec); target >= 1.3x: "
+            << (final_block_vs_flat >= 1.3 ? "MET" : "NOT MET") << "\n";
   if (threads == 1 && final_speedup < 5.0)
     std::cout << "note: single hardware thread — the batch multiplier is "
                  "1x here; the flat/seed column is the per-core gain and "
@@ -197,8 +238,12 @@ int main() {
       .kv("threads", threads)
       .kv("flat_speedup_vs_seed",
           largest.flat.elements_per_sec / largest.seed.elements_per_sec)
+      .kv("block_speedup_vs_seed",
+          largest.block.elements_per_sec / largest.seed.elements_per_sec)
+      .kv("block_vs_flat", final_block_vs_flat)
       .kv("speedup_vs_seed", final_speedup)
       .kv("target_5x_met", final_speedup >= 5.0)
+      .kv("block_target_1p3x_met", final_block_vs_flat >= 1.3)
       .end_object();
   json.close();
   return 0;

@@ -1,13 +1,30 @@
 #!/usr/bin/env bash
-# Repository check: the tier-1 verify plus an ASan/UBSan build of the
-# engine-critical tests (the fuzz suite, the flat-engine golden tests,
-# and the router-queue suites), and a sanitized `bench_router --smoke`
-# run so the indexed-heap queue is exercised against the full-sort
-# reference cross-check on every repository check.
+# Repository check.
 #
-# Usage: scripts/check.sh
+# Full mode (default, what CI always runs):
+#   1. tier-1 verify: configure + build + ctest;
+#   2. bench-JSON schema check: every BENCH_*.json artifact parses and
+#      carries the keys the perf trajectory depends on;
+#   3. ASan/UBSan build of the engine-critical tests (the fuzz suite, the
+#      flat/block-engine golden tests, and the router-queue suites) plus a
+#      sanitized `bench_router --smoke` run, so the indexed-heap queue is
+#      exercised against the full-sort reference cross-check on every
+#      repository check.
+#
+# Quick mode (scripts/check.sh --quick, for local iteration):
+#   runs steps 1-2 only, skipping the sanitizer rebuild — a few seconds of
+#   configure + incremental build instead of a second full tree.  CI never
+#   uses --quick; a change is not green until the full script passes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+quick=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    *) echo "usage: scripts/check.sh [--quick]" >&2; exit 2 ;;
+  esac
+done
 
 jobs="$(nproc 2>/dev/null || echo 2)"
 
@@ -15,6 +32,17 @@ echo "== tier-1: configure + build + ctest =="
 cmake -B build -S .
 cmake --build build -j "${jobs}"
 (cd build && ctest --output-on-failure -j "${jobs}")
+
+echo
+echo "== bench artifacts: BENCH_*.json schema check =="
+python3 scripts/check_bench_json.py
+
+if [[ "${quick}" -eq 1 ]]; then
+  echo
+  echo "== quick mode: skipping sanitizer rebuild (CI runs it) =="
+  echo "== all quick checks passed =="
+  exit 0
+fi
 
 echo
 echo "== sanitizers: ASan/UBSan build of fuzz + engine + queue tests =="

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Schema check for the BENCH_*.json perf-trajectory artifacts.
+
+Every bench binary emits a machine-readable JSON file next to its console
+table; downstream tooling (and the per-PR perf trajectory) keys on a small
+set of invariants that a bench refactor could silently break.  This script
+validates, with the standard library only:
+
+  * every BENCH_*.json parses as strict JSON (no NaN/Infinity literals);
+  * the shared preamble is intact: {"bench": <str>, "threads": <int >= 1>,
+    "results": [<object>, ...]} with a non-empty results array;
+  * bench-specific invariants:
+      - engine:  per-workload rows carry the mode throughputs and factors
+                 (seed/flat/block/batch elements-per-sec, flat_speedup,
+                 block_vs_flat, batch_speedup); the largest_summary row
+                 carries threads and the gate fields;
+      - router:  "throughput" sweep rows carry speedup_vs_sort and
+                 cross_check;
+  * every numeric value is finite.
+
+Usage: scripts/check_bench_json.py [file-or-dir ...]
+       (defaults to the repository root; exits non-zero on any violation)
+"""
+
+import json
+import math
+import pathlib
+import sys
+
+ENGINE_WORKLOAD_KEYS = (
+    "workload", "m", "n", "trials",
+    "seed_elements_per_sec", "flat_elements_per_sec",
+    "block_elements_per_sec", "batch_elements_per_sec",
+    "flat_speedup", "block_speedup", "block_vs_flat", "batch_speedup",
+)
+ENGINE_SUMMARY_KEYS = (
+    "label", "threads", "flat_speedup_vs_seed", "block_speedup_vs_seed",
+    "block_vs_flat", "speedup_vs_seed",
+)
+ROUTER_THROUGHPUT_KEYS = (
+    "path", "buffer", "slots", "packets", "seconds", "slots_per_sec",
+    "speedup_vs_sort", "cross_check",
+)
+
+
+def fail(path, message):
+    raise SystemExit(f"check_bench_json: {path}: {message}")
+
+
+def require_keys(path, row, keys, context):
+    for key in keys:
+        if key not in row:
+            fail(path, f"{context} is missing required key '{key}'")
+
+
+def check_finite(path, value, context):
+    if isinstance(value, float) and not math.isfinite(value):
+        fail(path, f"{context} holds a non-finite number ({value!r})")
+    if isinstance(value, dict):
+        for k, v in value.items():
+            check_finite(path, v, f"{context}.{k}")
+    if isinstance(value, list):
+        for i, v in enumerate(value):
+            check_finite(path, v, f"{context}[{i}]")
+
+
+def check_engine(path, results):
+    summaries = [r for r in results if r.get("workload") == "largest_summary"]
+    workloads = [r for r in results if r.get("workload") != "largest_summary"]
+    if not workloads:
+        fail(path, "engine bench has no per-workload rows")
+    for row in workloads:
+        require_keys(path, row, ENGINE_WORKLOAD_KEYS,
+                     f"workload row {row.get('workload')!r}")
+    if len(summaries) != 1:
+        fail(path, f"expected exactly one largest_summary row, "
+                   f"found {len(summaries)}")
+    require_keys(path, summaries[0], ENGINE_SUMMARY_KEYS,
+                 "largest_summary row")
+    labels = {r["workload"] for r in workloads}
+    if summaries[0]["label"] not in labels:
+        fail(path, "largest_summary.label names no measured workload")
+
+
+def check_router(path, results):
+    throughput = [r for r in results if r.get("sweep") == "throughput"]
+    if not throughput:
+        fail(path, "router bench has no throughput sweep rows")
+    for row in throughput:
+        require_keys(path, row, ROUTER_THROUGHPUT_KEYS, "throughput row")
+        if row["path"] not in ("sort", "heap"):
+            fail(path, f"throughput row has unknown path {row['path']!r}")
+        if not row["cross_check"]:
+            fail(path, "throughput row records a failed heap-vs-sort "
+                       "cross_check")
+
+
+BENCH_CHECKS = {"engine": check_engine, "router": check_router}
+
+
+def reject_constant(value):
+    raise ValueError(f"non-finite JSON literal {value!r}")
+
+
+def check_file(path):
+    try:
+        doc = json.loads(path.read_text(), parse_constant=reject_constant)
+    except ValueError as err:
+        fail(path, f"does not parse as strict JSON: {err}")
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    require_keys(path, doc, ("bench", "threads", "results"), "document")
+    if not isinstance(doc["bench"], str) or not doc["bench"]:
+        fail(path, "'bench' is not a non-empty string")
+    if not isinstance(doc["threads"], int) or doc["threads"] < 1:
+        fail(path, "'threads' is not a positive integer")
+    results = doc["results"]
+    if not isinstance(results, list) or not results:
+        fail(path, "'results' is not a non-empty array")
+    for i, row in enumerate(results):
+        if not isinstance(row, dict) or not row:
+            fail(path, f"results[{i}] is not a non-empty object")
+    check_finite(path, doc, "document")
+    extra = BENCH_CHECKS.get(doc["bench"])
+    if extra is not None:
+        extra(path, results)
+    return len(results)
+
+
+def collect(args):
+    if not args:
+        args = [pathlib.Path(__file__).resolve().parent.parent]
+    files = []
+    for arg in args:
+        p = pathlib.Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.glob("BENCH_*.json")))
+        else:
+            files.append(p)
+    return files
+
+
+def main(argv):
+    files = collect(argv[1:])
+    if not files:
+        raise SystemExit("check_bench_json: no BENCH_*.json files found")
+    for path in files:
+        rows = check_file(path)
+        print(f"check_bench_json: {path.name}: OK ({rows} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

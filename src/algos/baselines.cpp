@@ -51,6 +51,18 @@ std::size_t ScoredBaseline::decide(ElementId, Capacity capacity,
   return n;
 }
 
+void ScoredBaseline::decide_batch(const ArrivalBlock& block,
+                                  BlockScratch& /*scratch*/,
+                                  BlockChoices& out) {
+  decide_block_loop(block, out,
+                    [this](ElementId u, Capacity capacity,
+                           const SetId* candidates,
+                           std::size_t num_candidates, SetId* choice) {
+                      return ScoredBaseline::decide(u, capacity, candidates,
+                                                    num_candidates, choice);
+                    });
+}
+
 double GreedyFirst::score(SetId s) const {
   return -static_cast<double>(s);
 }
@@ -100,6 +112,17 @@ std::size_t RoundRobin::decide(ElementId, Capacity capacity,
   return n;
 }
 
+void RoundRobin::decide_batch(const ArrivalBlock& block,
+                              BlockScratch& /*scratch*/, BlockChoices& out) {
+  decide_block_loop(block, out,
+                    [this](ElementId u, Capacity capacity,
+                           const SetId* candidates,
+                           std::size_t num_candidates, SetId* choice) {
+                      return RoundRobin::decide(u, capacity, candidates,
+                                                num_candidates, choice);
+                    });
+}
+
 std::size_t UniformRandomChoice::decide(ElementId, Capacity capacity,
                                         const SetId* candidates,
                                         std::size_t num_candidates,
@@ -119,6 +142,18 @@ std::size_t UniformRandomChoice::decide(ElementId, Capacity capacity,
   }
   record(candidates, num_candidates, out, n);
   return n;
+}
+
+void UniformRandomChoice::decide_batch(const ArrivalBlock& block,
+                                       BlockScratch& /*scratch*/,
+                                       BlockChoices& out) {
+  decide_block_loop(
+      block, out,
+      [this](ElementId u, Capacity capacity, const SetId* candidates,
+             std::size_t num_candidates, SetId* choice) {
+        return UniformRandomChoice::decide(u, capacity, candidates,
+                                           num_candidates, choice);
+      });
 }
 
 std::vector<std::unique_ptr<OnlineAlgorithm>> make_deterministic_baselines() {

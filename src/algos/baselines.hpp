@@ -31,6 +31,11 @@ class ScoredBaseline : public ActiveTracking {
   std::size_t decide(ElementId u, Capacity capacity, const SetId* candidates,
                      std::size_t num_candidates, SetId* out) override;
 
+  /// Straightforward block loop: one virtual call per block, the
+  /// per-element selection unchanged (score() stays virtual).
+  void decide_batch(const ArrivalBlock& block, BlockScratch& scratch,
+                    BlockChoices& out) override;
+
   /// Deterministic: start() resets all decision-relevant state, so the
   /// default no-op reseed() is a complete re-arm.
   bool reseedable() const override { return true; }
@@ -102,6 +107,8 @@ class RoundRobin final : public ActiveTracking {
   void start(const std::vector<SetMeta>& sets) override;
   std::size_t decide(ElementId u, Capacity capacity, const SetId* candidates,
                      std::size_t num_candidates, SetId* out) override;
+  void decide_batch(const ArrivalBlock& block, BlockScratch& scratch,
+                    BlockChoices& out) override;
   bool reseedable() const override { return true; }  // start() resets cursor
 
  private:
@@ -118,6 +125,8 @@ class UniformRandomChoice final : public ActiveTracking {
   std::string name() const override { return "uniform-random"; }
   std::size_t decide(ElementId u, Capacity capacity, const SetId* candidates,
                      std::size_t num_candidates, SetId* out) override;
+  void decide_batch(const ArrivalBlock& block, BlockScratch& scratch,
+                    BlockChoices& out) override;
   void reseed(Rng rng) override { rng_ = rng; }
   bool reseedable() const override { return true; }
 

@@ -5,23 +5,31 @@
 // and parent-set list) and must immediately output at most b(u) of those
 // sets.  A set is completed iff it is chosen at every one of its elements.
 //
-// Two decision entry points exist:
-//   * decide()     — the flat path: reads candidates from a contiguous
-//                    span and writes the choice into a caller-owned buffer.
-//                    Zero allocations per call once an implementation's
-//                    internal scratch has warmed up; this is what the game
-//                    engine and the batch runner drive.
-//   * on_element() — the legacy allocating path, kept for adaptive
-//                    adversaries and tests that script answers directly.
-// Implementations override at least one; each default-forwards to the
-// other, and ported algorithms implement decide() and get on_element()
-// for free.
+// Three decision entry points exist:
+//   * decide()       — the flat path: reads candidates from a contiguous
+//                      span and writes the choice into a caller-owned
+//                      buffer.  Zero allocations per call once an
+//                      implementation's internal scratch has warmed up.
+//   * decide_batch() — the block path: consumes a whole CSR arrival block
+//                      (contiguous (element, capacity, candidate-span)
+//                      records) in one virtual call and writes every
+//                      choice into one flat CSR-shaped output.  The
+//                      default loops over decide(), so every policy works
+//                      unchanged; hot policies override it with a block
+//                      kernel.  This is what the game engine, the batch
+//                      runner, and the router simulator drive.
+//   * on_element()   — the legacy allocating path, kept for adaptive
+//                      adversaries and tests that script answers directly.
+// Implementations override at least decide() or on_element(); each
+// default-forwards to the other, and ported algorithms implement decide()
+// and get the other two for free.
 #pragma once
 
 #include <algorithm>
 #include <string>
 #include <vector>
 
+#include "core/csr.hpp"
 #include "core/types.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
@@ -33,6 +41,39 @@ struct SetMeta {
   Weight weight = 1.0;
   std::size_t size = 0;
 };
+
+/// Reusable engine-owned workspace handed to decide_batch; implementations
+/// may use it instead of growing their own members (the shared block
+/// selection kernel uses topk as its nth_element workspace).
+struct BlockScratch {
+  std::vector<SetId> topk;
+};
+
+/// Arrivals per decide_batch call when a block-stepped caller does not
+/// choose its own size: large enough to amortize the per-block dispatch
+/// and keep the kernel's inner loops streaming, small enough that a
+/// block's packed choices and offsets stay L1-resident (measured best in
+/// the 1k-4k range on the router workloads; see bench_perf).
+inline constexpr std::size_t kDefaultDecideBlock = 2048;
+
+/// Shared skeleton of every per-element decide_batch loop: sizes `out`
+/// once for the whole block (grow-only — zero allocations in steady
+/// state), then calls `decide_fn(u, capacity, candidates, n, out_ptr)`
+/// for each arrival in order, packing the answers back to back.
+/// `decide_fn` must honour the decide() contract (never write more than
+/// min(capacity, n) entries).
+template <class DecideFn>
+void decide_block_loop(const ArrivalBlock& block, BlockChoices& out,
+                       DecideFn&& decide_fn) {
+  prepare_block_output(block, out);
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < block.count; ++i) {
+    written += decide_fn(block.element(i), block.capacity(i),
+                         block.candidates_of(i), block.num_candidates(i),
+                         out.ids.data() + written);
+    out.offsets[i + 1] = static_cast<std::uint32_t>(written);
+  }
+}
 
 /// Interface every online policy implements.
 ///
@@ -106,6 +147,30 @@ class OnlineAlgorithm {
                                        << ", candidates " << num_candidates);
     std::copy(chosen.begin(), chosen.end(), out);
     return chosen.size();
+  }
+
+  /// Batched decision: consumes a whole CSR arrival block and writes all
+  /// choices into `out` (offsets + ids, one row per block record).
+  ///
+  /// Equivalence contract: decide_batch must be decision-identical to
+  /// calling decide() once per record of the block, in arrival order —
+  /// including every internal state update and Rng draw, so interleaving
+  /// block and per-element calls is always legal.  The fuzz suite in
+  /// test_engine enforces this (traces included) for every policy.
+  ///
+  /// Default: the per-element loop itself, so un-ported policies run on
+  /// the block engine unchanged; policies whose selection can amortize
+  /// across arrivals (randPr's SoA priority kernel) override it.
+  virtual void decide_batch(const ArrivalBlock& block, BlockScratch& scratch,
+                            BlockChoices& out) {
+    (void)scratch;
+    decide_block_loop(block, out,
+                      [this](ElementId u, Capacity capacity,
+                             const SetId* candidates,
+                             std::size_t num_candidates, SetId* choice) {
+                        return decide(u, capacity, candidates,
+                                      num_candidates, choice);
+                      });
   }
 
  private:

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/types.hpp"
 #include "util/require.hpp"
 
 namespace osp {
@@ -103,14 +104,23 @@ class CsrArray {
   /// through mutable_row() afterwards.
   static CsrArray from_sizes(const std::vector<std::size_t>& sizes) {
     CsrArray csr;
-    csr.offsets_.reserve(sizes.size() + 1);
-    std::size_t total = 0;
-    for (std::size_t s : sizes) {
-      total += s;
-      csr.offsets_.push_back(total);
-    }
-    csr.values_.resize(total);
+    csr.assign_sizes(sizes.data(), sizes.size());
     return csr;
+  }
+
+  /// In-place form of from_sizes: rebuilds the row structure reusing the
+  /// existing storage (grow-only, so repeated builds of same-scale arrays
+  /// allocate nothing in steady state).  Values are left unspecified; fill
+  /// through mutable_row().
+  void assign_sizes(const std::size_t* sizes, std::size_t count) {
+    offsets_.resize(count + 1);
+    offsets_[0] = 0;
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      total += sizes[i];
+      offsets_[i + 1] = total;
+    }
+    values_.resize(total);
   }
 
   std::size_t num_rows() const { return offsets_.size() - 1; }
@@ -134,5 +144,73 @@ class CsrArray {
   std::vector<std::size_t> offsets_;  // size num_rows + 1, offsets_[0] == 0
   std::vector<T> values_;
 };
+
+/// A contiguous run of arrivals [first, first + count), viewed CSR-style:
+/// record i is element first + i with capacity capacities[i] and candidate
+/// span candidates[offsets[i] .. offsets[i+1]).  Offsets index into the
+/// block owner's full candidate array, so a block at any position borrows
+/// the storage zero-copy (Instance::arrival_block just shifts pointers).
+/// This is what OnlineAlgorithm::decide_batch consumes.
+struct ArrivalBlock {
+  ElementId first = 0;
+  std::size_t count = 0;
+  const Capacity* capacities = nullptr;  // capacities[i] = b(first + i)
+  const SetId* candidates = nullptr;     // base of the flat candidate array
+  const std::size_t* offsets = nullptr;  // count + 1 entries into candidates
+
+  ElementId element(std::size_t i) const {
+    return first + static_cast<ElementId>(i);
+  }
+  Capacity capacity(std::size_t i) const { return capacities[i]; }
+  std::size_t num_candidates(std::size_t i) const {
+    return offsets[i + 1] - offsets[i];
+  }
+  const SetId* candidates_of(std::size_t i) const {
+    return candidates + offsets[i];
+  }
+  Span<SetId> candidate_span(std::size_t i) const {
+    return Span<SetId>(candidates_of(i), num_candidates(i));
+  }
+};
+
+/// Caller-owned flat output of one decide_batch call: the choices of block
+/// record i are ids[offsets[i] .. offsets[i+1]).  Buffers grow on demand
+/// and are reused across calls — ids is never shrunk, so its size may
+/// exceed the valid region [0, offsets.back()) and steady-state blocks
+/// allocate (and memset) nothing.  Offsets are 32-bit on purpose — a
+/// block's total choice count must fit in std::uint32_t (blocks are
+/// engine-sized chunks, not whole runs), and the narrower offsets halve
+/// the output traffic of the hot kernels.
+struct BlockChoices {
+  std::vector<std::uint32_t> offsets;  // count + 1 once filled, [0] == 0
+  std::vector<SetId> ids;              // choices in [0, offsets.back())
+
+  std::size_t num_chosen(std::size_t i) const {
+    return offsets[i + 1] - offsets[i];
+  }
+  const SetId* chosen_of(std::size_t i) const {
+    return ids.data() + offsets[i];
+  }
+  Span<SetId> row(std::size_t i) const {
+    return Span<SetId>(chosen_of(i), num_chosen(i));
+  }
+};
+
+/// Shared prologue of every decide_batch implementation: sizes `out` for
+/// `block` and returns the output bound.  The block's total candidate
+/// count bounds every possible choice count (a record chooses at most
+/// min(b(u), sigma(u)) <= sigma(u)) in O(1); ids is grown once and never
+/// shrunk, so warm blocks touch no allocator and memset nothing.
+inline std::size_t prepare_block_output(const ArrivalBlock& block,
+                                        BlockChoices& out) {
+  out.offsets.resize(block.count + 1);
+  out.offsets[0] = 0;
+  const std::size_t bound =
+      block.count == 0 ? 0 : block.offsets[block.count] - block.offsets[0];
+  OSP_REQUIRE_MSG(bound <= 0xffffffffULL,
+                  "arrival block too large: choice offsets are 32-bit");
+  if (out.ids.size() < bound) out.ids.resize(bound);
+  return bound;
+}
 
 }  // namespace osp

@@ -90,6 +90,67 @@ Outcome play_flat(const Instance& inst, OnlineAlgorithm& alg,
   return out;
 }
 
+Outcome play_flat_blocks(const Instance& inst, OnlineAlgorithm& alg,
+                         PlayScratch& scratch, std::size_t block_size) {
+  if (block_size == 0) block_size = kDefaultDecideBlock;
+  const std::size_t m = inst.num_sets();
+  scratch.metas.resize(m);
+  for (SetId s = 0; s < m; ++s)
+    scratch.metas[s] = SetMeta{inst.weight(s), inst.set_size(s)};
+  alg.start(scratch.metas);
+
+  scratch.got.assign(m, 0);
+  BlockChoices& choices = scratch.block_choices;
+
+  Outcome out;
+  const std::size_t num_elements = inst.num_elements();
+  for (std::size_t base = 0; base < num_elements; base += block_size) {
+    const std::size_t count = std::min(block_size, num_elements - base);
+    const ArrivalBlock block =
+        inst.arrival_block(static_cast<ElementId>(base), count);
+    alg.decide_batch(block, scratch.block_scratch, choices);
+    OSP_REQUIRE_MSG(choices.offsets.size() == count + 1 &&
+                        choices.offsets.front() == 0 &&
+                        choices.offsets.back() <= choices.ids.size(),
+                    "decide_batch produced a malformed choice block");
+    // The same rules as the per-element path, applied to each packed row.
+    // The single-choice row (the unit-capacity common case) is validated
+    // inline — a short sorted candidate list is cheaper to scan linearly
+    // than to binary-search, and one choice cannot duplicate — so the
+    // whole validation pass stays branch-lean; general rows take the
+    // shared check.
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t n = choices.num_chosen(i);
+      if (n == 0) continue;  // choosing nothing is always legal
+      const SetId* chosen = choices.chosen_of(i);
+      const SetId* cand = block.candidates_of(i);
+      const std::size_t num_cand = block.num_candidates(i);
+      if (n == 1) {
+        const SetId f = chosen[0];
+        bool found;
+        if (num_cand <= 8) {
+          found = false;
+          for (std::size_t j = 0; j < num_cand; ++j) found |= cand[j] == f;
+        } else {
+          found = std::binary_search(cand, cand + num_cand, f);
+        }
+        OSP_REQUIRE_MSG(block.capacity(i) >= 1 && found,
+                        "algorithm chose set "
+                            << f << (found ? " beyond capacity 0"
+                                           : " not containing the element"));
+        ++scratch.got[f];
+      } else {
+        check_answer_flat(chosen, n, cand, num_cand, block.capacity(i));
+        for (std::size_t j = 0; j < n; ++j) ++scratch.got[chosen[j]];
+      }
+    }
+    out.decisions += choices.offsets.back();
+  }
+
+  score(inst, scratch.got, out);
+  return out;
+}
+
 Outcome play(const Instance& inst, OnlineAlgorithm& alg) {
   PlayScratch scratch;
   return play_flat(inst, alg, scratch);

@@ -1,15 +1,20 @@
 // The online game engine: feeds an instance to an algorithm, enforces the
 // rules of osp, and scores the outcome.
 //
-// Two engines share one rule set:
-//   * play()/play_flat() — the flat engine: drives the allocation-free
+// Three engines share one rule set:
+//   * play()/play_flat()  — the flat engine: drives the allocation-free
 //     decide() path with caller-owned reusable buffers (PlayScratch), so a
 //     steady-state trial performs zero heap allocations per element.
-//   * play_reference()   — the seed engine, preserved verbatim as the
+//   * play_flat_blocks()  — the block engine: drives decide_batch() over
+//     contiguous CSR arrival blocks (one virtual call per block), then
+//     validates and scores the packed choices per element.  Decision-
+//     identical to play_flat by the decide_batch contract; what the batch
+//     runner and bench_perf's "block" mode use.
+//   * play_reference()    — the seed engine, preserved verbatim as the
 //     golden reference: drives on_element() and validates with the
-//     original allocating checks.  The fuzz suite proves both produce
-//     identical Outcomes (including the decision count) for every
-//     algorithm in the library.
+//     original allocating checks.  The fuzz suite proves all engines
+//     produce identical Outcomes (including the decision traces) for
+//     every algorithm in the library.
 #pragma once
 
 #include <vector>
@@ -33,6 +38,8 @@ struct PlayScratch {
   std::vector<SetMeta> metas;        // per-set metadata handed to start()
   std::vector<std::uint32_t> got;    // per-set received-element counts
   std::vector<SetId> chosen;         // per-element decision buffer
+  BlockScratch block_scratch;        // decide_batch workspace
+  BlockChoices block_choices;        // decide_batch flat output
 };
 
 /// Runs `alg` over `inst` from the beginning and scores it.
@@ -47,6 +54,15 @@ Outcome play(const Instance& inst, OnlineAlgorithm& alg);
 /// buffers are reused across calls (the batch runner's per-thread path).
 Outcome play_flat(const Instance& inst, OnlineAlgorithm& alg,
                   PlayScratch& scratch);
+
+/// Block-stepped play(): drives decide_batch() over contiguous arrival
+/// blocks of `block_size` elements (0 = kDefaultDecideBlock) instead of
+/// decide() per element.  Decision-identical to play_flat — same rules
+/// enforced on every element's packed choice, same Outcome — with one
+/// virtual dispatch per block; the fuzz suite proves the identity for
+/// every policy at several block sizes.
+Outcome play_flat_blocks(const Instance& inst, OnlineAlgorithm& alg,
+                         PlayScratch& scratch, std::size_t block_size = 0);
 
 /// The seed engine, kept as the golden reference for equivalence tests:
 /// drives the allocating on_element() path exactly as the original

@@ -83,6 +83,17 @@ class Instance {
     return ArrivalView{capacities_[u], parents_.row(u)};
   }
 
+  /// Zero-copy CSR view of the contiguous arrivals [first, first + count)
+  /// — what decide_batch consumes.  The block's offsets index into the
+  /// instance-wide candidate array, so blocks at any position share the
+  /// same base pointers.
+  ArrivalBlock arrival_block(ElementId first, std::size_t count) const {
+    OSP_ASSERT(first + count <= num_elements());
+    return ArrivalBlock{first, count, capacities_.data() + first,
+                        parents_.values().data(),
+                        parents_.offsets().data() + first};
+  }
+
   /// Elements of set s in arrival order (contiguous view).
   Span<ElementId> elements_of(SetId s) const { return members_.row(s); }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 
 #include "util/rng.hpp"
 
@@ -32,6 +33,27 @@ struct PriorityKey {
     return a.key == b.key && a.tie == b.tie;
   }
 };
+
+/// Quantized order key of a priority: the top 32 bits of the standard
+/// order-preserving bijection from finite doubles to std::uint64_t.
+///
+/// Guarantee: quantized_key_rank(a) > quantized_key_rank(b) implies a > b,
+/// and a == b implies equal ranks (±0.0 are collapsed first).  The
+/// converse does not hold — keys agreeing in their top 32 mapped bits
+/// share a rank — so comparisons that hit equal ranks must fall back to
+/// the exact (key, tie) order.  This is the block selection kernel's
+/// trick: a per-set u32 rank array is a quarter the footprint of the
+/// (key, tie) pairs, stays L1-resident, compares as an integer, and the
+/// exact fallback is taken with probability ~2^-20 per comparison.
+/// Precondition: the key is not NaN (R_w keys never are).
+inline std::uint32_t quantized_key_rank(double key) {
+  if (key == 0.0) key = 0.0;  // collapse -0.0 onto +0.0 (== as doubles)
+  std::uint64_t bits;
+  std::memcpy(&bits, &key, sizeof(bits));
+  bits = (bits & 0x8000000000000000ULL) ? ~bits
+                                        : (bits | 0x8000000000000000ULL);
+  return static_cast<std::uint32_t>(bits >> 32);
+}
 
 /// Draws one sample of R_w directly (value in [0, 1]).  Requires w > 0.
 double sample_rw(double w, Rng& rng);

@@ -14,6 +14,7 @@ std::size_t top_by_priority_soa(const SetId* candidates, std::size_t n,
     std::copy(candidates, candidates + n, out);
     return n;
   }
+  if (capacity == 0) return 0;  // degenerate: nothing may be chosen
   if (capacity == 1) {
     // Branchless argmax scan: priorities are effectively random, so a
     // branchy max would mispredict ~ln(n) times per element; conditional
@@ -48,6 +49,59 @@ std::size_t top_by_priority_soa(const SetId* candidates, std::size_t n,
   return capacity;
 }
 
+void top_by_priority_soa_block(const ArrivalBlock& block, const double* keys,
+                               const std::uint64_t* ties,
+                               const std::uint32_t* qranks,
+                               BlockScratch& scratch, BlockChoices& out) {
+  const std::size_t count = block.count;
+  const std::size_t* off = block.offsets;
+  const SetId* cands = block.candidates;
+  const Capacity* caps = block.capacities;
+
+  prepare_block_output(block, out);
+
+  SetId* dst = out.ids.data();
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const SetId* c = cands + off[i];
+    const std::size_t n = off[i + 1] - off[i];
+    const Capacity cap = caps[i];
+    if (n == 0 || cap == 0) {
+      out.offsets[i + 1] = static_cast<std::uint32_t>(written);
+      continue;
+    }
+    if (cap == 1 && n > 1) {
+      // The hot row shape: an argmax over the record's candidates,
+      // comparing the u32 quantized ranks — a quarter of the (key, tie)
+      // footprint, L1-resident for router-scale set counts — and
+      // dropping to the exact order only when two ranks collide
+      // (quantization, or genuinely equal keys from boundary-clamped
+      // hashes).  The capacity dispatch is per row, so mixed-capacity
+      // blocks still take this path for their unit-capacity records.
+      SetId best = c[0];
+      std::uint32_t best_rank = qranks[best];
+      for (std::size_t j = 1; j < n; ++j) {
+        const SetId s = c[j];
+        const std::uint32_t r = qranks[s];
+        if (r == best_rank) {  // cold: resolve by the exact total order
+          if (keys[s] != keys[best] ? keys[s] > keys[best]
+                                    : ties[s] > ties[best])
+            best = s;
+          continue;
+        }
+        const bool better = r > best_rank;
+        best = better ? s : best;
+        best_rank = better ? r : best_rank;
+      }
+      dst[written++] = best;
+    } else {
+      written += top_by_priority_soa(c, n, keys, ties, cap, dst + written,
+                                     scratch.topk);
+    }
+    out.offsets[i + 1] = static_cast<std::uint32_t>(written);
+  }
+}
+
 std::size_t top_by_priority_flat(const SetId* candidates, std::size_t n,
                                  const std::vector<PriorityKey>& keys,
                                  Capacity capacity, SetId* out,
@@ -56,6 +110,7 @@ std::size_t top_by_priority_flat(const SetId* candidates, std::size_t n,
     std::copy(candidates, candidates + n, out);
     return n;
   }
+  if (capacity == 0) return 0;  // degenerate: nothing may be chosen
   const auto higher = [&](SetId a, SetId b) { return keys[a] > keys[b]; };
   if (capacity == 1) {
     SetId best = candidates[0];
@@ -115,11 +170,13 @@ void RandPr::start(const std::vector<SetMeta>& sets) {
   ActiveTracking::start(sets);
   keys_.resize(sets.size());
   ties_.resize(sets.size());
+  qranks_.resize(sets.size());
   for (SetId s = 0; s < sets.size(); ++s) {
     double w = options_.ignore_weights ? 1.0 : std::max(sets[s].weight, 1e-12);
     PriorityKey k = sample_rw_key(w, rng_);
     keys_[s] = k.key;
     ties_[s] = k.tie;
+    qranks_[s] = quantized_key_rank(k.key);
   }
 }
 
@@ -149,6 +206,20 @@ std::size_t RandPr::decide(ElementId, Capacity capacity,
                           ties_.data(), capacity, out, topk_scratch_);
   record(candidates, num_candidates, out, chosen);
   return chosen;
+}
+
+void RandPr::decide_batch(const ArrivalBlock& block, BlockScratch& scratch,
+                          BlockChoices& out) {
+  // The ablation configurations mutate state per arrival (fresh Rng draws,
+  // activity bookkeeping); only the shared per-element loop preserves
+  // their side-effect order, so the block kernel is reserved for the
+  // paper-exact fixed-priority configuration.
+  if (options_.filter_dead || options_.fresh_priorities_per_element) {
+    OnlineAlgorithm::decide_batch(block, scratch, out);
+    return;
+  }
+  top_by_priority_soa_block(block, keys_.data(), ties_.data(),
+                            qranks_.data(), scratch, out);
 }
 
 HashedRandPr::HashedRandPr(HashFn hash, std::string label,
@@ -207,6 +278,7 @@ void HashedRandPr::start(const std::vector<SetMeta>& sets) {
   ActiveTracking::start(sets);
   keys_.resize(sets.size());
   ties_.resize(sets.size());
+  qranks_.resize(sets.size());
   for (SetId s = 0; s < sets.size(); ++s) {
     double u = hash_(s);
     // Clamp hash output into the open interval required by the key
@@ -216,6 +288,7 @@ void HashedRandPr::start(const std::vector<SetMeta>& sets) {
     PriorityKey k = rw_key_from_uniform(u, w, /*tie=*/s);
     keys_[s] = k.key;
     ties_[s] = k.tie;
+    qranks_[s] = quantized_key_rank(k.key);
   }
 }
 
@@ -233,6 +306,16 @@ std::size_t HashedRandPr::decide(ElementId, Capacity capacity,
                           ties_.data(), capacity, out, topk_scratch_);
   record(candidates, num_candidates, out, chosen);
   return chosen;
+}
+
+void HashedRandPr::decide_batch(const ArrivalBlock& block,
+                                BlockScratch& scratch, BlockChoices& out) {
+  if (options_.filter_dead) {  // stateful: per-element loop preserves order
+    OnlineAlgorithm::decide_batch(block, scratch, out);
+    return;
+  }
+  top_by_priority_soa_block(block, keys_.data(), ties_.data(),
+                            qranks_.data(), scratch, out);
 }
 
 }  // namespace osp

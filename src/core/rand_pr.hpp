@@ -66,6 +66,14 @@ class RandPr : public ActiveTracking {
   std::size_t decide(ElementId u, Capacity capacity, const SetId* candidates,
                      std::size_t num_candidates, SetId* out) override;
 
+  /// Block kernel for the paper-exact configuration: one virtual call per
+  /// arrival block, selection over the SoA priorities with the key/tie
+  /// base pointers hoisted out of the per-element loop.  Stateful
+  /// configurations (filter_dead, fresh priorities) fall back to the
+  /// per-element loop, which preserves their side-effect order exactly.
+  void decide_batch(const ArrivalBlock& block, BlockScratch& scratch,
+                    BlockChoices& out) override;
+
   /// All randomness flows through rng_, and start() draws every priority
   /// fresh from it, so swapping the generator is a complete re-arm.
   void reseed(Rng rng) override { rng_ = rng; }
@@ -81,8 +89,12 @@ class RandPr : public ActiveTracking {
   RandPrOptions options_;
   // Priorities in structure-of-arrays form: the selection loop compares
   // keys_ (8-byte loads); ties_ is consulted only on exact key equality.
+  // qranks_ is the quantized u32 projection of keys_ (see
+  // quantized_key_rank) that the block kernel compares instead, falling
+  // back to (keys_, ties_) on rank collisions; rebuilt by every start().
   std::vector<double> keys_;
   std::vector<std::uint64_t> ties_;
+  std::vector<std::uint32_t> qranks_;
   std::vector<SetId> pool_scratch_;  // filter_dead survivors
   std::vector<SetId> topk_scratch_;  // nth_element workspace
 };
@@ -114,6 +126,12 @@ class HashedRandPr : public ActiveTracking {
   std::size_t decide(ElementId u, Capacity capacity, const SetId* candidates,
                      std::size_t num_candidates, SetId* out) override;
 
+  /// Same block kernel as RandPr (the SoA priorities are laid out
+  /// identically); falls back to the per-element loop when filter_dead
+  /// makes decisions stateful.
+  void decide_batch(const ArrivalBlock& block, BlockScratch& scratch,
+                    BlockChoices& out) override;
+
   /// The hashed variant's randomness is the hash function itself, drawn
   /// at construction; reseeding therefore needs a recipe for rebuilding
   /// the hash from an Rng.  The with_* factories install one, making
@@ -131,6 +149,7 @@ class HashedRandPr : public ActiveTracking {
   RandPrOptions options_;
   std::vector<double> keys_;
   std::vector<std::uint64_t> ties_;
+  std::vector<std::uint32_t> qranks_;  // see RandPr::qranks_
   std::vector<SetId> pool_scratch_;
   std::vector<SetId> topk_scratch_;
 };
@@ -159,5 +178,18 @@ std::size_t top_by_priority_soa(const SetId* candidates, std::size_t n,
                                 const double* keys,
                                 const std::uint64_t* ties, Capacity capacity,
                                 SetId* out, std::vector<SetId>& scratch);
+
+/// Whole-block form of top_by_priority_soa: runs the same selection over
+/// every record of `block` in one pass, writing the CSR-shaped result into
+/// `out`.  `qranks` must hold quantized_key_rank(keys[s]) for every set.
+/// A block whose capacities are all 1 runs an argmax-only loop comparing
+/// the L1-resident u32 ranks, touching the exact (keys, ties) order only
+/// on rank collisions; general capacities run the per-record nth_element
+/// selection.  Decision-identical, record for record, to calling
+/// top_by_priority_soa per element (fuzzed in test_engine).
+void top_by_priority_soa_block(const ArrivalBlock& block, const double* keys,
+                               const std::uint64_t* ties,
+                               const std::uint32_t* qranks,
+                               BlockScratch& scratch, BlockChoices& out);
 
 }  // namespace osp

@@ -7,7 +7,9 @@
 // never depend on scheduling, and all randomness is seeded per trial from
 // grid coordinates — see trial.hpp).  Each worker owns a TrialContext
 // whose engine scratch persists across trials, keeping the steady state
-// allocation-free.
+// allocation-free; the trial bodies drive the block-stepped engine
+// (decide_batch over CSR arrival blocks), so each worker amortizes the
+// decision dispatch over whole blocks as well.
 #pragma once
 
 #include <atomic>

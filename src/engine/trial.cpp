@@ -21,30 +21,32 @@ std::uint64_t trial_seed(std::uint64_t master_seed, std::size_t instance_idx,
 }
 
 TrialResult run_play_trial(const Instance& inst, const AlgSpec& alg,
-                           std::uint64_t seed, TrialContext& ctx) {
+                           std::uint64_t seed, TrialContext& ctx,
+                           std::size_t block_size) {
   OSP_REQUIRE(alg.make != nullptr);
   std::unique_ptr<OnlineAlgorithm> policy = alg.make(Rng(seed));
   OSP_REQUIRE(policy != nullptr);
-  Outcome out = play_flat(inst, *policy, ctx.scratch);
+  Outcome out = play_flat_blocks(inst, *policy, ctx.scratch, block_size);
   return TrialResult{out.benefit, out.decisions, out.completed.size()};
 }
 
 TrialResult run_play_trial_cached(const Instance& inst, const AlgSpec& alg,
                                   std::size_t alg_idx, std::uint64_t seed,
-                                  TrialContext& ctx) {
+                                  TrialContext& ctx,
+                                  std::size_t block_size) {
   OSP_REQUIRE(alg.make != nullptr);
   if (ctx.alg_cache.size() <= alg_idx) ctx.alg_cache.resize(alg_idx + 1);
   std::unique_ptr<OnlineAlgorithm>& policy = ctx.alg_cache[alg_idx];
   if (policy != nullptr && policy->reseedable()) {
     // Decision-identical to fresh construction (reseed() contract), but
-    // the policy's internal arrays survive — play_flat's start() resizes
+    // the policy's internal arrays survive — the engine's start() resizes
     // them in place, so the whole trial allocates nothing.
     policy->reseed(Rng(seed));
   } else {
     policy = alg.make(Rng(seed));
     OSP_REQUIRE(policy != nullptr);
   }
-  Outcome out = play_flat(inst, *policy, ctx.scratch);
+  Outcome out = play_flat_blocks(inst, *policy, ctx.scratch, block_size);
   return TrialResult{out.benefit, out.decisions, out.completed.size()};
 }
 
@@ -65,7 +67,7 @@ std::vector<CellStats> run_grid(const BatchRunner& runner,
         return run_play_trial_cached(*spec.instances[i], spec.algorithms[a],
                                      a,
                                      trial_seed(spec.master_seed, i, a, t),
-                                     ctx);
+                                     ctx, spec.block_size);
       });
 
   // Serial aggregation in index order: deterministic for any thread count.

@@ -23,15 +23,22 @@ std::vector<SetMeta> frame_metas(const FrameSchedule& schedule) {
   return metas;
 }
 
+// Packs every slot's arrival burst into one CSR row (ascending frame id,
+// matching arrival order): a counting pass sizes the rows in place, then a
+// scatter pass fills them — two contiguous sweeps, no per-slot vectors,
+// and zero allocations when the scratch is warm.
 void build_slot_frames(const FrameSchedule& schedule,
-                       std::vector<std::vector<SetId>>& slot_frames) {
-  if (slot_frames.size() < schedule.horizon)
-    slot_frames.resize(schedule.horizon);
-  for (std::size_t slot = 0; slot < schedule.horizon; ++slot)
-    slot_frames[slot].clear();
+                       CsrArray<SetId>& slot_frames,
+                       std::vector<std::size_t>& sizes,
+                       std::vector<std::size_t>& fill) {
+  sizes.assign(schedule.horizon, 0);
+  for (const Frame& f : schedule.frames)
+    for (std::size_t slot : f.packet_slots) ++sizes[slot];
+  slot_frames.assign_sizes(sizes.data(), sizes.size());
+  fill.assign(schedule.horizon, 0);
   for (std::size_t fi = 0; fi < schedule.frames.size(); ++fi)
     for (std::size_t slot : schedule.frames[fi].packet_slots)
-      slot_frames[slot].push_back(static_cast<SetId>(fi));
+      slot_frames.mutable_row(slot)[fill[slot]++] = static_cast<SetId>(fi);
 }
 
 void tally_frames(const FrameSchedule& schedule,
@@ -55,32 +62,65 @@ RouterStats simulate_router(const FrameSchedule& schedule,
   schedule.validate();
   alg.start(frame_metas(schedule));
 
-  // Frames with a packet in each slot.
-  std::vector<std::vector<SetId>> slot_frames(schedule.horizon);
-  build_slot_frames(schedule, slot_frames);
+  // Pack the non-empty bursts into one CSR array up front: row e is the
+  // e-th non-empty slot, exactly the element numbering of the paper's
+  // reduction (to_instance skips empty slots too).  A counting pass sizes
+  // the compact rows, a scatter pass fills them in ascending frame id —
+  // the order the packets arrive in.
+  const std::size_t horizon = schedule.horizon;
+  std::vector<std::size_t> sizes(horizon, 0);
+  for (const Frame& f : schedule.frames)
+    for (std::size_t slot : f.packet_slots) ++sizes[slot];
+
+  std::vector<std::size_t> row_of(horizon, 0);
+  std::vector<std::size_t> compact_sizes;
+  for (std::size_t slot = 0; slot < horizon; ++slot) {
+    if (sizes[slot] == 0) continue;
+    row_of[slot] = compact_sizes.size();
+    compact_sizes.push_back(sizes[slot]);
+  }
+
+  CsrArray<SetId> bursts;
+  bursts.assign_sizes(compact_sizes.data(), compact_sizes.size());
+  std::vector<std::size_t> fill(compact_sizes.size(), 0);
+  for (std::size_t fi = 0; fi < schedule.frames.size(); ++fi)
+    for (std::size_t slot : schedule.frames[fi].packet_slots) {
+      const std::size_t r = row_of[slot];
+      bursts.mutable_row(r)[fill[r]++] = static_cast<SetId>(fi);
+    }
 
   RouterStats stats;
+  stats.packets_arrived = bursts.total_values();
   std::vector<std::size_t> served(schedule.frames.size(), 0);
-  std::vector<SetId> chosen(service_rate);  // reusable decision buffer
-  ElementId element = 0;
-  for (std::size_t slot = 0; slot < schedule.horizon; ++slot) {
-    auto& burst = slot_frames[slot];
-    if (burst.empty()) continue;
-    // Bursts are built by ascending frame id, so they arrive sorted — the
-    // per-slot sort the seed simulator did here was pure waste.
-    assert(std::is_sorted(burst.begin(), burst.end()));
-    stats.packets_arrived += burst.size();
 
-    std::size_t n = alg.decide(element++, service_rate, burst.data(),
-                               burst.size(), chosen.data());
-    OSP_REQUIRE(n <= service_rate);
-    for (std::size_t i = 0; i < n; ++i) {
-      SetId f = chosen[i];
-      OSP_REQUIRE(std::binary_search(burst.begin(), burst.end(), f));
-      ++served[f];
-      ++stats.packets_served;
+  // Feed the whole run to decide_batch in arrival blocks; each block's
+  // packed choices are then validated and tallied per slot under the same
+  // rules the per-element path enforced.  Every slot has the same
+  // capacity, so one block-sized constant array serves all blocks.
+  const std::size_t num_rows = bursts.num_rows();
+  const std::vector<Capacity> capacities(
+      std::min(num_rows, kDefaultDecideBlock), service_rate);
+  BlockScratch scratch;
+  BlockChoices choices;
+  for (std::size_t base = 0; base < num_rows; base += kDefaultDecideBlock) {
+    const std::size_t count = std::min(kDefaultDecideBlock, num_rows - base);
+    const ArrivalBlock block{static_cast<ElementId>(base), count,
+                             capacities.data(), bursts.values().data(),
+                             bursts.offsets().data() + base};
+    alg.decide_batch(block, scratch, choices);
+    for (std::size_t i = 0; i < count; ++i) {
+      const Span<SetId> burst = block.candidate_span(i);
+      assert(std::is_sorted(burst.begin(), burst.end()));
+      const std::size_t n = choices.num_chosen(i);
+      OSP_REQUIRE(n <= service_rate);
+      for (std::size_t j = 0; j < n; ++j) {
+        SetId f = choices.chosen_of(i)[j];
+        OSP_REQUIRE(std::binary_search(burst.begin(), burst.end(), f));
+        ++served[f];
+        ++stats.packets_served;
+      }
+      stats.packets_dropped += burst.size() - n;
     }
-    stats.packets_dropped += burst.size() - n;
   }
   tally_frames(schedule, served, stats);
   return stats;
@@ -119,7 +159,7 @@ RouterStats simulate_buffered_router(const FrameSchedule& schedule,
   BufferedRouterScratch& s = scratch != nullptr ? *scratch : local;
   frame_metas(schedule, s.metas);
   ranker.start(s.metas);
-  build_slot_frames(schedule, s.slot_frames);
+  build_slot_frames(schedule, s.slot_frames, s.burst_sizes, s.fill);
   s.served.assign(schedule.frames.size(), 0);
   PacketQueue& queue = s.queue;
   queue.reset(schedule.frames.size());
@@ -127,10 +167,11 @@ RouterStats simulate_buffered_router(const FrameSchedule& schedule,
   RouterStats stats;
   std::uint64_t seq = 0;
   for (std::size_t slot = 0; slot < schedule.horizon; ++slot) {
-    // Arrivals.  A packet of a frame already known dead is refused on the
-    // spot: it can never contribute value, so it must not consume buffer
-    // space or link capacity.
-    for (SetId f : s.slot_frames[slot]) {
+    // Arrivals: the slot's whole burst is one contiguous CSR row.  A
+    // packet of a frame already known dead is refused on the spot: it can
+    // never contribute value, so it must not consume buffer space or link
+    // capacity.
+    for (SetId f : s.slot_frames.row(slot)) {
       ++stats.packets_arrived;
       const std::uint64_t arrival = seq++;
       if (params.drop_dead_frames && queue.is_dead(f)) {
@@ -181,8 +222,9 @@ RouterStats simulate_buffered_router_reference(
   if (trace != nullptr) trace->served.clear();
   ranker.start(frame_metas(schedule));
 
-  std::vector<std::vector<SetId>> slot_frames(schedule.horizon);
-  build_slot_frames(schedule, slot_frames);
+  CsrArray<SetId> slot_frames;
+  std::vector<std::size_t> sizes, fill;
+  build_slot_frames(schedule, slot_frames, sizes, fill);
 
   struct QueuedPacket {
     SetId frame;
@@ -197,7 +239,7 @@ RouterStats simulate_buffered_router_reference(
   std::uint64_t seq = 0;
 
   for (std::size_t slot = 0; slot < schedule.horizon; ++slot) {
-    for (SetId f : slot_frames[slot]) {
+    for (SetId f : slot_frames.row(slot)) {
       ++stats.packets_arrived;
       const std::uint64_t arrival = seq++;
       if (params.drop_dead_frames && dead[f]) {

@@ -56,9 +56,12 @@ struct RouterStats {
   }
 };
 
-/// Unbuffered router: `alg` decides, slot by slot, which arriving packets
-/// to serve (at most `service_rate`), all others are lost.  Equivalent to
-/// the osp game on schedule.to_instance(service_rate).
+/// Unbuffered router: `alg` decides which arriving packets to serve in
+/// each slot (at most `service_rate`), all others are lost.  Equivalent to
+/// the osp game on schedule.to_instance(service_rate).  The per-slot
+/// bursts are packed into one CSR array up front and fed to the
+/// algorithm's decide_batch() in arrival blocks, so a whole run costs a
+/// handful of virtual calls rather than one per slot.
 RouterStats simulate_router(const FrameSchedule& schedule,
                             OnlineAlgorithm& alg, Capacity service_rate = 1);
 
@@ -149,10 +152,14 @@ struct RouterTrace {
 
 /// Reusable working state for simulate_buffered_router; pass the same
 /// scratch to successive runs (one per worker thread) and the steady
-/// state performs no heap allocations.
+/// state performs no heap allocations.  Per-slot arrival bursts are
+/// packed into one CSR array (one row per slot) instead of a
+/// vector-of-vectors, so feeding a slot's burst is a contiguous scan.
 struct BufferedRouterScratch {
   PacketQueue queue;
-  std::vector<std::vector<SetId>> slot_frames;
+  CsrArray<SetId> slot_frames;          // row = slot's burst, ascending ids
+  std::vector<std::size_t> burst_sizes; // counting-pass scratch
+  std::vector<std::size_t> fill;        // scatter-pass cursors
   std::vector<SetMeta> metas;
   std::vector<std::size_t> served;
 };

@@ -127,7 +127,7 @@ class SeedUniformRandomChoice final : public ActiveTracking {
 // ---------------------------------------------------------------------
 // Helpers.
 
-/// Wraps an algorithm and records every answer it gives, on either path.
+/// Wraps an algorithm and records every answer it gives, on any path.
 class Recording final : public OnlineAlgorithm {
  public:
   explicit Recording(OnlineAlgorithm& inner) : inner_(inner) {}
@@ -148,6 +148,14 @@ class Recording final : public OnlineAlgorithm {
         inner_.decide(u, capacity, candidates, num_candidates, out);
     trace.emplace_back(out, out + n);
     return n;
+  }
+  void decide_batch(const ArrivalBlock& block, BlockScratch& scratch,
+                    BlockChoices& out) override {
+    inner_.decide_batch(block, scratch, out);
+    // One trace row per block record, so block traces compare 1:1 with
+    // per-element traces.
+    for (std::size_t i = 0; i < block.count; ++i)
+      trace.emplace_back(out.chosen_of(i), out.chosen_of(i) + out.num_chosen(i));
   }
 
   std::vector<std::vector<SetId>> trace;
@@ -177,6 +185,82 @@ Instance fuzz_instance(std::size_t round, Rng& gen) {
   return random_capacity_instance(m, n, k, /*cap_max=*/3, wm, gen);
 }
 
+struct Maker {
+  std::string label;
+  std::function<std::unique_ptr<OnlineAlgorithm>(Rng)> make;
+};
+
+/// Every policy in the library, including all ablation configurations —
+/// the population both the engine-equivalence and the decide_batch fuzz
+/// suites quantify over.
+std::vector<Maker> all_policy_makers() {
+  std::vector<Maker> makers;
+  makers.push_back({"randPr", [](Rng r) {
+                      return std::make_unique<RandPr>(r);
+                    }});
+  makers.push_back({"randPr/filt", [](Rng r) {
+                      return std::make_unique<RandPr>(
+                          r, RandPrOptions{.filter_dead = true});
+                    }});
+  makers.push_back(
+      {"randPr/filt1", [](Rng r) {
+         RandPrOptions o;
+         o.filter_dead = true;
+         o.allowed_misses = 1;
+         return std::make_unique<RandPr>(r, o);
+       }});
+  makers.push_back({"randPr/unif", [](Rng r) {
+                      return std::make_unique<RandPr>(
+                          r, RandPrOptions{.ignore_weights = true});
+                    }});
+  makers.push_back(
+      {"randPr/fresh", [](Rng r) {
+         RandPrOptions o;
+         o.fresh_priorities_per_element = true;
+         return std::make_unique<RandPr>(r, o);
+       }});
+  makers.push_back({"hashPr/poly", [](Rng r) {
+                      return HashedRandPr::with_polynomial(8, r);
+                    }});
+  makers.push_back({"hashPr/tab", [](Rng r) {
+                      return HashedRandPr::with_tabulation(r);
+                    }});
+  makers.push_back({"hashPr/ms", [](Rng r) {
+                      return HashedRandPr::with_multiply_shift(r);
+                    }});
+  makers.push_back({"hashPr/const", [](Rng) {
+                      // Degenerate hash: every set gets the same key, so
+                      // every comparison runs the exact tie-resolution
+                      // path (and the block kernel's rank-collision cold
+                      // branch) — the worst case for quantized ranks.
+                      return std::make_unique<HashedRandPr>(
+                          [](std::uint64_t) { return 0.5; }, "hashPr/const");
+                    }});
+  makers.push_back({"hashPr/filt", [](Rng r) {
+                      // filter_dead makes decisions stateful, driving the
+                      // hashed policy through the per-element fallback of
+                      // decide_batch.
+                      const std::uint64_t mult = r() | 1;
+                      return std::make_unique<HashedRandPr>(
+                          [mult](std::uint64_t key) {
+                            return static_cast<double>((key + 1) * mult %
+                                                       10007) /
+                                   10007.0;
+                          },
+                          "hashPr/filt",
+                          RandPrOptions{.filter_dead = true});
+                    }});
+  makers.push_back({"uniform-random", [](Rng r) {
+                      return std::make_unique<UniformRandomChoice>(r);
+                    }});
+  const std::size_t num_baselines = make_deterministic_baselines().size();
+  for (std::size_t b = 0; b < num_baselines; ++b)
+    makers.push_back({"baseline" + std::to_string(b), [b](Rng) {
+                        return std::move(make_deterministic_baselines()[b]);
+                      }});
+  return makers;
+}
+
 // ---------------------------------------------------------------------
 // Golden equivalence: flat engine vs seed engine, ported vs seed algs.
 
@@ -187,54 +271,7 @@ TEST(GoldenEquivalence, FlatEngineMatchesSeedEngineForAllAlgorithms) {
     Rng gen = master.split(round);
     Instance inst = fuzz_instance(round, gen);
 
-    struct Maker {
-      std::string label;
-      std::function<std::unique_ptr<OnlineAlgorithm>(Rng)> make;
-    };
-    std::vector<Maker> makers;
-    makers.push_back({"randPr", [](Rng r) {
-                        return std::make_unique<RandPr>(r);
-                      }});
-    makers.push_back({"randPr/filt", [](Rng r) {
-                        return std::make_unique<RandPr>(
-                            r, RandPrOptions{.filter_dead = true});
-                      }});
-    makers.push_back(
-        {"randPr/filt1", [](Rng r) {
-           RandPrOptions o;
-           o.filter_dead = true;
-           o.allowed_misses = 1;
-           return std::make_unique<RandPr>(r, o);
-         }});
-    makers.push_back({"randPr/unif", [](Rng r) {
-                        return std::make_unique<RandPr>(
-                            r, RandPrOptions{.ignore_weights = true});
-                      }});
-    makers.push_back(
-        {"randPr/fresh", [](Rng r) {
-           RandPrOptions o;
-           o.fresh_priorities_per_element = true;
-           return std::make_unique<RandPr>(r, o);
-         }});
-    makers.push_back({"hashPr/poly", [](Rng r) {
-                        return HashedRandPr::with_polynomial(8, r);
-                      }});
-    makers.push_back({"hashPr/tab", [](Rng r) {
-                        return HashedRandPr::with_tabulation(r);
-                      }});
-    makers.push_back({"hashPr/ms", [](Rng r) {
-                        return HashedRandPr::with_multiply_shift(r);
-                      }});
-    makers.push_back({"uniform-random", [](Rng r) {
-                        return std::make_unique<UniformRandomChoice>(r);
-                      }});
-    const std::size_t num_baselines = make_deterministic_baselines().size();
-    for (std::size_t b = 0; b < num_baselines; ++b)
-      makers.push_back({"baseline" + std::to_string(b), [b](Rng) {
-                          return std::move(make_deterministic_baselines()[b]);
-                        }});
-
-    for (const Maker& mk : makers) {
+    for (const Maker& mk : all_policy_makers()) {
       Rng seed_rng = master.split(1000 + round);
       auto ref_alg = mk.make(seed_rng);
       auto flat_alg = mk.make(seed_rng);
@@ -371,6 +408,143 @@ TEST(GoldenEquivalence, TopByPriorityMatchesPartialSortReference) {
                                    ks.data(), ts.data(), capacity, soa.data(),
                                    scratch));
     EXPECT_EQ(expected, soa) << "soa round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Block-batched decisions: decide_batch vs the per-element decide path.
+
+TEST(GoldenEquivalence, DecideBatchMatchesPerElementDecideForAllPolicies) {
+  // The decide_batch contract: consuming a CSR arrival block must be
+  // decision-identical to per-element decide() calls in arrival order —
+  // proven here for every policy (block kernels and fallbacks alike), at
+  // block sizes that split instances unevenly, including single-element
+  // blocks, with full decision traces compared.
+  Rng master(0xb10c);
+  PlayScratch flat_scratch;
+  PlayScratch block_scratch;  // deliberately shared across all runs
+  for (std::size_t round = 0; round < 16; ++round) {
+    Rng gen = master.split(round);
+    Instance inst = fuzz_instance(round, gen);
+
+    for (const Maker& mk : all_policy_makers()) {
+      for (std::size_t block_size :
+           {std::size_t{1}, std::size_t{3}, std::size_t{64},
+            inst.num_elements()}) {
+        Rng seed_rng = master.split(4000 + round);
+        auto flat_alg = mk.make(seed_rng);
+        auto block_alg = mk.make(seed_rng);
+        Recording flat_rec(*flat_alg);
+        Recording block_rec(*block_alg);
+
+        Outcome flat = play_flat(inst, flat_rec, flat_scratch);
+        Outcome block =
+            play_flat_blocks(inst, block_rec, block_scratch, block_size);
+
+        const std::string what = mk.label + " round " +
+                                 std::to_string(round) + " block_size " +
+                                 std::to_string(block_size);
+        expect_same_outcome(flat, block, what);
+        EXPECT_EQ(flat_rec.trace, block_rec.trace) << what << " trace";
+      }
+    }
+  }
+}
+
+TEST(DecideBatch, EmptyAndDegenerateBlocksMatchScalarAndDoNotAllocate) {
+  // An empty block, a block of capacity-0 records, and a single-element
+  // block must reproduce the scalar path exactly, and warm degenerate
+  // calls must not touch the allocator (asserted through buffer identity,
+  // the same observable the DispatchGuard pattern uses for misuse:
+  // the contract is checked on every call, not sampled).
+  const std::size_t m = 8;
+  std::vector<SetMeta> metas(m);
+  for (SetId s = 0; s < m; ++s) metas[s] = SetMeta{1.0 + s, 2};
+
+  for (const Maker& mk : all_policy_makers()) {
+    Rng rng(0xdeadbeef);
+    auto scalar = mk.make(rng);
+    auto batched = mk.make(rng);
+    scalar->start(metas);
+    batched->start(metas);
+
+    // Layout: candidates of three records, shared flat array.
+    const std::vector<SetId> cands = {0, 2, 5, 1, 3, 4, 6, 7};
+    const std::vector<std::size_t> offsets = {0, 3, 6, 8};
+    const std::vector<Capacity> caps1 = {1, 2, 1};
+    const std::vector<Capacity> caps0 = {0, 0, 0};
+
+    BlockScratch scratch;
+    BlockChoices out;
+
+    // Warm-up call so every reusable buffer has its steady-state size.
+    const ArrivalBlock warm{0, 3, caps1.data(), cands.data(),
+                            offsets.data()};
+    batched->decide_batch(warm, scratch, out);
+
+    // Scalar reference for the same three records.
+    std::vector<std::vector<SetId>> expected;
+    std::vector<SetId> buf(8);
+    for (std::size_t i = 0; i < 3; ++i) {
+      std::size_t n = scalar->decide(
+          static_cast<ElementId>(i), caps1[i], cands.data() + offsets[i],
+          offsets[i + 1] - offsets[i], buf.data());
+      expected.emplace_back(buf.begin(), buf.begin() + n);
+    }
+    ASSERT_EQ(out.offsets.size(), 4u);
+    for (std::size_t i = 0; i < 3; ++i)
+      EXPECT_EQ(out.row(i).to_vector(), expected[i])
+          << mk.label << " record " << i;
+
+    const SetId* ids_buf = out.ids.data();
+    const std::size_t ids_cap = out.ids.capacity();
+    const std::size_t off_cap = out.offsets.capacity();
+
+    // Empty block: no records, no choices, no allocation.
+    const ArrivalBlock empty{3, 0, caps1.data(), cands.data(),
+                             offsets.data() + 3};
+    batched->decide_batch(empty, scratch, out);
+    EXPECT_EQ(out.offsets.size(), 1u) << mk.label;
+    EXPECT_EQ(out.offsets[0], 0u) << mk.label;
+    EXPECT_EQ(out.ids.data(), ids_buf) << mk.label << " ids reallocated";
+    EXPECT_EQ(out.ids.capacity(), ids_cap) << mk.label;
+    EXPECT_EQ(out.offsets.capacity(), off_cap) << mk.label;
+
+    // Capacity-0 block: every record must choose nothing, like the
+    // scalar path (which the capacity guard in top_by_priority covers),
+    // and nothing may be allocated.
+    auto scalar0 = mk.make(Rng(0xdeadbeef));
+    scalar0->start(metas);
+    for (std::size_t i = 0; i < 3; ++i) {
+      std::size_t n = scalar0->decide(
+          static_cast<ElementId>(i), 0, cands.data() + offsets[i],
+          offsets[i + 1] - offsets[i], buf.data());
+      EXPECT_EQ(n, 0u) << mk.label << " scalar capacity-0 record " << i;
+    }
+    auto batched0 = mk.make(Rng(0xdeadbeef));
+    batched0->start(metas);
+    batched0->decide_batch(warm, scratch, out);  // warm this instance too
+    const ArrivalBlock zero_cap{0, 3, caps0.data(), cands.data(),
+                                offsets.data()};
+    batched0->decide_batch(zero_cap, scratch, out);
+    ASSERT_EQ(out.offsets.size(), 4u) << mk.label;
+    EXPECT_EQ(out.offsets.back(), 0u) << mk.label << " capacity-0 chose";
+    EXPECT_EQ(out.offsets.capacity(), off_cap) << mk.label;
+
+    // Single-element block == one scalar decide.
+    auto scalar1 = mk.make(Rng(0xf00d));
+    auto batched1 = mk.make(Rng(0xf00d));
+    scalar1->start(metas);
+    batched1->start(metas);
+    std::size_t n1 = scalar1->decide(0, caps1[0], cands.data(), 3,
+                                     buf.data());
+    const ArrivalBlock single{0, 1, caps1.data(), cands.data(),
+                              offsets.data()};
+    batched1->decide_batch(single, scratch, out);
+    ASSERT_EQ(out.offsets.size(), 2u) << mk.label;
+    EXPECT_EQ(out.row(0).to_vector(),
+              std::vector<SetId>(buf.begin(), buf.begin() + n1))
+        << mk.label << " single-record block";
   }
 }
 

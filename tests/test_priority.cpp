@@ -105,6 +105,34 @@ TEST(RwWinProbability, ProportionalToWeight) {
   }
 }
 
+TEST(QuantizedKeyRank, MonotoneAndCollapsesSignedZero) {
+  // The block kernel's guarantee: strict rank order implies strict key
+  // order (never the reverse of it), and equal keys share a rank.
+  Rng rng(0x9a41);
+  std::vector<double> keys;
+  for (int i = 0; i < 2000; ++i)
+    keys.push_back(sample_rw_key(0.25 + 5 * rng.uniform(), rng).key);
+  keys.push_back(0.0);
+  keys.push_back(-0.0);
+  keys.push_back(-1e300);
+  keys.push_back(-1e-300);
+  for (std::size_t i = 0; i + 1 < keys.size(); ++i) {
+    const double a = keys[i], b = keys[i + 1];
+    const std::uint32_t ra = quantized_key_rank(a);
+    const std::uint32_t rb = quantized_key_rank(b);
+    if (a == b) {
+      EXPECT_EQ(ra, rb) << a << " vs " << b;
+    }
+    if (ra > rb) {
+      EXPECT_GT(a, b);
+    }
+    if (ra < rb) {
+      EXPECT_LT(a, b);
+    }
+  }
+  EXPECT_EQ(quantized_key_rank(0.0), quantized_key_rank(-0.0));
+}
+
 TEST(RwWinProbability, MaxOfUniformIdentity) {
   // R_n equals the max of n uniforms: the winner among one R_3 draw and
   // three R_1 draws is the R_3 set half the time.
