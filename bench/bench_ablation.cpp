@@ -97,7 +97,7 @@ void hash_ablation() {
                  }},
        }) {
     Rng hruns = master.split(3);
-    RunningStat stat = bench::measure(
+    RunningStat stat = bench::session().measure_serial(
         inst,
         [&](std::uint64_t t) {
           Rng r = hruns.split(t);

@@ -16,7 +16,7 @@
 namespace osp {
 namespace {
 
-void random_capacity_sweep(bench::JsonSink& json) {
+void random_capacity_sweep(osp::api::JsonSink& json) {
   std::cout << "-- capacities U[1, bmax] --\n";
   Table table({"m", "n", "k", "bmax", "nubar", "opt", "E[alg]", "ratio",
                "Thm4 shape", "Thm4 bound"});
@@ -35,20 +35,18 @@ void random_capacity_sweep(bench::JsonSink& json) {
                fmt(std::size_t{3}), fmt(bmax), fmt(st.nu_avg, 2),
                fmt(opt.value, 1), bench::fmt_mean_ci(alg), fmt_ratio(ratio),
                fmt(theorem4_shape(st), 2), fmt(theorem4_bound(st), 1)});
-    json.writer()
-        .begin_object()
-        .kv("sweep", "random_capacity")
-        .kv("m", std::size_t{22})
-        .kv("n", inst.num_elements())
-        .kv("k", std::size_t{3})
-        .kv("bmax", bmax)
-        .kv("nu_avg", st.nu_avg)
-        .kv("opt", opt.value)
-        .kv("alg_mean", alg.mean())
-        .kv("ratio", ratio)
-        .kv("thm4_shape", theorem4_shape(st))
-        .kv("thm4_bound", theorem4_bound(st))
-        .end_object();
+    json.write(api::Row{}
+                   .add("sweep", "random_capacity")
+                   .add("m", std::size_t{22})
+                   .add("n", inst.num_elements())
+                   .add("k", std::size_t{3})
+                   .add("bmax", bmax)
+                   .add("nu_avg", st.nu_avg)
+                   .add("opt", opt.value)
+                   .add("alg_mean", alg.mean())
+                   .add("ratio", ratio)
+                   .add("thm4_shape", theorem4_shape(st))
+                   .add("thm4_bound", theorem4_bound(st)));
   }
   table.print(std::cout);
   std::cout << "Expected shape: nubar and the measured ratio fall as bmax "
@@ -56,7 +54,7 @@ void random_capacity_sweep(bench::JsonSink& json) {
                "slack — the 16e constant is loose).\n\n";
 }
 
-void uniform_capacity_sweep(bench::JsonSink& json) {
+void uniform_capacity_sweep(osp::api::JsonSink& json) {
   std::cout << "-- same layout, uniform capacity b --\n";
   Table table({"b", "nubar", "opt", "E[alg]", "ratio", "Thm4 shape"});
   const int trials = 600;
@@ -81,16 +79,14 @@ void uniform_capacity_sweep(bench::JsonSink& json) {
     table.row({fmt(b), fmt(st.nu_avg, 2), fmt(opt.value, 1),
                bench::fmt_mean_ci(alg), fmt_ratio(ratio),
                fmt(theorem4_shape(st), 2)});
-    json.writer()
-        .begin_object()
-        .kv("sweep", "uniform_capacity")
-        .kv("b", b)
-        .kv("nu_avg", st.nu_avg)
-        .kv("opt", opt.value)
-        .kv("alg_mean", alg.mean())
-        .kv("ratio", ratio)
-        .kv("thm4_shape", theorem4_shape(st))
-        .end_object();
+    json.write(api::Row{}
+                   .add("sweep", "uniform_capacity")
+                   .add("b", b)
+                   .add("nu_avg", st.nu_avg)
+                   .add("opt", opt.value)
+                   .add("alg_mean", alg.mean())
+                   .add("ratio", ratio)
+                   .add("thm4_shape", theorem4_shape(st)));
   }
   table.print(std::cout);
   std::cout << "Expected shape: doubling b halves nubar; the measured "
@@ -105,7 +101,7 @@ int main() {
       "E6 / Theorem 4 (variable capacity, adjusted load)",
       "Competitive ratio tracks kmax*sqrt(avg(nu*sigma$)/avg(sigma$)) as "
       "capacities grow.");
-  osp::bench::JsonSink json("capacity");
+  osp::api::JsonSink json("capacity", osp::bench::session().threads());
   osp::random_capacity_sweep(json);
   osp::uniform_capacity_sweep(json);
   return 0;

@@ -4,25 +4,23 @@
 // header naming the paper exhibit it reproduces, so the collected output
 // (bench_output.txt) reads as the paper's evaluation section.
 //
-// All trial loops run through the shared multi-threaded batch runner
-// (src/engine): per-trial Rngs are derived serially up front (preserving
-// the seed repo's exact per-trial streams), trials execute on the flat
-// allocation-free engine path in parallel, and aggregation happens in
-// trial order — so every number printed is bit-identical to the serial
-// seed loops at any thread count.
+// Everything heavyweight lives in the experiment API layer (src/api):
+// policies come from api::policies(), workload shapes from
+// api::scenarios(), trial loops run through api::Session (the shared
+// multi-threaded batch runner with the seed repo's exact per-trial Rng
+// streams), and BENCH_*.json artifacts stream through api::JsonSink —
+// one writer for every bench.  This header only keeps the console
+// plumbing each binary shares.
 #pragma once
 
-#include <fstream>
-#include <functional>
 #include <iostream>
 #include <string>
-#include <vector>
 
-#include "core/game.hpp"
-#include "core/instance.hpp"
+#include "api/policy_registry.hpp"
+#include "api/result_sink.hpp"
+#include "api/scenario.hpp"
+#include "api/session.hpp"
 #include "core/rand_pr.hpp"
-#include "engine/batch_runner.hpp"
-#include "stats/json.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 #include "util/rng.hpp"
@@ -34,30 +32,10 @@ inline void banner(const std::string& id, const std::string& claim) {
   std::cout << "\n=== " << id << " ===\n" << claim << "\n\n";
 }
 
-/// One engine-throughput workload shape: a random instance with m sets of
-/// size k over ~n arrivals.
-struct EngineWorkload {
-  const char* label;
-  std::size_t m, n, k;
-};
-
-/// The workload table shared by every engine throughput measurement, so
-/// all BENCH_engine.json rows carry identical labels across modes and
-/// PRs (the perf trajectory is keyed on them).  The last entry is the
-/// "largest workload" that the acceptance gates are measured on:
-/// overload/256k mirrors bench_router's overload sweep — sustained
-/// congestion with ~16 streams competing per slot (sigma ~ 16, the
-/// regime the paper's sigma-dependent bounds are about) over a
-/// quarter-million arrivals and ~4M packet memberships, the heaviest
-/// shape in the table by every measure.
-inline const std::vector<EngineWorkload>& engine_workloads() {
-  static const std::vector<EngineWorkload> shapes{
-      {"legacy/64", 64, 128, 4},      {"legacy/1024", 1024, 2048, 4},
-      {"legacy/4096", 4096, 8192, 4}, {"router/32k", 1024, 32768, 64},
-      {"router/128k", 4096, 131072, 64},
-      {"overload/256k", 8192, 262144, 512},
-  };
-  return shapes;
+/// The process-wide Session every bench shares (shared batch runner).
+inline api::Session& session() {
+  static api::Session s;
+  return s;
 }
 
 /// Mean benefit (with CI) of randPr over `trials` independent runs.
@@ -66,45 +44,23 @@ inline const std::vector<EngineWorkload>& engine_workloads() {
 inline RunningStat measure_randpr(const Instance& inst, Rng& master,
                                   int trials,
                                   RandPrOptions options = {}) {
-  std::vector<Rng> rngs;
-  rngs.reserve(static_cast<std::size_t>(trials));
-  for (int t = 0; t < trials; ++t)
-    rngs.push_back(master.split(static_cast<std::uint64_t>(t)));
-
-  auto benefits = engine::shared_runner().map<Weight>(
-      static_cast<std::size_t>(trials),
-      [&](std::size_t t, engine::TrialContext& ctx) {
-        RandPr alg(rngs[t], options);
-        return play_flat(inst, alg, ctx.scratch).benefit;
-      });
-
-  RunningStat stat;
-  for (Weight b : benefits) stat.add(b);
-  return stat;
+  return session().measure(
+      inst,
+      [options](Rng r) { return std::make_unique<RandPr>(r, options); },
+      master, trials);
 }
 
-/// Mean benefit of an arbitrary algorithm factory over `trials` runs.
-/// Factories often close over a shared Rng and split it per trial, so
-/// they are invoked serially (in trial order, exactly as the seed loops
-/// did) and only the plays run on worker threads.
-inline RunningStat measure(
-    const Instance& inst,
-    const std::function<std::unique_ptr<OnlineAlgorithm>(std::uint64_t)>&
-        make_alg,
-    int trials) {
-  std::vector<std::unique_ptr<OnlineAlgorithm>> algs;
-  algs.reserve(static_cast<std::size_t>(trials));
-  for (int t = 0; t < trials; ++t)
-    algs.push_back(make_alg(static_cast<std::uint64_t>(t)));
-
-  auto benefits = engine::shared_runner().map<Weight>(
-      static_cast<std::size_t>(trials),
-      [&](std::size_t t, engine::TrialContext& ctx) {
-        return play_flat(inst, *algs[t], ctx.scratch).benefit;
-      });
-  RunningStat stat;
-  for (Weight b : benefits) stat.add(b);
-  return stat;
+/// Display labels (policy->name()) for a list of registry specs — what
+/// the router benches key their tables and JSON rows on.  Constructing a
+/// throwaway instance keeps the labels self-consistent with the policies
+/// actually run (one source of truth, the policy itself).
+inline std::vector<std::string> display_names(
+    const std::vector<std::string>& specs) {
+  std::vector<std::string> names;
+  names.reserve(specs.size());
+  for (const std::string& spec : specs)
+    names.push_back(api::policies().make(spec, Rng(0))->name());
+  return names;
 }
 
 /// "12.3 ±0.4" formatting for a measured mean.
@@ -112,38 +68,5 @@ inline std::string fmt_mean_ci(const RunningStat& s, int precision = 2) {
   return fmt(s.mean(), precision) + " ±" +
          fmt(s.ci95_halfwidth(), precision);
 }
-
-/// Opens BENCH_<name>.json in the working directory and writes the shared
-/// preamble ({"bench": name, "threads": N, "results": [ ... ).  Callers
-/// append one object per row and then call json_close.
-class JsonSink {
- public:
-  explicit JsonSink(const std::string& name)
-      : out_("BENCH_" + name + ".json"), writer_(out_) {
-    writer_.begin_object()
-        .kv("bench", name)
-        .kv("threads",
-            static_cast<std::uint64_t>(engine::shared_runner().num_threads()))
-        .key("results")
-        .begin_array();
-  }
-
-  JsonWriter& writer() { return writer_; }
-
-  /// Finishes the document; called automatically on destruction.
-  void close() {
-    if (closed_) return;
-    closed_ = true;
-    writer_.end_array().end_object();
-    out_ << '\n';
-  }
-
-  ~JsonSink() { close(); }
-
- private:
-  std::ofstream out_;
-  JsonWriter writer_;
-  bool closed_ = false;
-};
 
 }  // namespace osp::bench

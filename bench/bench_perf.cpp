@@ -169,11 +169,12 @@ int main() {
   Table table({"workload", "m", "n", "trials", "seed el/s", "flat el/s",
                "block el/s", "batch el/s", "flat/seed", "block/flat",
                "batch/seed"});
-  bench::JsonSink json("engine");
+  api::JsonSink json("engine", bench::session().threads());
 
   WorkloadResult largest;
-  for (const bench::EngineWorkload& s : bench::engine_workloads()) {
-    WorkloadResult r = measure_workload(s.label, s.m, s.n, s.k);
+  for (const api::ScenarioSpec* s : api::engine_shapes()) {
+    WorkloadResult r =
+        measure_workload(s->display_label(), s->m, s->n, s->k);
     largest = r;
     double flat_speedup = r.flat.elements_per_sec / r.seed.elements_per_sec;
     double block_speedup =
@@ -188,21 +189,19 @@ int main() {
                fmt_meps(r.batch.elements_per_sec),
                fmt_ratio(flat_speedup), fmt_ratio(block_vs_flat),
                fmt_ratio(batch_speedup)});
-    json.writer()
-        .begin_object()
-        .kv("workload", r.label)
-        .kv("m", r.m)
-        .kv("n", r.n)
-        .kv("trials", r.trials)
-        .kv("seed_elements_per_sec", r.seed.elements_per_sec)
-        .kv("flat_elements_per_sec", r.flat.elements_per_sec)
-        .kv("block_elements_per_sec", r.block.elements_per_sec)
-        .kv("batch_elements_per_sec", r.batch.elements_per_sec)
-        .kv("flat_speedup", flat_speedup)
-        .kv("block_speedup", block_speedup)
-        .kv("block_vs_flat", block_vs_flat)
-        .kv("batch_speedup", batch_speedup)
-        .end_object();
+    json.write(api::Row{}
+                   .add("workload", r.label)
+                   .add("m", r.m)
+                   .add("n", r.n)
+                   .add("trials", r.trials)
+                   .add("seed_elements_per_sec", r.seed.elements_per_sec)
+                   .add("flat_elements_per_sec", r.flat.elements_per_sec)
+                   .add("block_elements_per_sec", r.block.elements_per_sec)
+                   .add("batch_elements_per_sec", r.batch.elements_per_sec)
+                   .add("flat_speedup", flat_speedup)
+                   .add("block_speedup", block_speedup)
+                   .add("block_vs_flat", block_vs_flat)
+                   .add("batch_speedup", batch_speedup));
   }
   table.print(std::cout);
 
@@ -229,22 +228,21 @@ int main() {
                  "1x here; the flat/seed column is the per-core gain and "
                  "multiplies by the worker count on multi-core hosts.\n";
 
-  json.writer()
-      .begin_object()
-      .kv("workload", "largest_summary")
-      .kv("label", largest.label)
-      .kv("m", largest.m)
-      .kv("n", largest.n)
-      .kv("threads", threads)
-      .kv("flat_speedup_vs_seed",
-          largest.flat.elements_per_sec / largest.seed.elements_per_sec)
-      .kv("block_speedup_vs_seed",
-          largest.block.elements_per_sec / largest.seed.elements_per_sec)
-      .kv("block_vs_flat", final_block_vs_flat)
-      .kv("speedup_vs_seed", final_speedup)
-      .kv("target_5x_met", final_speedup >= 5.0)
-      .kv("block_target_1p3x_met", final_block_vs_flat >= 1.3)
-      .end_object();
+  json.write(
+      api::Row{}
+          .add("workload", "largest_summary")
+          .add("label", largest.label)
+          .add("m", largest.m)
+          .add("n", largest.n)
+          .add("threads", threads)
+          .add("flat_speedup_vs_seed",
+               largest.flat.elements_per_sec / largest.seed.elements_per_sec)
+          .add("block_speedup_vs_seed",
+               largest.block.elements_per_sec / largest.seed.elements_per_sec)
+          .add("block_vs_flat", final_block_vs_flat)
+          .add("speedup_vs_seed", final_speedup)
+          .add("target_5x_met", final_speedup >= 5.0)
+          .add("block_target_1p3x_met", final_block_vs_flat >= 1.3));
   json.close();
   return 0;
 }

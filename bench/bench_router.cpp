@@ -49,18 +49,28 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-void unbuffered_video(bench::JsonSink& json, bool smoke) {
+void unbuffered_video(api::JsonSink& json, bool smoke) {
   std::cout << "-- (a) unbuffered router, GOP video workload --\n";
   Table table({"streams", "policy", "frames ok", "of", "value ok", "of",
                "goodput"});
   Rng master(100);
   const int draws = smoke ? 4 : 25;
 
-  const std::vector<std::string> policy_names = {
-      "randPr",       "randPr/filt",     "uniform-random",
-      "greedy-first", "greedy-maxw",     "greedy-progress",
-      "greedy-srpt",  "greedy-density",  "round-robin"};
-  const std::size_t num_policies = policy_names.size();
+  // Policies come from the registry; display labels from the policies
+  // themselves (the JSON rows key on them, so they must stay stable).
+  const std::vector<std::string> policy_specs = {
+      "randpr",       "randpr:filt",     "uniform-random",
+      "greedy:first", "greedy:maxw",     "greedy:progress",
+      "greedy:srpt",  "greedy:density",  "round-robin"};
+  // The trial body reseeds policies[0..2] with dedicated per-draw Rng
+  // streams; guard the hardwired indices against spec-list reordering
+  // (a silently skipped reseed would correlate every draw).
+  OSP_REQUIRE(policy_specs[0] == "randpr" &&
+              policy_specs[1] == "randpr:filt" &&
+              policy_specs[2] == "uniform-random");
+  const std::vector<std::string> policy_names =
+      bench::display_names(policy_specs);
+  const std::size_t num_policies = policy_specs.size();
 
   // One policy set per worker, built on first use and reseeded per draw.
   struct Worker {
@@ -93,15 +103,9 @@ void unbuffered_video(bench::JsonSink& json, bool smoke) {
           VideoWorkload vw = make_video_workload(params, wl_rng);
 
           Worker& w = workers[ctx.thread_index];
-          if (w.policies.empty()) {
-            w.policies.push_back(std::make_unique<RandPr>(Rng(0)));
-            w.policies.push_back(std::make_unique<RandPr>(
-                Rng(0), RandPrOptions{.filter_dead = true}));
-            w.policies.push_back(
-                std::make_unique<UniformRandomChoice>(Rng(0)));
-            for (auto& baseline : make_deterministic_baselines())
-              w.policies.push_back(std::move(baseline));
-          }
+          if (w.policies.empty())
+            for (const std::string& spec : policy_specs)
+              w.policies.push_back(api::policies().make(spec, Rng(0)));
           // Re-arm the randomized policies with this draw's streams; the
           // deterministic baselines reset themselves in start().
           w.policies[0]->reseed(rp_rngs[d]);
@@ -111,8 +115,6 @@ void unbuffered_video(bench::JsonSink& json, bool smoke) {
           std::vector<CellResult> row;
           row.reserve(num_policies);
           for (std::size_t p = 0; p < num_policies; ++p) {
-            // Guard the hardcoded label list against factory reordering.
-            OSP_REQUIRE(w.policies[p]->name() == policy_names[p]);
             RouterStats st = simulate_router(vw.schedule, *w.policies[p], 1);
             row.push_back(CellResult{
                 static_cast<double>(st.frames_delivered), st.value_delivered,
@@ -134,17 +136,16 @@ void unbuffered_video(bench::JsonSink& json, bool smoke) {
                  fmt(acc.total_frames / draws, 0), fmt(acc.value / draws, 1),
                  fmt(acc.total_value / draws, 0),
                  fmt(acc.value / acc.total_value, 3)});
-      json.writer()
-          .begin_object()
-          .kv("sweep", "unbuffered_video")
-          .kv("streams", streams)
-          .kv("policy", policy_names[p])
-          .kv("frames_ok", acc.frames / draws)
-          .kv("frames_total", acc.total_frames / draws)
-          .kv("value_ok", acc.value / draws)
-          .kv("value_total", acc.total_value / draws)
-          .kv("goodput", acc.value / acc.total_value)
-          .end_object();
+      json.write(
+          api::Row{}
+              .add("sweep", "unbuffered_video")
+              .add("streams", streams)
+              .add("policy", policy_names[p])
+              .add("frames_ok", acc.frames / draws)
+              .add("frames_total", acc.total_frames / draws)
+              .add("value_ok", acc.value / draws)
+              .add("value_total", acc.total_value / draws)
+              .add("goodput", acc.value / acc.total_value));
     }
   }
   table.print(std::cout);
@@ -174,7 +175,7 @@ struct BufferedWorker {
   }
 };
 
-void buffered_sweep(bench::JsonSink& json, bool smoke) {
+void buffered_sweep(api::JsonSink& json, bool smoke) {
   std::cout << "-- (b) buffered router (open problem 2) --\n";
   Table table({"buffer", "policy", "goodput"});
   Rng master(200);
@@ -229,13 +230,12 @@ void buffered_sweep(bench::JsonSink& json, bool smoke) {
       for (int d = 0; d < draws; ++d)
         good += goodputs[static_cast<std::size_t>(d)][p];
       table.row({fmt(buf), policy_names[p], fmt(good / draws, 3)});
-      json.writer()
-          .begin_object()
-          .kv("sweep", "buffered")
-          .kv("buffer", buf)
-          .kv("policy", policy_names[p])
-          .kv("goodput", good / draws)
-          .end_object();
+      json.write(
+          api::Row{}
+              .add("sweep", "buffered")
+              .add("buffer", buf)
+              .add("policy", policy_names[p])
+              .add("goodput", good / draws));
     }
   }
   table.print(std::cout);
@@ -244,21 +244,23 @@ void buffered_sweep(bench::JsonSink& json, bool smoke) {
                "bursts (the effect the paper leaves open).\n\n";
 }
 
-void burstiness_sweep(bench::JsonSink& json, bool smoke) {
+void burstiness_sweep(api::JsonSink& json, bool smoke) {
   std::cout << "-- (c) burstiness sweep (on/off traffic, frames of 3 "
                "packets) --\n";
   Table table({"burst profile", "smax", "policy", "value ok", "of",
                "goodput"});
   Rng master(300);
   const int draws = smoke ? 4 : 25;
-  const std::vector<std::string> policy_names = {"randPr", "greedy-progress",
-                                                 "greedy-first"};
-  const std::size_t num_policies = policy_names.size();
+  const std::vector<std::string> policy_specs = {"randpr", "greedy:progress",
+                                                 "greedy:first"};
+  // policies[0] is reseeded per draw below; guard the hardwired index.
+  OSP_REQUIRE(policy_specs[0] == "randpr");
+  const std::vector<std::string> policy_names =
+      bench::display_names(policy_specs);
+  const std::size_t num_policies = policy_specs.size();
 
   struct Worker {
-    std::unique_ptr<RandPr> rp;
-    GreedyMostProgress gp;
-    GreedyFirst gf;
+    std::vector<std::unique_ptr<OnlineAlgorithm>> policies;
   };
   std::vector<Worker> workers(engine::shared_runner().num_threads());
 
@@ -290,14 +292,14 @@ void burstiness_sweep(bench::JsonSink& json, bool smoke) {
           FrameSchedule sched = bursty_schedule(bursts, 80, 3, wl_rng, 1.0);
 
           Worker& w = workers[ctx.thread_index];
-          if (w.rp == nullptr) w.rp = std::make_unique<RandPr>(Rng(0));
-          w.rp->reseed(rp_rngs[d]);
-          OnlineAlgorithm* algs[] = {w.rp.get(), &w.gp, &w.gf};
+          if (w.policies.empty())
+            for (const std::string& spec : policy_specs)
+              w.policies.push_back(api::policies().make(spec, Rng(0)));
+          w.policies[0]->reseed(rp_rngs[d]);
           DrawResult row;
           row.smax = static_cast<double>(sched.max_burst());
           for (std::size_t p = 0; p < num_policies; ++p) {
-            OSP_REQUIRE(algs[p]->name() == policy_names[p]);
-            RouterStats st = simulate_router(sched, *algs[p], 1);
+            RouterStats st = simulate_router(sched, *w.policies[p], 1);
             row.value.push_back(st.value_delivered);
             row.total.push_back(st.value_total);
           }
@@ -316,16 +318,15 @@ void burstiness_sweep(bench::JsonSink& json, bool smoke) {
       table.row({prof.name, fmt(smax_acc / draws, 1), policy_names[p],
                  fmt(value / draws, 1), fmt(total / draws, 0),
                  fmt(value / total, 3)});
-      json.writer()
-          .begin_object()
-          .kv("sweep", "burstiness")
-          .kv("profile", prof.name)
-          .kv("smax", smax_acc / draws)
-          .kv("policy", policy_names[p])
-          .kv("value_ok", value / draws)
-          .kv("value_total", total / draws)
-          .kv("goodput", value / total)
-          .end_object();
+      json.write(
+          api::Row{}
+              .add("sweep", "burstiness")
+              .add("profile", prof.name)
+              .add("smax", smax_acc / draws)
+              .add("policy", policy_names[p])
+              .add("value_ok", value / draws)
+              .add("value_total", total / draws)
+              .add("goodput", value / total));
     }
   }
   table.print(std::cout);
@@ -343,12 +344,16 @@ struct OverloadConfig {
 };
 
 OverloadConfig overload_config(bool smoke) {
-  // Full size: 64 streams × 6720 frames = 64 × 15680 packets ≈ 1.0M
-  // packets over ~20k slots (≈50 packets/slot against a service rate of
-  // 32 — sustained ~1.6× overload).
-  if (smoke)
-    return OverloadConfig{8, 60, 4, {16, 64}};
-  return OverloadConfig{64, 6720, 32, {256, 1024, 4096}};
+  // Full size ("router/overload"): 64 streams × 6720 frames = 64 × 15680
+  // packets ≈ 1.0M packets over ~20k slots (≈50 packets/slot against a
+  // service rate of 32 — sustained ~1.6× overload).  The buffer ladder is
+  // the sweep axis, so it stays here.
+  const api::ScenarioSpec& s = api::scenarios().at(
+      smoke ? "router/overload-smoke" : "router/overload");
+  OverloadConfig cfg{s.streams, s.frames, s.service_rate, {}};
+  cfg.buffers = smoke ? std::vector<std::size_t>{16, 64}
+                      : std::vector<std::size_t>{256, 1024, 4096};
+  return cfg;
 }
 
 VideoWorkload overload_workload(const OverloadConfig& cfg, Rng rng) {
@@ -358,7 +363,7 @@ VideoWorkload overload_workload(const OverloadConfig& cfg, Rng rng) {
   return make_video_workload(params, rng);
 }
 
-void overload_sweep(bench::JsonSink& json, bool smoke) {
+void overload_sweep(api::JsonSink& json, bool smoke) {
   const OverloadConfig cfg = overload_config(smoke);
   std::cout << "-- (d) multi-stream overload (" << cfg.streams
             << " streams, service rate " << cfg.service_rate << ") --\n";
@@ -425,18 +430,17 @@ void overload_sweep(bench::JsonSink& json, bool smoke) {
       table.row({fmt(cfg.buffers[b]), policy_names[p],
                  fmt(acc.packets / draws, 0), fmt(acc.served / draws, 0),
                  fmt(acc.dropped / draws, 0), fmt(acc.value / acc.total, 3)});
-      json.writer()
-          .begin_object()
-          .kv("sweep", "overload")
-          .kv("streams", cfg.streams)
-          .kv("service_rate", cfg.service_rate)
-          .kv("buffer", cfg.buffers[b])
-          .kv("policy", policy_names[p])
-          .kv("packets", acc.packets / draws)
-          .kv("served", acc.served / draws)
-          .kv("dropped", acc.dropped / draws)
-          .kv("goodput", acc.value / acc.total)
-          .end_object();
+      json.write(
+          api::Row{}
+              .add("sweep", "overload")
+              .add("streams", cfg.streams)
+              .add("service_rate", cfg.service_rate)
+              .add("buffer", cfg.buffers[b])
+              .add("policy", policy_names[p])
+              .add("packets", acc.packets / draws)
+              .add("served", acc.served / draws)
+              .add("dropped", acc.dropped / draws)
+              .add("goodput", acc.value / acc.total));
     }
   }
   table.print(std::cout);
@@ -445,7 +449,7 @@ void overload_sweep(bench::JsonSink& json, bool smoke) {
                "packets of every frame; bigger buffers widen the gap.\n\n";
 }
 
-void throughput_section(bench::JsonSink& json, bool smoke) {
+void throughput_section(api::JsonSink& json, bool smoke) {
   const OverloadConfig cfg = overload_config(smoke);
   const std::size_t buffer = cfg.buffers.back();
   std::cout << "-- (e) queue-structure throughput (buffer " << buffer
@@ -494,18 +498,17 @@ void throughput_section(bench::JsonSink& json, bool smoke) {
   table.print(std::cout);
   for (const char* path : {"sort", "heap"}) {
     const bool heap = std::strcmp(path, "heap") == 0;
-    json.writer()
-        .begin_object()
-        .kv("sweep", "throughput")
-        .kv("path", path)
-        .kv("buffer", buffer)
-        .kv("slots", slots)
-        .kv("packets", packets)
-        .kv("seconds", heap ? heap_s : sort_s)
-        .kv("slots_per_sec", heap ? heap_rate : sort_rate)
-        .kv("speedup_vs_sort", heap ? speedup : 1.0)
-        .kv("cross_check", "pass")
-        .end_object();
+    json.write(
+          api::Row{}
+              .add("sweep", "throughput")
+              .add("path", path)
+              .add("buffer", buffer)
+              .add("slots", slots)
+              .add("packets", packets)
+              .add("seconds", heap ? heap_s : sort_s)
+              .add("slots_per_sec", heap ? heap_rate : sort_rate)
+              .add("speedup_vs_sort", heap ? speedup : 1.0)
+              .add("cross_check", "pass"));
   }
   std::cout << "Cross-check: heap and sort paths decision-identical.  "
             << "Gate (heap >= 3x sort on the largest buffered sweep): "
@@ -533,7 +536,8 @@ int main(int argc, char** argv) {
           (smoke ? "  [--smoke: toy sizes]" : ""));
   // Smoke runs write a separate artifact so a toy-size run can never
   // overwrite the committed full-size BENCH_router.json.
-  osp::bench::JsonSink json(smoke ? "router_smoke" : "router");
+  osp::api::JsonSink json(smoke ? "router_smoke" : "router",
+                          osp::bench::session().threads());
   osp::unbuffered_video(json, smoke);
   osp::buffered_sweep(json, smoke);
   osp::burstiness_sweep(json, smoke);

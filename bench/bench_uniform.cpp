@@ -16,7 +16,7 @@
 namespace osp {
 namespace {
 
-void corollary7_sweep(bench::JsonSink& json) {
+void corollary7_sweep(osp::api::JsonSink& json) {
   std::cout << "-- Corollary 7: bi-regular instances, k = 3 fixed, sigma "
                "rising --\n";
   Table table({"m", "k", "sigma", "opt", "E[alg]", "ratio", "Cor7 bound(k)",
@@ -37,26 +37,24 @@ void corollary7_sweep(bench::JsonSink& json) {
     table.row({fmt(m), fmt(k), fmt(sigma), fmt(opt.value, 1),
                bench::fmt_mean_ci(alg), fmt_ratio(ratio),
                fmt(corollary7_bound(st), 1), fmt(corollary6_bound(st), 2)});
-    json.writer()
-        .begin_object()
-        .kv("sweep", "corollary7")
-        .kv("m", m)
-        .kv("k", k)
-        .kv("sigma", sigma)
-        .kv("opt", opt.value)
-        .kv("alg_mean", alg.mean())
-        .kv("alg_ci95", alg.ci95_halfwidth())
-        .kv("ratio", ratio)
-        .kv("cor7_bound", corollary7_bound(st))
-        .kv("cor6_bound", corollary6_bound(st))
-        .end_object();
+    json.write(api::Row{}
+                   .add("sweep", "corollary7")
+                   .add("m", m)
+                   .add("k", k)
+                   .add("sigma", sigma)
+                   .add("opt", opt.value)
+                   .add("alg_mean", alg.mean())
+                   .add("alg_ci95", alg.ci95_halfwidth())
+                   .add("ratio", ratio)
+                   .add("cor7_bound", corollary7_bound(st))
+                   .add("cor6_bound", corollary6_bound(st)));
   }
   table.print(std::cout);
   std::cout << "Expected shape: ratio column stays flat near or below k=3 "
                "while Cor6 grows like sqrt(sigma).\n\n";
 }
 
-void theorem5_sweep(bench::JsonSink& json) {
+void theorem5_sweep(osp::api::JsonSink& json) {
   std::cout << "-- Theorem 5: uniform size k, loads vary (random "
                "instances) --\n";
   Table table({"m", "n", "k", "avg(s^2)/avg(s)^2", "opt", "E[alg]", "ratio",
@@ -76,25 +74,23 @@ void theorem5_sweep(bench::JsonSink& json) {
                fmt(dispersion, 3), fmt(opt.value, 1),
                bench::fmt_mean_ci(alg), fmt_ratio(ratio),
                fmt(theorem5_bound(st), 2)});
-    json.writer()
-        .begin_object()
-        .kv("sweep", "theorem5")
-        .kv("m", std::size_t{24})
-        .kv("n", inst.num_elements())
-        .kv("k", k)
-        .kv("dispersion", dispersion)
-        .kv("opt", opt.value)
-        .kv("alg_mean", alg.mean())
-        .kv("ratio", ratio)
-        .kv("thm5_bound", theorem5_bound(st))
-        .end_object();
+    json.write(api::Row{}
+                   .add("sweep", "theorem5")
+                   .add("m", std::size_t{24})
+                   .add("n", inst.num_elements())
+                   .add("k", k)
+                   .add("dispersion", dispersion)
+                   .add("opt", opt.value)
+                   .add("alg_mean", alg.mean())
+                   .add("ratio", ratio)
+                   .add("thm5_bound", theorem5_bound(st)));
   }
   table.print(std::cout);
   std::cout << "Expected shape: ratio below the Thm5 bound; bound scales "
                "with k times the load dispersion.\n\n";
 }
 
-void theorem6_sweep(bench::JsonSink& json) {
+void theorem6_sweep(osp::api::JsonSink& json) {
   std::cout << "-- Theorem 6: uniform load sigma, sizes vary --\n";
   Table table({"m", "n", "sigma", "kbar", "opt", "E[alg]", "ratio",
                "Thm6 bound"});
@@ -113,18 +109,16 @@ void theorem6_sweep(bench::JsonSink& json) {
                fmt(st.k_avg, 2), fmt(opt.value, 1),
                bench::fmt_mean_ci(alg), fmt_ratio(ratio),
                fmt(theorem6_bound(st), 2)});
-    json.writer()
-        .begin_object()
-        .kv("sweep", "theorem6")
-        .kv("m", std::size_t{20})
-        .kv("n", inst.num_elements())
-        .kv("sigma", sigma)
-        .kv("k_avg", st.k_avg)
-        .kv("opt", opt.value)
-        .kv("alg_mean", alg.mean())
-        .kv("ratio", ratio)
-        .kv("thm6_bound", theorem6_bound(st))
-        .end_object();
+    json.write(api::Row{}
+                   .add("sweep", "theorem6")
+                   .add("m", std::size_t{20})
+                   .add("n", inst.num_elements())
+                   .add("sigma", sigma)
+                   .add("k_avg", st.k_avg)
+                   .add("opt", opt.value)
+                   .add("alg_mean", alg.mean())
+                   .add("ratio", ratio)
+                   .add("thm6_bound", theorem6_bound(st)));
   }
   table.print(std::cout);
   std::cout << "Expected shape: ratio below kbar*sqrt(sigma), growing "
@@ -139,7 +133,7 @@ int main() {
       "E3 / Theorems 5, 6 and Corollary 7",
       "Refined bounds under uniform structure; the key signature is the "
       "sigma-INDEPENDENCE of the ratio for uniform size+load (Cor 7).");
-  osp::bench::JsonSink json("uniform");
+  osp::api::JsonSink json("uniform", osp::bench::session().threads());
   osp::corollary7_sweep(json);
   osp::theorem5_sweep(json);
   osp::theorem6_sweep(json);

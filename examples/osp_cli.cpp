@@ -1,31 +1,37 @@
-// osp_cli — command-line driver for the library.
+// osp_cli — command-line driver for the library, built entirely on the
+// experiment API layer (src/api): policies and workloads resolve through
+// the registries, runs go through a Session, and results stream through
+// ResultSinks.
 //
-//   osp_cli gen <family> [--out FILE] [--seed S] [--m M] [--n N] [--k K]
-//                        [--sigma SIGMA] [--ell ELL] [--t T] [--weights W]
+//   osp_cli list  [--policies] [--scenarios]
+//   osp_cli gen   <scenario> [--out FILE] [--seed S] [--m M] [--n N] ...
 //   osp_cli stats <file>
-//   osp_cli run <file> [--alg NAME] [--seed S] [--trials T]
+//   osp_cli run   [file|-] [--alg SPEC] [--seed S] [--trials T]
 //   osp_cli solve <file>
+//   osp_cli bench [--scenario NAMES] [--alg SPECS] [--trials T] [--seed S]
+//                 [--json NAME]
 //
-// Families: random, regular, fixedload, video, multihop, weaklb, lemma9.
-// Algorithms: randpr, randpr-filt, hashpr, greedy-first, greedy-maxw,
-//             greedy-progress, greedy-srpt, greedy-density, round-robin,
-//             uniform-random.
-// Weights: unit, uniform, zipf, exp.
-#include <cstdlib>
+// `list` enumerates everything the registries know; adding a policy or a
+// scenario in its home file makes it appear here (and in `bench`, and in
+// the test sweeps) with no CLI change.
+#include <unistd.h>
+
+#include <cstdio>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
-#include "algos/baselines.hpp"
 #include "algos/offline.hpp"
+#include "api/policy_registry.hpp"
+#include "api/result_sink.hpp"
+#include "api/scenario.hpp"
+#include "api/session.hpp"
 #include "core/bounds.hpp"
 #include "core/game.hpp"
 #include "core/io.hpp"
-#include "core/rand_pr.hpp"
-#include "design/lower_bounds.hpp"
-#include "gen/multihop.hpp"
-#include "gen/random_instances.hpp"
-#include "gen/video.hpp"
+#include "engine/trial.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 #include "util/require.hpp"
@@ -38,17 +44,24 @@ struct Args {
   std::string positional;
   std::map<std::string, std::string> options;
 
+  bool has(const std::string& key) const { return options.count(key) != 0; }
   std::string get(const std::string& key, const std::string& fallback) const {
     auto it = options.find(key);
     return it == options.end() ? fallback : it->second;
   }
+  /// Strict numeric flag parse; fails through RequireError naming the
+  /// flag (the seed CLI aborted with an uncaught std::invalid_argument).
   std::size_t get_num(const std::string& key, std::size_t fallback) const {
     auto it = options.find(key);
-    return it == options.end()
-               ? fallback
-               : static_cast<std::size_t>(std::stoull(it->second));
+    if (it == options.end()) return fallback;
+    return api::parse_size("flag --" + key, it->second);
   }
 };
+
+/// Flags that are pure switches (no value follows them).
+bool is_boolean_flag(const std::string& name) {
+  return name == "policies" || name == "scenarios";
+}
 
 Args parse(int argc, char** argv) {
   Args args;
@@ -57,6 +70,10 @@ Args parse(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     std::string word = argv[i];
     if (word.rfind("--", 0) == 0) {
+      if (is_boolean_flag(word.substr(2))) {
+        args.options[word.substr(2)] = "";
+        continue;
+      }
       OSP_REQUIRE_MSG(i + 1 < argc, "missing value for " << word);
       args.options[word.substr(2)] = argv[++i];
     } else {
@@ -68,69 +85,58 @@ Args parse(int argc, char** argv) {
   return args;
 }
 
-WeightModel weights_from(const std::string& name) {
-  if (name == "unit") return WeightModel::unit();
-  if (name == "uniform") return WeightModel::uniform(1, 10);
-  if (name == "zipf") return WeightModel::zipf(1.2);
-  if (name == "exp") return WeightModel::exponential(1.0);
-  OSP_REQUIRE_MSG(false, "unknown weight model '" << name << "'");
-  return {};
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
 }
 
-Instance generate(const Args& args) {
-  Rng rng(args.get_num("seed", 1));
-  WeightModel wm = weights_from(args.get("weights", "unit"));
-  const std::string family = args.positional;
-  const std::size_t m = args.get_num("m", 24);
-  const std::size_t n = args.get_num("n", 30);
-  const std::size_t k = args.get_num("k", 3);
-  const std::size_t sigma = args.get_num("sigma", 4);
-
-  if (family == "random") return random_instance(m, n, k, wm, rng);
-  if (family == "regular") return regular_instance(m, k, sigma, wm, rng);
-  if (family == "fixedload")
-    return fixed_load_instance(m, n, sigma, wm, rng);
-  if (family == "video") {
-    VideoParams params;
-    params.num_streams = args.get_num("streams", 8);
-    params.frames_per_stream = args.get_num("frames", 24);
-    return make_video_workload(params, rng).schedule.to_instance(
-        static_cast<Capacity>(args.get_num("capacity", 1)));
+/// Copies the named scenario out of the registry and applies every
+/// generator flag present on the command line.
+api::ScenarioSpec scenario_from(const Args& args, const std::string& name) {
+  api::ScenarioSpec spec = api::scenarios().at(name);
+  for (const auto& [key, value] : args.options) {
+    if (key == "out" || key == "seed" || key == "trials" || key == "alg" ||
+        key == "scenario" || key == "json")
+      continue;  // run plumbing, not generator parameters
+    spec.set(key, value);
   }
-  if (family == "multihop") {
-    MultiHopParams params;
-    params.num_packets = args.get_num("packets", 80);
-    params.num_switches = args.get_num("switches", 6);
-    return make_multihop_workload(params, rng).instance;
-  }
-  if (family == "weaklb")
-    return build_weak_lb_instance(args.get_num("t", 8), rng).instance;
-  if (family == "lemma9")
-    return build_lemma9_instance(args.get_num("ell", 3), rng).instance;
-  OSP_REQUIRE_MSG(false, "unknown family '" << family << "'");
-  return InstanceBuilder{}.build();
+  return spec;
 }
 
-std::unique_ptr<OnlineAlgorithm> make_algorithm(const std::string& name,
-                                                Rng seed) {
-  if (name == "randpr") return std::make_unique<RandPr>(seed);
-  if (name == "randpr-filt")
-    return std::make_unique<RandPr>(seed,
-                                    RandPrOptions{.filter_dead = true});
-  if (name == "hashpr") {
-    Rng r = seed;
-    return HashedRandPr::with_polynomial(8, r);
+Instance load_from(const std::string& where) {
+  if (where.empty() || where == "-") return read_instance(std::cin);
+  return load_instance(where);
+}
+
+int cmd_list(const Args& args) {
+  // No flag: both sections.  Either flag selects its section; giving
+  // both is the same as giving neither.
+  const bool show_policies = args.has("policies") || !args.has("scenarios");
+  const bool show_scenarios = args.has("scenarios") || !args.has("policies");
+  if (show_policies) {
+    std::cout << "policies (" << api::policies().entries().size() << "):\n"
+              << api::policies().render_catalog();
   }
-  if (name == "uniform-random")
-    return std::make_unique<UniformRandomChoice>(seed);
-  for (auto& alg : make_deterministic_baselines())
-    if (alg->name() == name) return std::move(alg);
-  OSP_REQUIRE_MSG(false, "unknown algorithm '" << name << "'");
-  return nullptr;
+  if (show_scenarios) {
+    if (show_policies) std::cout << '\n';
+    std::cout << "scenarios (" << api::scenarios().entries().size()
+              << "):\n"
+              << api::scenarios().render_catalog();
+  }
+  return 0;
 }
 
 int cmd_gen(const Args& args) {
-  Instance inst = generate(args);
+  OSP_REQUIRE_MSG(!args.positional.empty(),
+                  "gen needs a scenario name; registered scenarios:\n"
+                      << api::scenarios().render_catalog());
+  api::ScenarioSpec spec = scenario_from(args, args.positional);
+  Rng rng(args.get_num("seed", 1));
+  Instance inst = api::build_instance(spec, rng);
   const std::string out = args.get("out", "");
   if (out.empty()) {
     write_instance(std::cout, inst);
@@ -142,8 +148,9 @@ int cmd_gen(const Args& args) {
 }
 
 int cmd_stats(const Args& args) {
-  OSP_REQUIRE_MSG(!args.positional.empty(), "stats needs a file");
-  Instance inst = load_instance(args.positional);
+  OSP_REQUIRE_MSG(!args.positional.empty(),
+                  "stats needs a file (or '-' for stdin)");
+  Instance inst = load_from(args.positional);
   InstanceStats st = inst.stats();
   Table t({"quantity", "value"});
   t.row({"sets (m)", fmt(st.num_sets)});
@@ -165,25 +172,32 @@ int cmd_stats(const Args& args) {
 }
 
 int cmd_run(const Args& args) {
-  OSP_REQUIRE_MSG(!args.positional.empty(), "run needs a file");
-  Instance inst = load_instance(args.positional);
   const std::string name = args.get("alg", "randpr");
   const std::size_t trials = args.get_num("trials", 1);
   Rng master(args.get_num("seed", 1));
 
+  // Resolve before touching the input so an unknown spec fails with the
+  // registry catalog in the message, whatever state the instance is in.
+  const api::PolicyInfo& policy = api::policies().at(name);
+  // A bare `run` on a terminal would block forever waiting for an
+  // instance; only read stdin implicitly when something is piped in.
+  OSP_REQUIRE_MSG(!args.positional.empty() || !isatty(fileno(stdin)),
+                  "run needs a file (or pipe an instance in / pass '-')");
+  Instance inst = load_from(args.positional);
+
   RunningStat benefit;
   std::size_t completed = 0;
   for (std::size_t t = 0; t < trials; ++t) {
-    auto alg = make_algorithm(name, master.split(t));
+    auto alg = policy.make(master.split(t));
     Outcome out = play(inst, *alg);
     benefit.add(out.benefit);
     completed = out.completed.size();
   }
   if (trials == 1) {
-    std::cout << name << ": completed " << completed << " sets, benefit "
-              << benefit.mean() << "\n";
+    std::cout << policy.name << ": completed " << completed
+              << " sets, benefit " << benefit.mean() << "\n";
   } else {
-    std::cout << name << " over " << trials
+    std::cout << policy.name << " over " << trials
               << " trials: E[benefit] = " << benefit.mean() << " +/- "
               << benefit.ci95_halfwidth() << "\n";
   }
@@ -191,8 +205,9 @@ int cmd_run(const Args& args) {
 }
 
 int cmd_solve(const Args& args) {
-  OSP_REQUIRE_MSG(!args.positional.empty(), "solve needs a file");
-  Instance inst = load_instance(args.positional);
+  OSP_REQUIRE_MSG(!args.positional.empty(),
+                  "solve needs a file (or '-' for stdin)");
+  Instance inst = load_from(args.positional);
   OfflineResult greedy = greedy_offline(inst);
   OfflineResult opt = exact_optimum(inst);
   double lp = inst.num_sets() <= 120 ? lp_upper_bound(inst) : -1;
@@ -205,19 +220,100 @@ int cmd_solve(const Args& args) {
   return 0;
 }
 
+int cmd_bench(const Args& args) {
+  // Scenario columns.
+  const std::vector<std::string> scenario_names =
+      split_commas(args.get("scenario", "random"));
+  OSP_REQUIRE_MSG(!scenario_names.empty(), "bench needs --scenario names");
+
+  // Policy rows: every registered policy unless --alg narrows the sweep.
+  std::vector<std::string> alg_specs;
+  if (args.has("alg")) {
+    alg_specs = split_commas(args.get("alg", ""));
+    OSP_REQUIRE_MSG(!alg_specs.empty(),
+                    "--alg needs policy specs (or omit it to sweep every "
+                    "registered policy)");
+  } else {
+    alg_specs = api::policies().names();
+  }
+
+  const std::uint64_t seed = args.get_num("seed", 1);
+  api::Session session;
+
+  std::vector<api::ScenarioSpec> specs;
+  std::vector<Instance> instances;
+  std::vector<const Instance*> instance_ptrs;
+  std::vector<std::string> labels;
+  int trials = -1;
+  for (const std::string& name : scenario_names) {
+    specs.push_back(scenario_from(args, name));
+    Rng rng(seed);
+    instances.push_back(api::build_instance(specs.back(), rng));
+    labels.push_back(specs.back().name);
+    trials = std::max(trials, specs.back().default_trials);
+  }
+  for (const Instance& inst : instances) instance_ptrs.push_back(&inst);
+  if (args.has("trials")) {
+    const std::size_t requested = args.get_num("trials", 100);
+    // Bound before narrowing to int so out-of-range values error instead
+    // of silently truncating to a wrong trial count.
+    OSP_REQUIRE_MSG(requested >= 1 && requested <= 1000000000,
+                    "flag --trials must be in [1, 1e9], got " << requested);
+    trials = static_cast<int>(requested);
+  }
+  OSP_REQUIRE_MSG(trials >= 1, "flag --trials must be at least 1");
+
+  engine::GridSpec grid;
+  grid.instances = instance_ptrs;
+  for (const std::string& spec : alg_specs)
+    grid.algorithms.push_back(api::grid_column(api::policies().at(spec)));
+  grid.trials = trials;
+  grid.master_seed = seed;
+
+  api::TableSink table;
+  session.attach(table);
+  std::unique_ptr<api::JsonSink> json;
+  if (args.has("json")) {
+    const std::string json_name = args.get("json", "cli");
+    OSP_REQUIRE_MSG(!json_name.empty(),
+                    "--json needs a non-empty artifact name");
+    // Never overwrite an existing artifact: the bench binaries' committed
+    // BENCH_*.json carry schema-gated key sets a CLI grid would break,
+    // and this stays correct for every artifact any future bench emits.
+    const std::string json_path = "BENCH_" + json_name + ".json";
+    OSP_REQUIRE_MSG(!std::ifstream(json_path).good(),
+                    json_path << " already exists; refusing to overwrite "
+                                 "— pick another name or remove it first");
+    json = std::make_unique<api::JsonSink>(json_name, session.threads());
+    session.attach(*json);
+  }
+
+  session.run_grid(grid, labels);
+  session.close_sinks();
+  table.print(std::cout);
+  if (json != nullptr)
+    std::cerr << "wrote BENCH_" << args.get("json", "cli") << ".json\n";
+  return 0;
+}
+
 int usage() {
   std::cerr <<
       R"(osp_cli — online set packing toolbox
-  osp_cli gen <family> [--out FILE] [--seed S] [--m M] [--n N] [--k K]
-                       [--sigma SIGMA] [--ell ELL] [--t T] [--weights W]
-  osp_cli stats <file>
-  osp_cli run <file> [--alg NAME] [--seed S] [--trials T]
-  osp_cli solve <file>
-families: random regular fixedload video multihop weaklb lemma9
-algs: randpr randpr-filt hashpr greedy-first greedy-maxw greedy-progress
-      greedy-srpt greedy-density round-robin uniform-random
-weights: unit uniform zipf exp
-)";
+  osp_cli list  [--policies] [--scenarios]
+  osp_cli gen   <scenario> [--out FILE] [--seed S] [--m M] [--n N] [--k K]
+                [--sigma SIGMA] [--ell ELL] [--t T] [--weights W] ...
+  osp_cli stats <file|->
+  osp_cli run   [file|-] [--alg SPEC] [--seed S] [--trials T]
+  osp_cli solve <file|->
+  osp_cli bench [--scenario NAMES] [--alg SPECS] [--trials T] [--seed S]
+                [--json NAME]
+('-' or a pipe reads the instance from stdin; NAMES/SPECS are
+comma-separated.)
+
+)" << "policies:\n"
+            << osp::api::policies().render_catalog() << "\nscenarios:\n"
+            << osp::api::scenarios().render_catalog()
+            << "\nweights: unit uniform zipf exp\n";
   return 2;
 }
 
@@ -225,10 +321,12 @@ int main(int argc, char** argv) {
   try {
     if (argc < 2) return usage();
     Args args = parse(argc, argv);
+    if (args.command == "list") return cmd_list(args);
     if (args.command == "gen") return cmd_gen(args);
     if (args.command == "stats") return cmd_stats(args);
     if (args.command == "run") return cmd_run(args);
     if (args.command == "solve") return cmd_solve(args);
+    if (args.command == "bench") return cmd_bench(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -5,14 +5,18 @@
 #   1. tier-1 verify: configure + build + ctest;
 #   2. bench-JSON schema check: every BENCH_*.json artifact parses and
 #      carries the keys the perf trajectory depends on;
-#   3. ASan/UBSan build of the engine-critical tests (the fuzz suite, the
+#   3. examples smoke: runs osp_cli end to end off the policy/scenario
+#      registries (list, gen | run pipe, a small bench grid) plus
+#      quickstart, so the examples cannot silently rot;
+#   4. ASan/UBSan build of the engine-critical tests (the fuzz suite, the
 #      flat/block-engine golden tests, and the router-queue suites) plus a
 #      sanitized `bench_router --smoke` run, so the indexed-heap queue is
 #      exercised against the full-sort reference cross-check on every
 #      repository check.
 #
 # Quick mode (scripts/check.sh --quick, for local iteration):
-#   runs steps 1-2 only, skipping the sanitizer rebuild — a few seconds of
+#   runs steps 1-2 only, skipping the examples smoke and the sanitizer
+#   rebuild — a few seconds of
 #   configure + incremental build instead of a second full tree.  CI never
 #   uses --quick; a change is not green until the full script passes.
 set -euo pipefail
@@ -43,6 +47,13 @@ if [[ "${quick}" -eq 1 ]]; then
   echo "== all quick checks passed =="
   exit 0
 fi
+
+echo
+echo "== examples smoke: osp_cli (registry-driven) + quickstart =="
+./build/osp_cli list > /dev/null
+./build/osp_cli gen random --seed 3 | ./build/osp_cli run --alg randpr
+./build/osp_cli bench --scenario random --alg randpr,greedy:maxw --trials 50
+./build/quickstart > /dev/null
 
 echo
 echo "== sanitizers: ASan/UBSan build of fuzz + engine + queue tests =="

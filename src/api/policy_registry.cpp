@@ -1,0 +1,119 @@
+#include "api/policy_registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace osp::api {
+
+// Anchor functions defined in the self-registering translation units.
+// policies() references them so the linker can never drop those objects
+// (and with them the PolicyRegistrar statics) from a static-library link:
+// any binary that uses the registry is guaranteed to see every entry.
+void link_randpr_policies();
+void link_baseline_policies();
+
+std::string PolicyInfo::family() const {
+  return name.substr(0, name.find(':'));
+}
+
+void PolicyRegistry::add(PolicyInfo info) {
+  OSP_REQUIRE_MSG(!info.name.empty(), "policy registered without a name");
+  OSP_REQUIRE_MSG(info.make != nullptr,
+                  "policy '" << info.name << "' registered without a factory");
+  auto taken = [&](const std::string& name) {
+    for (const PolicyInfo& e : entries_) {
+      if (e.name == name) return true;
+      for (const std::string& a : e.aliases)
+        if (a == name) return true;
+    }
+    return false;
+  };
+  OSP_REQUIRE_MSG(!taken(info.name),
+                  "duplicate policy registration '" << info.name << "'");
+  for (const std::string& a : info.aliases)
+    OSP_REQUIRE_MSG(!taken(a), "duplicate policy alias '"
+                                   << a << "' (registering '" << info.name
+                                   << "')");
+  entries_.push_back(std::move(info));
+}
+
+const PolicyInfo* PolicyRegistry::find(const std::string& spec) const {
+  for (const PolicyInfo& e : entries_) {
+    if (e.name == spec) return &e;
+    for (const std::string& a : e.aliases)
+      if (a == spec) return &e;
+  }
+  return nullptr;
+}
+
+const PolicyInfo& PolicyRegistry::at(const std::string& spec) const {
+  if (const PolicyInfo* e = find(spec)) return *e;
+
+  // Family exists but the variant does not: list that family's variants.
+  const std::string family = spec.substr(0, spec.find(':'));
+  std::vector<std::string> variants;
+  for (const PolicyInfo& e : entries_)
+    if (e.family() == family) variants.push_back(e.name);
+  if (!variants.empty()) {
+    std::ostringstream msg;
+    msg << "unknown variant in policy spec '" << spec << "'; family '"
+        << family << "' provides:";
+    for (const std::string& v : variants) msg << ' ' << v;
+    OSP_REQUIRE_MSG(false, msg.str());
+  }
+
+  OSP_REQUIRE_MSG(false, "unknown policy '"
+                             << spec << "'; registered policies:\n"
+                             << render_catalog());
+  // Unreachable; OSP_REQUIRE_MSG throws.
+  static PolicyInfo dummy;
+  return dummy;
+}
+
+std::unique_ptr<OnlineAlgorithm> PolicyRegistry::make(const std::string& spec,
+                                                      Rng rng) const {
+  return at(spec).make(rng);
+}
+
+std::vector<std::string> PolicyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const PolicyInfo& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+std::string PolicyRegistry::render_catalog() const {
+  std::size_t width = 0;
+  for (const PolicyInfo& e : entries_)
+    width = std::max(width, e.name.size());
+  std::ostringstream os;
+  for (const PolicyInfo& e : entries_) {
+    os << "  " << e.name
+       << std::string(width - e.name.size() + 2, ' ') << e.description
+       << '\n';
+  }
+  return os.str();
+}
+
+PolicyRegistry& PolicyRegistry_instance() {
+  // Function-local static: safe to use from the registrar constructors,
+  // which run during static initialization of other translation units.
+  static PolicyRegistry registry;
+  return registry;
+}
+
+PolicyRegistry& policies() {
+  // Referencing the anchors (not their return values) forces the linker
+  // to include the registering objects; the calls themselves are no-ops.
+  link_randpr_policies();
+  link_baseline_policies();
+  return PolicyRegistry_instance();
+}
+
+PolicyRegistrar::PolicyRegistrar(PolicyInfo info) {
+  PolicyRegistry_instance().add(std::move(info));
+}
+
+}  // namespace osp::api

@@ -1,0 +1,279 @@
+#include "api/scenario.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "design/lower_bounds.hpp"
+#include "gen/schedule.hpp"
+#include "util/require.hpp"
+
+namespace osp::api {
+
+std::size_t parse_size(const std::string& what, const std::string& text) {
+  std::size_t consumed = 0;
+  unsigned long long value = 0;
+  try {
+    value = std::stoull(text, &consumed);
+  } catch (const std::exception&) {
+    OSP_REQUIRE_MSG(false, what << " expects a non-negative integer, got '"
+                               << text << "'");
+  }
+  // Reject trailing junk ("12x") and negative numbers ("-3", which
+  // stoull silently wraps).
+  OSP_REQUIRE_MSG(consumed == text.size() &&
+                      text.find('-') == std::string::npos,
+                  what << " expects a non-negative integer, got '" << text
+                       << "'");
+  return static_cast<std::size_t>(value);
+}
+
+WeightModel weight_model_from(const std::string& name) {
+  if (name == "unit") return WeightModel::unit();
+  if (name == "uniform") return WeightModel::uniform(1, 10);
+  if (name == "zipf") return WeightModel::zipf(1.2);
+  if (name == "exp") return WeightModel::exponential(1.0);
+  OSP_REQUIRE_MSG(false, "unknown weight model '" << name
+                             << "' (known: unit uniform zipf exp)");
+  return {};
+}
+
+ScenarioSpec& ScenarioSpec::set(const std::string& key,
+                                const std::string& value) {
+  const std::string what = "scenario parameter --" + key;
+  if (key == "m") m = parse_size(what, value);
+  else if (key == "n") n = parse_size(what, value);
+  else if (key == "k") k = parse_size(what, value);
+  else if (key == "sigma") sigma = parse_size(what, value);
+  else if (key == "cap-max") cap_max = parse_size(what, value);
+  else if (key == "ell") ell = parse_size(what, value);
+  else if (key == "t") t = parse_size(what, value);
+  else if (key == "streams") streams = parse_size(what, value);
+  else if (key == "frames") frames = parse_size(what, value);
+  else if (key == "packets") packets = parse_size(what, value);
+  else if (key == "switches") switches = parse_size(what, value);
+  else if (key == "capacity")
+    capacity = static_cast<Capacity>(parse_size(what, value));
+  else if (key == "service-rate")
+    service_rate = static_cast<Capacity>(parse_size(what, value));
+  else if (key == "weights") weights = weight_model_from(value);
+  else
+    OSP_REQUIRE_MSG(false,
+                    "unknown scenario parameter '"
+                        << key
+                        << "' (known: m n k sigma cap-max ell t streams "
+                           "frames packets switches capacity service-rate "
+                           "weights)");
+  return *this;
+}
+
+Instance build_instance(const ScenarioSpec& spec, Rng& rng) {
+  switch (spec.family) {
+    case ScenarioFamily::kRandom:
+      return random_instance(spec.m, spec.n, spec.k, spec.weights, rng);
+    case ScenarioFamily::kRandomCapacity:
+      return random_capacity_instance(spec.m, spec.n, spec.k, spec.cap_max,
+                                      spec.weights, rng);
+    case ScenarioFamily::kRegular:
+      return regular_instance(spec.m, spec.k, spec.sigma, spec.weights, rng);
+    case ScenarioFamily::kFixedLoad:
+      return fixed_load_instance(spec.m, spec.n, spec.sigma, spec.weights,
+                                 rng);
+    case ScenarioFamily::kVideo:
+      return build_video(spec, rng).schedule.to_instance(spec.capacity);
+    case ScenarioFamily::kMultihop:
+      return build_multihop(spec, rng).instance;
+    case ScenarioFamily::kWeakLb:
+      return build_weak_lb_instance(spec.t, rng).instance;
+    case ScenarioFamily::kLemma9:
+      return build_lemma9_instance(spec.ell, rng).instance;
+  }
+  OSP_REQUIRE_MSG(false, "scenario '" << spec.name << "' has an unknown family");
+  return InstanceBuilder{}.build();
+}
+
+VideoWorkload build_video(const ScenarioSpec& spec, Rng& rng) {
+  OSP_REQUIRE_MSG(spec.family == ScenarioFamily::kVideo,
+                  "scenario '" << spec.name << "' is not a video workload");
+  VideoParams params;
+  params.num_streams = spec.streams;
+  params.frames_per_stream = spec.frames;
+  return make_video_workload(params, rng);
+}
+
+MultiHopWorkload build_multihop(const ScenarioSpec& spec, Rng& rng) {
+  OSP_REQUIRE_MSG(spec.family == ScenarioFamily::kMultihop,
+                  "scenario '" << spec.name
+                               << "' is not a multihop workload");
+  MultiHopParams params;
+  params.num_packets = spec.packets;
+  params.num_switches = spec.switches;
+  return make_multihop_workload(params, rng);
+}
+
+void ScenarioRegistry::add(ScenarioSpec spec) {
+  OSP_REQUIRE_MSG(!spec.name.empty(), "scenario registered without a name");
+  OSP_REQUIRE_MSG(find(spec.name) == nullptr,
+                  "duplicate scenario registration '" << spec.name << "'");
+  entries_.push_back(std::move(spec));
+}
+
+const ScenarioSpec* ScenarioRegistry::find(const std::string& name) const {
+  for (const ScenarioSpec& s : entries_)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+const ScenarioSpec& ScenarioRegistry::at(const std::string& name) const {
+  const ScenarioSpec* s = find(name);
+  OSP_REQUIRE_MSG(s != nullptr, "unknown scenario '"
+                                    << name << "'; registered scenarios:\n"
+                                    << render_catalog());
+  return *s;
+}
+
+std::string ScenarioRegistry::render_catalog() const {
+  std::size_t width = 0;
+  for (const ScenarioSpec& s : entries_)
+    width = std::max(width, s.name.size());
+  std::ostringstream os;
+  for (const ScenarioSpec& s : entries_)
+    os << "  " << s.name << std::string(width - s.name.size() + 2, ' ')
+       << s.description << '\n';
+  return os.str();
+}
+
+namespace {
+
+ScenarioSpec engine_shape(const char* name, const char* label, std::size_t m,
+                          std::size_t n, std::size_t k) {
+  ScenarioSpec s;
+  s.name = name;
+  s.label = label;
+  s.description = "engine-throughput ladder: random m=" +
+                  std::to_string(m) + " n=" + std::to_string(n) +
+                  " k=" + std::to_string(k);
+  s.family = ScenarioFamily::kRandom;
+  s.m = m;
+  s.n = n;
+  s.k = k;
+  s.weights = WeightModel::unit();
+  s.engine_shape = true;
+  return s;
+}
+
+ScenarioRegistry build_catalog() {
+  ScenarioRegistry reg;
+
+  {  // The seed CLI's generator families, defaults preserved.
+    ScenarioSpec s;
+    s.name = "random";
+    s.description = "m sets of size k over n slots (Theorem 1/5 family)";
+    s.family = ScenarioFamily::kRandom;
+    reg.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "regular";
+    s.description = "bi-regular: size k and load sigma (Corollary 7 family)";
+    s.family = ScenarioFamily::kRegular;
+    reg.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "fixedload";
+    s.description = "uniform load sigma, varying sizes (Theorem 6 family)";
+    s.family = ScenarioFamily::kFixedLoad;
+    reg.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "capacity";
+    s.description = "random layout, capacities U[1, cap-max] (Theorem 4)";
+    s.family = ScenarioFamily::kRandomCapacity;
+    s.m = 22;
+    s.n = 20;
+    reg.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "video";
+    s.description = "GOP video streams through a bottleneck link";
+    s.family = ScenarioFamily::kVideo;
+    reg.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "multihop";
+    s.description = "packets crossing a switch pipeline ((time, hop) slots)";
+    s.family = ScenarioFamily::kMultihop;
+    reg.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "weaklb";
+    s.description = "Section 4.2 warm-up gadget (t^2 sets)";
+    s.family = ScenarioFamily::kWeakLb;
+    reg.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "lemma9";
+    s.description = "Figure 1 / Lemma 9 lower-bound distribution";
+    s.family = ScenarioFamily::kLemma9;
+    reg.add(s);
+  }
+
+  // The engine-throughput ladder (bench_perf's workload table).  Labels
+  // are the BENCH_engine.json row keys and must stay stable across PRs —
+  // the perf trajectory is keyed on them.  The last entry is the largest
+  // workload the acceptance gates are measured on: sustained ~sigma=16
+  // congestion over a quarter-million arrivals.
+  reg.add(engine_shape("engine/legacy-64", "legacy/64", 64, 128, 4));
+  reg.add(engine_shape("engine/legacy-1024", "legacy/1024", 1024, 2048, 4));
+  reg.add(engine_shape("engine/legacy-4096", "legacy/4096", 4096, 8192, 4));
+  reg.add(engine_shape("engine/router-32k", "router/32k", 1024, 32768, 64));
+  reg.add(
+      engine_shape("engine/router-128k", "router/128k", 4096, 131072, 64));
+  reg.add(engine_shape("engine/overload-256k", "overload/256k", 8192, 262144,
+                       512));
+
+  {  // bench_router's big buffered scenario (sections (d)/(e)).
+    ScenarioSpec s;
+    s.name = "router/overload";
+    s.description =
+        "64 video streams, ~1M packets, link at ~1/3 of offered load";
+    s.family = ScenarioFamily::kVideo;
+    s.streams = 64;
+    s.frames = 6720;
+    s.service_rate = 32;
+    reg.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "router/overload-smoke";
+    s.description = "toy-size overload scenario for sanitized smoke runs";
+    s.family = ScenarioFamily::kVideo;
+    s.streams = 8;
+    s.frames = 60;
+    s.service_rate = 4;
+    reg.add(s);
+  }
+
+  return reg;
+}
+
+}  // namespace
+
+ScenarioRegistry& scenarios() {
+  static ScenarioRegistry registry = build_catalog();
+  return registry;
+}
+
+std::vector<const ScenarioSpec*> engine_shapes() {
+  std::vector<const ScenarioSpec*> out;
+  for (const ScenarioSpec& s : scenarios().entries())
+    if (s.engine_shape) out.push_back(&s);
+  return out;
+}
+
+}  // namespace osp::api

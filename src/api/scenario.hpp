@@ -1,0 +1,126 @@
+// ScenarioSpec + ScenarioRegistry — declarative workload descriptions.
+//
+// A scenario names a generator family plus its shape parameters (sizes,
+// loads, weights, traffic knobs).  The registry holds the curated catalog
+// that previously lived scattered across bench_common.hpp's workload
+// table, bench_router's sweep configs, and osp_cli's `gen` families:
+//
+//   "random", "regular", "fixedload", "capacity"   set-system families
+//   "video", "multihop"                            traffic workloads
+//   "weaklb", "lemma9"                             lower-bound gadgets
+//   "engine/…"                                     the engine-throughput
+//                                                  ladder (bench_perf)
+//   "router/overload[-smoke]"                      bench_router's big
+//                                                  buffered scenario
+//
+// Specs are value types: copy one out of the registry, override fields
+// (directly or via set(key, value) from CLI-style strings), and compile it
+// with build_instance() / build_video() / build_multihop().
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "gen/multihop.hpp"
+#include "gen/random_instances.hpp"
+#include "gen/video.hpp"
+#include "util/rng.hpp"
+
+namespace osp::api {
+
+/// Generator family a scenario compiles through.
+enum class ScenarioFamily {
+  kRandom,          // random_instance(m, n, k)
+  kRandomCapacity,  // random_capacity_instance(m, n, k, cap_max)
+  kRegular,         // regular_instance(m, k, sigma)
+  kFixedLoad,       // fixed_load_instance(m, n, sigma)
+  kVideo,           // make_video_workload(streams, frames)
+  kMultihop,        // make_multihop_workload(packets, switches)
+  kWeakLb,          // build_weak_lb_instance(t)
+  kLemma9,          // build_lemma9_instance(ell)
+};
+
+/// A declarative workload description.  Field meaning depends on family;
+/// unused fields are ignored by build_*().
+struct ScenarioSpec {
+  std::string name;         // registry key, e.g. "engine/overload-256k"
+  std::string description;  // one line for `osp_cli list`
+  ScenarioFamily family = ScenarioFamily::kRandom;
+
+  // Set-system shape.
+  std::size_t m = 24;        // sets
+  std::size_t n = 30;        // element slots
+  std::size_t k = 3;         // set size
+  std::size_t sigma = 4;     // element load
+  std::size_t cap_max = 3;   // kRandomCapacity: capacities U[1, cap_max]
+  WeightModel weights = WeightModel::unit();
+
+  // Gadget sizes.
+  std::size_t ell = 3;  // kLemma9
+  std::size_t t = 8;    // kWeakLb
+
+  // Traffic shape.
+  std::size_t streams = 8;       // kVideo: concurrent senders
+  std::size_t frames = 24;       // kVideo: frames per sender
+  std::size_t packets = 80;      // kMultihop: packets injected
+  std::size_t switches = 6;      // kMultihop: path length
+  Capacity capacity = 1;         // kVideo→instance link capacity
+  Capacity service_rate = 1;     // router benches: packets served per slot
+
+  // Bench plumbing.
+  std::string label;         // table/JSON label; name when empty
+  int default_trials = 100;  // suggested trial count for `osp_cli bench`
+  bool engine_shape = false; // member of the engine-throughput ladder
+
+  /// The label benches key their rows on.
+  const std::string& display_label() const {
+    return label.empty() ? name : label;
+  }
+
+  /// Applies a CLI-style string override ("m", "sigma", "weights", …).
+  /// Throws RequireError naming the key on unknown keys or bad values.
+  ScenarioSpec& set(const std::string& key, const std::string& value);
+};
+
+/// Compiles a scenario into a set-packing Instance (every family can;
+/// traffic families convert through their schedule, like `osp_cli gen`).
+Instance build_instance(const ScenarioSpec& spec, Rng& rng);
+
+/// Compiles a kVideo scenario into the router benches' frame workload.
+VideoWorkload build_video(const ScenarioSpec& spec, Rng& rng);
+
+/// Compiles a kMultihop scenario into the pipeline workload.
+MultiHopWorkload build_multihop(const ScenarioSpec& spec, Rng& rng);
+
+class ScenarioRegistry {
+ public:
+  void add(ScenarioSpec spec);
+  const ScenarioSpec* find(const std::string& name) const;
+  /// find() that throws a RequireError enumerating the catalog.
+  const ScenarioSpec& at(const std::string& name) const;
+  const std::vector<ScenarioSpec>& entries() const { return entries_; }
+  std::string render_catalog() const;
+
+ private:
+  std::vector<ScenarioSpec> entries_;
+};
+
+/// The process-wide catalog (populated at first use).
+ScenarioRegistry& scenarios();
+
+/// The engine-throughput ladder (scenarios with engine_shape set), in
+/// registration order — bench_perf's workload table.  The last entry is
+/// the "largest workload" the perf gates are measured on.
+std::vector<const ScenarioSpec*> engine_shapes();
+
+/// Strict non-negative integer parse for CLI flags and spec overrides;
+/// throws RequireError naming `what` on malformed input (the seed CLI
+/// aborted with an uncaught std::invalid_argument here).
+std::size_t parse_size(const std::string& what, const std::string& text);
+
+/// Weight-model lookup by CLI name (unit | uniform | zipf | exp).
+WeightModel weight_model_from(const std::string& name);
+
+}  // namespace osp::api

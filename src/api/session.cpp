@@ -1,0 +1,100 @@
+#include "api/session.hpp"
+
+#include "engine/trial.hpp"
+#include "util/require.hpp"
+
+namespace osp::api {
+
+Session::Session() : runner_(&engine::shared_runner()) {}
+
+Session::Session(const engine::BatchRunner& runner) : runner_(&runner) {}
+
+void Session::attach(ResultSink& sink) { sinks_.push_back(&sink); }
+
+void Session::emit(const Row& row) {
+  for (ResultSink* sink : sinks_) sink->write(row);
+}
+
+void Session::close_sinks() {
+  for (ResultSink* sink : sinks_) sink->close();
+}
+
+RunningStat Session::measure(const Instance& inst, const PolicyFactory& make,
+                             Rng& master, int trials) const {
+  OSP_REQUIRE_MSG(make != nullptr, "measure() needs a policy factory");
+  // Per-trial Rngs are split serially up front — the seed repo's exact
+  // stream order — and only the plays fan out across workers.
+  std::vector<Rng> rngs;
+  rngs.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t)
+    rngs.push_back(master.split(static_cast<std::uint64_t>(t)));
+
+  auto benefits = runner_->map<Weight>(
+      static_cast<std::size_t>(trials),
+      [&](std::size_t t, engine::TrialContext& ctx) {
+        auto alg = make(rngs[t]);
+        return play_flat(inst, *alg, ctx.scratch).benefit;
+      });
+
+  RunningStat stat;
+  for (Weight b : benefits) stat.add(b);
+  return stat;
+}
+
+RunningStat Session::measure(const Instance& inst,
+                             const std::string& policy_spec, Rng& master,
+                             int trials) const {
+  return measure(inst, policies().at(policy_spec).make, master, trials);
+}
+
+RunningStat Session::measure_serial(
+    const Instance& inst,
+    const std::function<std::unique_ptr<OnlineAlgorithm>(std::uint64_t)>&
+        make_alg,
+    int trials) const {
+  // Factories often close over a shared Rng and split it per trial, so
+  // they run serially in trial order (exactly as the seed loops did).
+  std::vector<std::unique_ptr<OnlineAlgorithm>> algs;
+  algs.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t)
+    algs.push_back(make_alg(static_cast<std::uint64_t>(t)));
+
+  auto benefits = runner_->map<Weight>(
+      static_cast<std::size_t>(trials),
+      [&](std::size_t t, engine::TrialContext& ctx) {
+        return play_flat(inst, *algs[t], ctx.scratch).benefit;
+      });
+  RunningStat stat;
+  for (Weight b : benefits) stat.add(b);
+  return stat;
+}
+
+std::vector<engine::CellStats> Session::run_grid(
+    const engine::GridSpec& spec,
+    const std::vector<std::string>& instance_labels) {
+  std::vector<engine::CellStats> cells = engine::run_grid(*runner_, spec);
+  for (std::size_t i = 0; i < spec.instances.size(); ++i) {
+    const std::string label = i < instance_labels.size()
+                                  ? instance_labels[i]
+                                  : "instance" + std::to_string(i);
+    for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+      const engine::CellStats& cell = cells[i * spec.algorithms.size() + a];
+      Row row;
+      row.add("instance", label)
+          .add("policy", spec.algorithms[a].name)
+          .add("trials", cell.benefit.count())
+          .add("benefit_mean", cell.benefit.mean())
+          .add("benefit_ci95", cell.benefit.ci95_halfwidth())
+          .add("decisions_mean", cell.decisions.mean())
+          .add("elements", cell.elements);
+      emit(row);
+    }
+  }
+  return cells;
+}
+
+engine::AlgSpec grid_column(const PolicyInfo& info) {
+  return engine::AlgSpec{info.name, info.make};
+}
+
+}  // namespace osp::api

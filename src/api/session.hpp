@@ -1,0 +1,77 @@
+// Session — the run facade every experiment entry point goes through.
+//
+// A Session bundles the shared multi-threaded BatchRunner with a fan-out
+// of attached ResultSinks: benches and the CLI build rows once and
+// emit() them to every sink (console table, BENCH_*.json, …).  The
+// measure helpers preserve the seed repo's exact per-trial Rng streams
+// (trial t plays make(master.split(t)) on the flat engine), so numbers
+// printed through a Session are bit-identical to the historical serial
+// loops at any thread count.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "api/policy_registry.hpp"
+#include "api/result_sink.hpp"
+#include "core/game.hpp"
+#include "core/instance.hpp"
+#include "engine/batch_runner.hpp"
+#include "stats/summary.hpp"
+
+namespace osp::api {
+
+class Session {
+ public:
+  /// Uses the process-wide shared runner (hardware threads, OSP_THREADS).
+  Session();
+  explicit Session(const engine::BatchRunner& runner);
+
+  const engine::BatchRunner& runner() const { return *runner_; }
+  std::size_t threads() const { return runner_->num_threads(); }
+
+  /// Attaches a sink; every subsequent emit() fans out to it.  The sink
+  /// must outlive the session's emits.
+  void attach(ResultSink& sink);
+  void emit(const Row& row);
+  /// Closes every attached sink (JSON documents get finished).
+  void close_sinks();
+
+  /// Mean benefit (with CI) of `make(master.split(t))` over `trials`
+  /// independent flat-engine runs — the historical measure_randpr/measure
+  /// loop, batched across worker threads.
+  RunningStat measure(const Instance& inst, const PolicyFactory& make,
+                      Rng& master, int trials) const;
+
+  /// measure() with the policy resolved through the registry.
+  RunningStat measure(const Instance& inst, const std::string& policy_spec,
+                      Rng& master, int trials) const;
+
+  /// Factories that own their Rng splitting (hash families seeded per
+  /// trial, …): invoked serially in trial order, plays batched.
+  RunningStat measure_serial(
+      const Instance& inst,
+      const std::function<std::unique_ptr<OnlineAlgorithm>(std::uint64_t)>&
+          make_alg,
+      int trials) const;
+
+  /// Runs an (instances × policies × trials) grid on the runner and emits
+  /// one row per cell to the attached sinks:
+  ///   {instance, policy, trials, benefit_mean, benefit_ci95,
+  ///    decisions_mean, elements}.
+  /// `instance_labels` (optional) names the rows; defaults to indices.
+  /// Returns the cells in row-major (instance, policy) order.
+  std::vector<engine::CellStats> run_grid(
+      const engine::GridSpec& spec,
+      const std::vector<std::string>& instance_labels = {});
+
+ private:
+  const engine::BatchRunner* runner_;
+  std::vector<ResultSink*> sinks_;
+};
+
+/// Turns a registry entry into an engine grid column.
+engine::AlgSpec grid_column(const PolicyInfo& info);
+
+}  // namespace osp::api

@@ -158,13 +158,20 @@ std::size_t filter_active(const ActiveTracking& tracker,
 RandPr::RandPr(Rng rng, RandPrOptions options)
     : rng_(rng), options_(options) {}
 
-std::string RandPr::name() const {
-  std::string n = "randPr";
-  if (options_.ignore_weights) n += "/unif";
-  if (options_.filter_dead) n += "/filt";
-  if (options_.fresh_priorities_per_element) n += "/fresh";
+namespace {
+
+/// Display-name suffix shared by RandPr and the hashed factories.
+std::string options_suffix(const RandPrOptions& options) {
+  std::string n;
+  if (options.ignore_weights) n += "/unif";
+  if (options.filter_dead) n += "/filt";
+  if (options.fresh_priorities_per_element) n += "/fresh";
   return n;
 }
+
+}  // namespace
+
+std::string RandPr::name() const { return "randPr" + options_suffix(options_); }
 
 void RandPr::start(const std::vector<SetMeta>& sets) {
   ActiveTracking::start(sets);
@@ -241,26 +248,31 @@ HashedRandPr::HashFn make_unit_hash(Rng& rng, Args... args) {
 }  // namespace
 
 std::unique_ptr<HashedRandPr> HashedRandPr::with_polynomial(
-    unsigned independence, Rng& rng) {
+    unsigned independence, Rng& rng, RandPrOptions options) {
   auto alg = std::make_unique<HashedRandPr>(
       make_unit_hash<PolynomialHash>(rng, independence),
-      "hashPr/poly" + std::to_string(independence));
+      "hashPr/poly" + std::to_string(independence) + options_suffix(options),
+      options);
   alg->set_rehash([independence](Rng r) {
     return make_unit_hash<PolynomialHash>(r, independence);
   });
   return alg;
 }
 
-std::unique_ptr<HashedRandPr> HashedRandPr::with_tabulation(Rng& rng) {
+std::unique_ptr<HashedRandPr> HashedRandPr::with_tabulation(
+    Rng& rng, RandPrOptions options) {
   auto alg = std::make_unique<HashedRandPr>(
-      make_unit_hash<TabulationHash>(rng), "hashPr/tab");
+      make_unit_hash<TabulationHash>(rng),
+      "hashPr/tab" + options_suffix(options), options);
   alg->set_rehash([](Rng r) { return make_unit_hash<TabulationHash>(r); });
   return alg;
 }
 
-std::unique_ptr<HashedRandPr> HashedRandPr::with_multiply_shift(Rng& rng) {
+std::unique_ptr<HashedRandPr> HashedRandPr::with_multiply_shift(
+    Rng& rng, RandPrOptions options) {
   auto alg = std::make_unique<HashedRandPr>(
-      make_unit_hash<MultiplyShiftHash>(rng), "hashPr/ms");
+      make_unit_hash<MultiplyShiftHash>(rng),
+      "hashPr/ms" + options_suffix(options), options);
   alg->set_rehash(
       [](Rng r) { return make_unit_hash<MultiplyShiftHash>(r); });
   return alg;
@@ -319,3 +331,77 @@ void HashedRandPr::decide_batch(const ArrivalBlock& block,
 }
 
 }  // namespace osp
+
+// ---------------------------------------------------------------------
+// Self-registration into the experiment API's policy registry.  Aliases
+// keep the historical CLI spellings and the display names resolvable.
+
+#include "api/policy_registry.hpp"
+
+namespace osp::api {
+
+/// Linker anchor referenced by policies(); guarantees this translation
+/// unit (and with it the registrars below) is linked into any binary
+/// that uses the registry.
+void link_randpr_policies() {}
+
+namespace {
+
+std::unique_ptr<OnlineAlgorithm> make_randpr(Rng rng, RandPrOptions options) {
+  return std::make_unique<RandPr>(rng, options);
+}
+
+PolicyRegistrar r_randpr{
+    {"randpr", "the paper's randPr: fixed R_w priorities, top-b(u) wins",
+     {"randPr"},
+     [](Rng r) { return make_randpr(r, {}); }}};
+PolicyRegistrar r_randpr_filt{
+    {"randpr:filt", "randPr that never assigns to dead sets (ablation)",
+     {"randpr-filt", "randPr/filt"},
+     [](Rng r) { return make_randpr(r, RandPrOptions{.filter_dead = true}); }}};
+PolicyRegistrar r_randpr_filt1{
+    {"randpr:filt1", "dead-set filtering with one allowed miss",
+     {"randPr/filt1"},
+     [](Rng r) {
+       RandPrOptions o;
+       o.filter_dead = true;
+       o.allowed_misses = 1;
+       return make_randpr(r, o);
+     }}};
+PolicyRegistrar r_randpr_unif{
+    {"randpr:unif", "weight-blind priorities (all R_1; ablation)",
+     {"randPr/unif"},
+     [](Rng r) {
+       return make_randpr(r, RandPrOptions{.ignore_weights = true});
+     }}};
+PolicyRegistrar r_randpr_fresh{
+    {"randpr:fresh", "priorities redrawn per element (negative control)",
+     {"randPr/fresh"},
+     [](Rng r) {
+       RandPrOptions o;
+       o.fresh_priorities_per_element = true;
+       return make_randpr(r, o);
+     }}};
+
+PolicyRegistrar r_hashpr{
+    {"hashpr", "distributed randPr over an 8-independent polynomial hash",
+     {"hashPr", "hashPr/poly8"},
+     [](Rng r) { return HashedRandPr::with_polynomial(8, r); }}};
+PolicyRegistrar r_hashpr_tab{
+    {"hashpr:tab", "distributed randPr over a tabulation hash",
+     {"hashPr/tab"},
+     [](Rng r) { return HashedRandPr::with_tabulation(r); }}};
+PolicyRegistrar r_hashpr_ms{
+    {"hashpr:ms", "distributed randPr over a multiply-shift hash",
+     {"hashPr/ms"},
+     [](Rng r) { return HashedRandPr::with_multiply_shift(r); }}};
+PolicyRegistrar r_hashpr_filt{
+    {"hashpr:filt", "hashed priorities plus dead-set filtering",
+     {"hashPr/poly8/filt"},
+     [](Rng r) {
+       return HashedRandPr::with_polynomial(
+           8, r, RandPrOptions{.filter_dead = true});
+     }}};
+
+}  // namespace
+}  // namespace osp::api

@@ -115,11 +115,15 @@ class HashedRandPr : public ActiveTracking {
   /// `label` names the hash family for benchmark tables.
   HashedRandPr(HashFn hash, std::string label, RandPrOptions options = {});
 
-  /// Convenience factories.
-  static std::unique_ptr<HashedRandPr> with_polynomial(unsigned independence,
-                                                       Rng& rng);
-  static std::unique_ptr<HashedRandPr> with_tabulation(Rng& rng);
-  static std::unique_ptr<HashedRandPr> with_multiply_shift(Rng& rng);
+  /// Convenience factories.  `options` composes like RandPr's (the label
+  /// gains the matching /filt-style suffix) and the rehash recipe is
+  /// installed either way, so every factory-built instance is reseedable.
+  static std::unique_ptr<HashedRandPr> with_polynomial(
+      unsigned independence, Rng& rng, RandPrOptions options = {});
+  static std::unique_ptr<HashedRandPr> with_tabulation(
+      Rng& rng, RandPrOptions options = {});
+  static std::unique_ptr<HashedRandPr> with_multiply_shift(
+      Rng& rng, RandPrOptions options = {});
 
   std::string name() const override;
   void start(const std::vector<SetMeta>& sets) override;

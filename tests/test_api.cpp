@@ -1,0 +1,281 @@
+// Tests for the experiment API layer (src/api): the policy registry's
+// round-trip and param-syntax error surface, the scenario registry and
+// spec compilation, the Session measure/grid facade (bit-identical to
+// the historical serial loops), and a golden check that JsonSink output
+// passes the repository's BENCH_*.json schema validator.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "api/policy_registry.hpp"
+#include "api/result_sink.hpp"
+#include "api/scenario.hpp"
+#include "api/session.hpp"
+#include "core/game.hpp"
+#include "core/rand_pr.hpp"
+#include "gen/random_instances.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace osp {
+namespace {
+
+// ---------------------------------------------------------------------
+// PolicyRegistry.
+
+TEST(PolicyRegistry, CatalogIsPopulatedBySelfRegistration) {
+  // The acceptance bar the CLI's `list` relies on: every entry point sees
+  // the full catalog, linked in through the registry's anchor references.
+  EXPECT_GE(api::policies().entries().size(), 10u);
+  for (const char* expected :
+       {"randpr", "randpr:filt", "hashpr", "hashpr:tab", "greedy:first",
+        "greedy:srpt", "greedy:density", "round-robin", "uniform-random"})
+    EXPECT_NE(api::policies().find(expected), nullptr) << expected;
+}
+
+TEST(PolicyRegistry, EveryEntryConstructsAndPlays) {
+  // Round-trip: every registered name constructs a working policy and
+  // plays a small instance on both engines with identical outcomes.
+  Rng gen(7);
+  Instance inst = random_instance(10, 14, 3, WeightModel::uniform(1, 5), gen);
+  PlayScratch scratch;
+  for (const api::PolicyInfo& p : api::policies().entries()) {
+    auto alg = p.make(Rng(0xabc));
+    ASSERT_NE(alg, nullptr) << p.name;
+    EXPECT_FALSE(alg->name().empty()) << p.name;
+
+    auto flat_alg = p.make(Rng(0xabc));
+    Outcome plain = play(inst, *alg);
+    Outcome flat = play_flat(inst, *flat_alg, scratch);
+    EXPECT_GE(plain.benefit, 0.0) << p.name;
+    EXPECT_EQ(plain.completed, flat.completed) << p.name;
+    EXPECT_DOUBLE_EQ(plain.benefit, flat.benefit) << p.name;
+  }
+}
+
+TEST(PolicyRegistry, AliasesResolveToTheSameEntry) {
+  // Historical CLI spellings and display names keep working.
+  struct Pair {
+    const char* alias;
+    const char* canonical;
+  };
+  for (const Pair& pr : {Pair{"randpr-filt", "randpr:filt"},
+                         Pair{"randPr", "randpr"},
+                         Pair{"greedy-first", "greedy:first"},
+                         Pair{"greedy-srpt", "greedy:srpt"},
+                         Pair{"hashPr/poly8", "hashpr"}}) {
+    const api::PolicyInfo* via_alias = api::policies().find(pr.alias);
+    ASSERT_NE(via_alias, nullptr) << pr.alias;
+    EXPECT_EQ(via_alias, api::policies().find(pr.canonical)) << pr.alias;
+  }
+}
+
+TEST(PolicyRegistry, UnknownSpecErrorsEnumerateTheCatalog) {
+  try {
+    api::policies().at("definitely-not-a-policy");
+    FAIL() << "expected RequireError";
+  } catch (const RequireError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("registered policies"), std::string::npos) << msg;
+    // The enumerable list, not a hand-maintained comment block.
+    for (const api::PolicyInfo& p : api::policies().entries())
+      EXPECT_NE(msg.find(p.name), std::string::npos) << p.name;
+  }
+}
+
+TEST(PolicyRegistry, UnknownVariantErrorsNameTheFamily) {
+  try {
+    api::policies().at("randpr:bogus");
+    FAIL() << "expected RequireError";
+  } catch (const RequireError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("family 'randpr'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("randpr:filt"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(api::policies().at("greedy:bogus"), RequireError);
+  EXPECT_THROW(api::policies().at(""), RequireError);
+}
+
+// ---------------------------------------------------------------------
+// Scenario registry and spec compilation.
+
+TEST(ScenarioRegistry, CatalogCoversFamiliesAndEngineShapes) {
+  EXPECT_GE(api::scenarios().entries().size(), 6u);
+  for (const char* expected : {"random", "regular", "fixedload", "video",
+                               "multihop", "weaklb", "lemma9"})
+    EXPECT_NE(api::scenarios().find(expected), nullptr) << expected;
+
+  // The engine ladder replaces bench_common's workload table; the labels
+  // are the BENCH_engine.json row keys and must stay stable.
+  auto shapes = api::engine_shapes();
+  ASSERT_EQ(shapes.size(), 6u);
+  EXPECT_EQ(shapes.front()->display_label(), "legacy/64");
+  EXPECT_EQ(shapes.back()->display_label(), "overload/256k");
+  EXPECT_EQ(shapes.back()->m, 8192u);
+  EXPECT_EQ(shapes.back()->n, 262144u);
+  EXPECT_EQ(shapes.back()->k, 512u);
+}
+
+TEST(ScenarioRegistry, EveryScenarioBuildsAnInstance) {
+  for (const api::ScenarioSpec& registered : api::scenarios().entries()) {
+    api::ScenarioSpec spec = registered;  // specs are value types
+    // Clamp the big perf shapes so the sweep stays unit-test sized; the
+    // override path is itself part of the API under test.
+    spec.m = std::min<std::size_t>(spec.m, 48);
+    spec.n = std::min<std::size_t>(spec.n, 96);
+    spec.k = std::min<std::size_t>(spec.k, 4);
+    spec.streams = std::min<std::size_t>(spec.streams, 4);
+    spec.frames = std::min<std::size_t>(spec.frames, 12);
+    Rng rng(11);
+    Instance inst = api::build_instance(spec, rng);
+    EXPECT_GT(inst.num_sets(), 0u) << registered.name;
+    EXPECT_GT(inst.num_elements(), 0u) << registered.name;
+  }
+}
+
+TEST(ScenarioSpec, StringOverridesParseStrictly) {
+  api::ScenarioSpec spec = api::scenarios().at("random");
+  spec.set("m", "12").set("n", "20").set("k", "2").set("weights", "zipf");
+  EXPECT_EQ(spec.m, 12u);
+  EXPECT_EQ(spec.n, 20u);
+  EXPECT_EQ(spec.k, 2u);
+  EXPECT_EQ(spec.weights.kind, WeightModel::Kind::kZipf);
+
+  EXPECT_THROW(spec.set("m", "12x"), RequireError);
+  EXPECT_THROW(spec.set("m", "-3"), RequireError);
+  EXPECT_THROW(spec.set("m", ""), RequireError);
+  EXPECT_THROW(spec.set("weights", "heavy"), RequireError);
+  try {
+    spec.set("frobnication", "9");
+    FAIL() << "expected RequireError";
+  } catch (const RequireError& e) {
+    EXPECT_NE(std::string(e.what()).find("frobnication"),
+              std::string::npos);
+  }
+}
+
+TEST(ScenarioSpec, ParseSizeNamesTheFlag) {
+  EXPECT_EQ(api::parse_size("flag --m", "42"), 42u);
+  for (const char* bad : {"", "x", "12x", "-5", "1.5"}) {
+    try {
+      api::parse_size("flag --m", bad);
+      FAIL() << "expected RequireError for '" << bad << "'";
+    } catch (const RequireError& e) {
+      EXPECT_NE(std::string(e.what()).find("--m"), std::string::npos)
+          << bad;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Session: measure parity and grid emission.
+
+TEST(Session, MeasureIsBitIdenticalToTheHistoricalSerialLoop) {
+  Rng gen(5);
+  Instance inst = random_instance(16, 20, 3, WeightModel::unit(), gen);
+  api::Session session;
+
+  Rng m1(42), m2(42);
+  RunningStat got = session.measure(inst, "randpr", m1, 32);
+
+  RunningStat want;
+  PlayScratch scratch;
+  for (int t = 0; t < 32; ++t) {
+    RandPr alg(m2.split(static_cast<std::uint64_t>(t)));
+    want.add(play_flat(inst, alg, scratch).benefit);
+  }
+  EXPECT_EQ(got.count(), want.count());
+  EXPECT_EQ(got.mean(), want.mean());
+  EXPECT_EQ(got.stddev(), want.stddev());
+}
+
+TEST(Session, RunGridEmitsOneRowPerCellToEverySink) {
+  Rng gen(77);
+  Instance a = random_instance(12, 20, 3, WeightModel::unit(), gen);
+  Instance b = random_instance(8, 12, 2, WeightModel::unit(), gen);
+
+  engine::GridSpec grid;
+  grid.instances = {&a, &b};
+  grid.algorithms.push_back(api::grid_column(api::policies().at("randpr")));
+  grid.algorithms.push_back(
+      api::grid_column(api::policies().at("greedy:maxw")));
+  grid.trials = 5;
+
+  api::TableSink table;
+  std::ostringstream json_text;
+  api::JsonSink json(json_text, "grid", 1);
+  api::Session session;
+  session.attach(table);
+  session.attach(json);
+
+  auto cells = session.run_grid(grid, {"A", "B"});
+  session.close_sinks();
+
+  ASSERT_EQ(cells.size(), 4u);
+  for (const engine::CellStats& cell : cells)
+    EXPECT_EQ(cell.benefit.count(), 5u);
+
+  std::ostringstream rendered;
+  table.print(rendered);
+  EXPECT_NE(rendered.str().find("greedy:maxw"), std::string::npos);
+  EXPECT_NE(rendered.str().find("benefit_mean"), std::string::npos);
+  EXPECT_NE(json_text.str().find("\"results\":["), std::string::npos);
+}
+
+TEST(TableSink, RejectsMismatchedRowShapes) {
+  api::TableSink sink;
+  sink.write(api::Row{}.add("a", 1).add("b", 2.0));
+  EXPECT_THROW(sink.write(api::Row{}.add("a", 1)), RequireError);
+  EXPECT_THROW(sink.write(api::Row{}.add("a", 1).add("c", 2.0)),
+               RequireError);
+}
+
+// ---------------------------------------------------------------------
+// JsonSink golden: the one BENCH_*.json writer must satisfy the schema
+// validator the CI gates on.
+
+TEST(JsonSink, GoldenOutputPassesTheSchemaChecker) {
+  const char* path = "BENCH_api_golden.json";
+  {
+    api::JsonSink sink("api_golden", 3);
+    sink.write(api::Row{}
+                   .add("sweep", "golden")
+                   .add("m", std::size_t{24})
+                   .add("trials", 600)
+                   .add("ratio", 2.25)
+                   .add("gate_met", true)
+                   .add("label", "a \"quoted\" label"));
+    sink.write(api::Row{}
+                   .add("sweep", "golden")
+                   .add("m", std::size_t{48})
+                   .add("trials", 600)
+                   .add("ratio", 3.5)
+                   .add("gate_met", false)
+                   .add("label", "plain"));
+    sink.close();
+  }
+  // The document must at minimum parse back with the shared preamble.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("\"bench\":\"api_golden\""), std::string::npos);
+  EXPECT_NE(text.str().find("\"threads\":3"), std::string::npos);
+
+#ifdef OSP_SOURCE_DIR
+  // Full schema check through the repository validator (the exact gate CI
+  // runs on the committed artifacts).
+  const std::string probe = "python3 --version > /dev/null 2>&1";
+  if (std::system(probe.c_str()) != 0)
+    GTEST_SKIP() << "python3 unavailable; schema check skipped";
+  const std::string cmd = std::string("python3 ") + OSP_SOURCE_DIR +
+                          "/scripts/check_bench_json.py " + path +
+                          " > /dev/null";
+  EXPECT_EQ(std::system(cmd.c_str()), 0);
+#endif
+}
+
+}  // namespace
+}  // namespace osp

@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "algos/baselines.hpp"
+#include "api/policy_registry.hpp"
 #include "core/game.hpp"
 #include "core/priority.hpp"
 #include "core/rand_pr.hpp"
@@ -190,56 +191,28 @@ struct Maker {
   std::function<std::unique_ptr<OnlineAlgorithm>(Rng)> make;
 };
 
-/// Every policy in the library, including all ablation configurations —
-/// the population both the engine-equivalence and the decide_batch fuzz
-/// suites quantify over.
+/// Every policy in the library — the PolicyRegistry's full catalog, so a
+/// newly registered policy is swept automatically — plus two test-only
+/// degenerate hash configurations.  This is the population both the
+/// engine-equivalence and the decide_batch fuzz suites quantify over.
 std::vector<Maker> all_policy_makers() {
   std::vector<Maker> makers;
-  makers.push_back({"randPr", [](Rng r) {
-                      return std::make_unique<RandPr>(r);
-                    }});
-  makers.push_back({"randPr/filt", [](Rng r) {
-                      return std::make_unique<RandPr>(
-                          r, RandPrOptions{.filter_dead = true});
-                    }});
-  makers.push_back(
-      {"randPr/filt1", [](Rng r) {
-         RandPrOptions o;
-         o.filter_dead = true;
-         o.allowed_misses = 1;
-         return std::make_unique<RandPr>(r, o);
-       }});
-  makers.push_back({"randPr/unif", [](Rng r) {
-                      return std::make_unique<RandPr>(
-                          r, RandPrOptions{.ignore_weights = true});
-                    }});
-  makers.push_back(
-      {"randPr/fresh", [](Rng r) {
-         RandPrOptions o;
-         o.fresh_priorities_per_element = true;
-         return std::make_unique<RandPr>(r, o);
-       }});
-  makers.push_back({"hashPr/poly", [](Rng r) {
-                      return HashedRandPr::with_polynomial(8, r);
-                    }});
-  makers.push_back({"hashPr/tab", [](Rng r) {
-                      return HashedRandPr::with_tabulation(r);
-                    }});
-  makers.push_back({"hashPr/ms", [](Rng r) {
-                      return HashedRandPr::with_multiply_shift(r);
-                    }});
+  for (const api::PolicyInfo& p : api::policies().entries())
+    makers.push_back({p.name, p.make});
   makers.push_back({"hashPr/const", [](Rng) {
                       // Degenerate hash: every set gets the same key, so
                       // every comparison runs the exact tie-resolution
                       // path (and the block kernel's rank-collision cold
                       // branch) — the worst case for quantized ranks.
+                      // Not a useful policy, hence not registered.
                       return std::make_unique<HashedRandPr>(
                           [](std::uint64_t) { return 0.5; }, "hashPr/const");
                     }});
-  makers.push_back({"hashPr/filt", [](Rng r) {
-                      // filter_dead makes decisions stateful, driving the
-                      // hashed policy through the per-element fallback of
-                      // decide_batch.
+  makers.push_back({"hashPr/filt-custom", [](Rng r) {
+                      // An ad-hoc (non-factory) hash with filter_dead:
+                      // stateful decisions over a hash with no rehash
+                      // recipe, driving the per-element fallback of
+                      // decide_batch on a non-reseedable instance.
                       const std::uint64_t mult = r() | 1;
                       return std::make_unique<HashedRandPr>(
                           [mult](std::uint64_t key) {
@@ -247,17 +220,9 @@ std::vector<Maker> all_policy_makers() {
                                                        10007) /
                                    10007.0;
                           },
-                          "hashPr/filt",
+                          "hashPr/filt-custom",
                           RandPrOptions{.filter_dead = true});
                     }});
-  makers.push_back({"uniform-random", [](Rng r) {
-                      return std::make_unique<UniformRandomChoice>(r);
-                    }});
-  const std::size_t num_baselines = make_deterministic_baselines().size();
-  for (std::size_t b = 0; b < num_baselines; ++b)
-    makers.push_back({"baseline" + std::to_string(b), [b](Rng) {
-                        return std::move(make_deterministic_baselines()[b]);
-                      }});
   return makers;
 }
 
@@ -554,11 +519,10 @@ TEST(DecideBatch, EmptyAndDegenerateBlocksMatchScalarAndDoNotAllocate) {
 engine::GridSpec small_grid(const std::vector<const Instance*>& instances) {
   engine::GridSpec spec;
   spec.instances = instances;
-  spec.algorithms.push_back(
-      {"randPr", [](Rng r) { return std::make_unique<RandPr>(r); }});
-  spec.algorithms.push_back(
-      {"greedy-maxw",
-       [](Rng) { return std::make_unique<GreedyMaxWeight>(); }});
+  for (const char* policy : {"randpr", "greedy:maxw"}) {
+    const api::PolicyInfo& info = api::policies().at(policy);
+    spec.algorithms.push_back({info.name, info.make});
+  }
   spec.trials = 9;
   spec.master_seed = 0xabcdef;
   return spec;
