@@ -11,7 +11,6 @@
 #include "algos/offline.hpp"
 #include "bench_common.hpp"
 #include "core/bounds.hpp"
-#include "gen/random_instances.hpp"
 
 namespace osp {
 namespace {
@@ -21,25 +20,29 @@ void random_capacity_sweep(osp::api::JsonSink& json) {
   Table table({"m", "n", "k", "bmax", "nubar", "opt", "E[alg]", "ratio",
                "Thm4 shape", "Thm4 bound"});
   Rng master(616);
-  const int trials = 600;
-  for (std::size_t bmax : {1, 2, 3, 4, 6, 8}) {
+  // Swept cap-max values come from the "capacity/random" catalog entry;
+  // the split keys derive from the cell values, preserving the
+  // historical streams.
+  for (const api::ScenarioSpec& cell :
+       api::expand(api::scenarios().at("capacity/random"))) {
+    const int trials = cell.default_trials;
+    const std::size_t bmax = cell.cap_max;
     Rng gen = master.split(bmax);
-    Instance inst = random_capacity_instance(22, 20, 3, bmax,
-                                             WeightModel::unit(), gen);
+    Instance inst = api::build_instance(cell, gen);
     InstanceStats st = inst.stats();
     OfflineResult opt = exact_optimum(inst);
     Rng runs = master.split(100 + bmax);
     RunningStat alg = bench::measure_randpr(inst, runs, trials);
     double ratio = alg.mean() > 0 ? opt.value / alg.mean() : 0;
-    table.row({fmt(std::size_t{22}), fmt(inst.num_elements()),
-               fmt(std::size_t{3}), fmt(bmax), fmt(st.nu_avg, 2),
+    table.row({fmt(cell.m), fmt(inst.num_elements()),
+               fmt(cell.k), fmt(bmax), fmt(st.nu_avg, 2),
                fmt(opt.value, 1), bench::fmt_mean_ci(alg), fmt_ratio(ratio),
                fmt(theorem4_shape(st), 2), fmt(theorem4_bound(st), 1)});
     json.write(api::Row{}
                    .add("sweep", "random_capacity")
-                   .add("m", std::size_t{22})
+                   .add("m", cell.m)
                    .add("n", inst.num_elements())
-                   .add("k", std::size_t{3})
+                   .add("k", cell.k)
                    .add("bmax", bmax)
                    .add("nu_avg", st.nu_avg)
                    .add("opt", opt.value)
@@ -57,14 +60,18 @@ void random_capacity_sweep(osp::api::JsonSink& json) {
 void uniform_capacity_sweep(osp::api::JsonSink& json) {
   std::cout << "-- same layout, uniform capacity b --\n";
   Table table({"b", "nubar", "opt", "E[alg]", "ratio", "Thm4 shape"});
-  const int trials = 600;
   Rng master(617);
 
-  // One fixed set system; only capacities change.
+  // One fixed set system; only capacities change.  The base layout is the
+  // "capacity/uniform" catalog entry and the capacity ladder is its sweep
+  // axis.
+  const api::ScenarioSpec& layout = api::scenarios().at("capacity/uniform");
   Rng gen = master.split(1);
-  Instance base = random_instance(24, 18, 3, WeightModel::unit(), gen);
+  Instance base = api::build_instance(layout, gen);
 
-  for (Capacity b : {1u, 2u, 3u, 4u}) {
+  for (const api::ScenarioSpec& cell : api::expand(layout)) {
+    const int trials = cell.default_trials;
+    const Capacity b = cell.capacity;
     InstanceBuilder builder;
     for (SetId s = 0; s < base.num_sets(); ++s)
       builder.add_set(base.weight(s));

@@ -172,9 +172,11 @@ int main() {
   api::JsonSink json("engine", bench::session().threads());
 
   WorkloadResult largest;
-  for (const api::ScenarioSpec* s : api::engine_shapes()) {
+  // The ladder is the expansion of the "engine/ladder" zipped sweep; the
+  // cell labels key the BENCH_engine.json perf trajectory.
+  for (const api::ScenarioSpec& s : api::engine_shapes()) {
     WorkloadResult r =
-        measure_workload(s->display_label(), s->m, s->n, s->k);
+        measure_workload(s.display_label(), s.m, s.n, s.k);
     largest = r;
     double flat_speedup = r.flat.elements_per_sec / r.seed.elements_per_sec;
     double block_speedup =

@@ -29,13 +29,13 @@
 // `bench_router --smoke` runs every section (including the (e)
 // cross-check) at toy sizes; scripts/check.sh drives that under
 // ASan/UBSan on every repository check.
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <iostream>
 
-#include "algos/baselines.hpp"
+#include "api/ranker_registry.hpp"
 #include "bench_common.hpp"
-#include "core/rand_pr.hpp"
 #include "engine/batch_runner.hpp"
 #include "gen/traffic.hpp"
 #include "gen/video.hpp"
@@ -54,7 +54,9 @@ void unbuffered_video(api::JsonSink& json, bool smoke) {
   Table table({"streams", "policy", "frames ok", "of", "value ok", "of",
                "goodput"});
   Rng master(100);
-  const int draws = smoke ? 4 : 25;
+  const api::ScenarioSpec& scenario =
+      api::scenarios().at("router/unbuffered");
+  const int draws = smoke ? 4 : scenario.default_trials;
 
   // Policies come from the registry; display labels from the policies
   // themselves (the JSON rows key on them, so they must stay stable).
@@ -78,7 +80,10 @@ void unbuffered_video(api::JsonSink& json, bool smoke) {
   };
   std::vector<Worker> workers(engine::shared_runner().num_threads());
 
-  for (std::size_t streams : {4, 8, 12}) {
+  // The streams axis is the "router/unbuffered" catalog sweep; the split
+  // keys derive from the cell values, preserving the historical streams.
+  for (const api::ScenarioSpec& cell : api::expand(scenario)) {
+    const std::size_t streams = cell.streams;
     // Serial prep: the same master.split() call sequence as the seed loop.
     std::vector<Rng> wl_rngs, rp_rngs, rpf_rngs, ur_rngs;
     for (int d = 0; d < draws; ++d) {
@@ -96,11 +101,8 @@ void unbuffered_video(api::JsonSink& json, bool smoke) {
     auto cells = engine::shared_runner().map<std::vector<CellResult>>(
         static_cast<std::size_t>(draws),
         [&](std::size_t d, engine::TrialContext& ctx) {
-          VideoParams params;
-          params.num_streams = streams;
-          params.frames_per_stream = 24;
           Rng wl_rng = wl_rngs[d];
-          VideoWorkload vw = make_video_workload(params, wl_rng);
+          VideoWorkload vw = api::build_video(cell, wl_rng);
 
           Worker& w = workers[ctx.thread_index];
           if (w.policies.empty())
@@ -158,37 +160,61 @@ void unbuffered_video(api::JsonSink& json, bool smoke) {
                "little average goodput for its k*sqrt(smax) guarantee.\n\n";
 }
 
-// Shared per-worker state of the buffered sweeps: rankers plus the router
-// scratch (queue, slot index, tallies), all reused across draws.
+// Shared per-worker state of the buffered sweeps: rankers (constructed
+// once through the registry, reseeded per draw) plus the router scratch
+// (queue, slot index, tallies), all reused across draws.
 struct BufferedWorker {
-  std::unique_ptr<RandPrRanker> randpr;
-  WeightRanker weight;
-  FifoRanker fifo;
-  std::unique_ptr<RandomRanker> rnd;
+  std::vector<std::unique_ptr<FrameRanker>> rankers;  // parallel to names
   BufferedRouterScratch scratch;
 
-  void ensure() {
-    if (randpr == nullptr) {
-      randpr = std::make_unique<RandPrRanker>(Rng(0));
-      rnd = std::make_unique<RandomRanker>(Rng(0));
-    }
+  void ensure(const std::vector<std::string>& names) {
+    if (!rankers.empty()) return;
+    rankers.reserve(names.size());
+    for (const std::string& name : names)
+      rankers.push_back(api::rankers().make(name, Rng(0)));
   }
 };
+
+/// Index of `name` in `names` (the reseed targets below are found by
+/// name, not by hardwired position, so list edits cannot silently skip a
+/// reseed).
+std::size_t ranker_index(const std::vector<std::string>& names,
+                         const std::string& name) {
+  auto it = std::find(names.begin(), names.end(), name);
+  OSP_REQUIRE_MSG(it != names.end(), "ranker '" << name
+                                                << "' missing from the "
+                                                   "bench's ranker list");
+  return static_cast<std::size_t>(it - names.begin());
+}
 
 void buffered_sweep(api::JsonSink& json, bool smoke) {
   std::cout << "-- (b) buffered router (open problem 2) --\n";
   Table table({"buffer", "policy", "goodput"});
   Rng master(200);
-  const int draws = smoke ? 4 : 25;
-  const std::vector<std::string> policy_names = {"randPr", "by-weight",
-                                                 "drop-tail", "random-drop"};
-  const std::size_t num_policies = policy_names.size();
+  // The buffer ladder AND the draw count come from the scenario.
+  const api::ScenarioSpec& scenario = api::scenarios().at(
+      smoke ? "router/buffered-smoke" : "router/buffered");
+  const int draws = scenario.default_trials;
+  // Every registered ranker competes, in registration order — the table
+  // and JSON keys are the registry's display names.
+  const std::vector<std::string> ranker_names = api::rankers().names();
+  const std::size_t num_rankers = ranker_names.size();
+  const std::size_t idx_randpr = ranker_index(ranker_names, "randPr");
+  const std::size_t idx_rnd = ranker_index(ranker_names, "random-drop");
+  // Worker-count determinism depends on every randomized ranker getting
+  // a dedicated per-draw reseed stream; refuse to sweep one this loop
+  // has no stream for rather than silently correlating its draws.
+  for (const api::RankerInfo& info : api::rankers().entries())
+    OSP_REQUIRE_MSG(!info.randomized || info.name == "randPr" ||
+                        info.name == "random-drop",
+                    "randomized ranker '"
+                        << info.name
+                        << "' has no per-draw reseed stream in "
+                           "buffered_sweep; wire one before benching it");
   std::vector<BufferedWorker> workers(engine::shared_runner().num_threads());
 
-  const std::vector<std::size_t> ladder =
-      smoke ? std::vector<std::size_t>{0, 4, 16}
-            : std::vector<std::size_t>{0, 2, 4, 8, 16, 32, 64};
-  for (std::size_t buf : ladder) {
+  for (const api::ScenarioSpec& cell : api::expand(scenario)) {
+    const std::size_t buf = cell.buffer;
     std::vector<Rng> wl_rngs, randpr_rngs, rnd_rngs;
     for (int d = 0; d < draws; ++d) {
       wl_rngs.push_back(master.split(buf * 100 + d));
@@ -199,42 +225,36 @@ void buffered_sweep(api::JsonSink& json, bool smoke) {
     auto goodputs = engine::shared_runner().map<std::vector<double>>(
         static_cast<std::size_t>(draws),
         [&](std::size_t d, engine::TrialContext& ctx) {
-          VideoParams params;
-          params.num_streams = 10;
-          params.frames_per_stream = 24;
           Rng wl_rng = wl_rngs[d];
-          VideoWorkload vw = make_video_workload(params, wl_rng);
-          BufferedRouterParams rp{.service_rate = 1,
+          VideoWorkload vw = api::build_video(cell, wl_rng);
+          BufferedRouterParams rp{.service_rate = cell.service_rate,
                                   .buffer_size = buf,
                                   .drop_dead_frames = true};
 
           BufferedWorker& w = workers[ctx.thread_index];
-          w.ensure();
-          w.randpr->reseed(randpr_rngs[d]);
-          w.rnd->reseed(rnd_rngs[d]);
-          FrameRanker* rankers[] = {w.randpr.get(), &w.weight, &w.fifo,
-                                    w.rnd.get()};
+          w.ensure(ranker_names);
+          w.rankers[idx_randpr]->reseed(randpr_rngs[d]);
+          w.rankers[idx_rnd]->reseed(rnd_rngs[d]);
           std::vector<double> row;
-          row.reserve(num_policies);
-          for (std::size_t p = 0; p < num_policies; ++p) {
-            OSP_REQUIRE(rankers[p]->name() == policy_names[p]);
-            row.push_back(simulate_buffered_router(vw.schedule, *rankers[p],
-                                                   rp, &w.scratch)
+          row.reserve(num_rankers);
+          for (std::size_t p = 0; p < num_rankers; ++p)
+            row.push_back(simulate_buffered_router(vw.schedule,
+                                                   *w.rankers[p], rp,
+                                                   &w.scratch)
                               .goodput());
-          }
           return row;
         });
 
-    for (std::size_t p = 0; p < num_policies; ++p) {
+    for (std::size_t p = 0; p < num_rankers; ++p) {
       double good = 0;
       for (int d = 0; d < draws; ++d)
         good += goodputs[static_cast<std::size_t>(d)][p];
-      table.row({fmt(buf), policy_names[p], fmt(good / draws, 3)});
+      table.row({fmt(buf), ranker_names[p], fmt(good / draws, 3)});
       json.write(
           api::Row{}
               .add("sweep", "buffered")
               .add("buffer", buf)
-              .add("policy", policy_names[p])
+              .add("policy", ranker_names[p])
               .add("goodput", good / draws));
     }
   }
@@ -337,9 +357,7 @@ void burstiness_sweep(api::JsonSink& json, bool smoke) {
 
 /// Parameters of the big buffered scenario shared by sections (d)/(e).
 struct OverloadConfig {
-  std::size_t streams;
-  std::size_t frames_per_stream;
-  Capacity service_rate;
+  api::ScenarioSpec spec;            // streams / frames / service rate
   std::vector<std::size_t> buffers;  // ascending; back() is the largest
 };
 
@@ -347,33 +365,34 @@ OverloadConfig overload_config(bool smoke) {
   // Full size ("router/overload"): 64 streams × 6720 frames = 64 × 15680
   // packets ≈ 1.0M packets over ~20k slots (≈50 packets/slot against a
   // service rate of 32 — sustained ~1.6× overload).  The buffer ladder is
-  // the sweep axis, so it stays here.
-  const api::ScenarioSpec& s = api::scenarios().at(
-      smoke ? "router/overload-smoke" : "router/overload");
-  OverloadConfig cfg{s.streams, s.frames, s.service_rate, {}};
-  cfg.buffers = smoke ? std::vector<std::size_t>{16, 64}
-                      : std::vector<std::size_t>{256, 1024, 4096};
+  // the scenario's declared sweep axis.
+  OverloadConfig cfg;
+  cfg.spec = api::scenarios().at(smoke ? "router/overload-smoke"
+                                       : "router/overload");
+  for (const api::ScenarioSpec& cell : api::expand(cfg.spec))
+    cfg.buffers.push_back(cell.buffer);
   return cfg;
 }
 
 VideoWorkload overload_workload(const OverloadConfig& cfg, Rng rng) {
-  VideoParams params;
-  params.num_streams = cfg.streams;
-  params.frames_per_stream = cfg.frames_per_stream;
-  return make_video_workload(params, rng);
+  return api::build_video(cfg.spec, rng);
 }
 
 void overload_sweep(api::JsonSink& json, bool smoke) {
   const OverloadConfig cfg = overload_config(smoke);
-  std::cout << "-- (d) multi-stream overload (" << cfg.streams
-            << " streams, service rate " << cfg.service_rate << ") --\n";
+  std::cout << "-- (d) multi-stream overload (" << cfg.spec.streams
+            << " streams, service rate " << cfg.spec.service_rate << ") --\n";
   Table table({"buffer", "policy", "packets", "served", "dropped",
                "goodput"});
   Rng master(400);
-  const int draws = smoke ? 2 : 3;
-  const std::vector<std::string> policy_names = {"randPr", "by-weight",
+  const int draws = cfg.spec.default_trials;
+  // The frame-aware rankers plus drop-tail, resolved through the
+  // registry (random-drop sits out: it mirrors drop-tail under sustained
+  // overload and the full-size runs are expensive).
+  const std::vector<std::string> ranker_names = {"randPr", "by-weight",
                                                  "drop-tail"};
-  const std::size_t num_policies = policy_names.size();
+  const std::size_t num_rankers = ranker_names.size();
+  const std::size_t idx_randpr = ranker_index(ranker_names, "randPr");
   std::vector<BufferedWorker> workers(engine::shared_runner().num_threads());
 
   std::vector<Rng> wl_rngs, randpr_rngs;
@@ -392,21 +411,19 @@ void overload_sweep(api::JsonSink& json, bool smoke) {
       [&](std::size_t d, engine::TrialContext& ctx) {
         VideoWorkload vw = overload_workload(cfg, wl_rngs[d]);
         BufferedWorker& w = workers[ctx.thread_index];
-        w.ensure();
-        std::vector<Cell> row(cfg.buffers.size() * num_policies);
+        w.ensure(ranker_names);
+        std::vector<Cell> row(cfg.buffers.size() * num_rankers);
         for (std::size_t b = 0; b < cfg.buffers.size(); ++b) {
-          BufferedRouterParams rp{.service_rate = cfg.service_rate,
+          BufferedRouterParams rp{.service_rate = cfg.spec.service_rate,
                                   .buffer_size = cfg.buffers[b],
                                   .drop_dead_frames = true};
-          w.randpr->reseed(randpr_rngs[d]);
-          FrameRanker* rankers[] = {w.randpr.get(), &w.weight, &w.fifo};
-          for (std::size_t p = 0; p < num_policies; ++p) {
-            OSP_REQUIRE(rankers[p]->name() == policy_names[p]);
+          w.rankers[idx_randpr]->reseed(randpr_rngs[d]);
+          for (std::size_t p = 0; p < num_rankers; ++p) {
             RouterStats st = simulate_buffered_router(
-                vw.schedule, *rankers[p], rp, &w.scratch);
+                vw.schedule, *w.rankers[p], rp, &w.scratch);
             OSP_REQUIRE(st.packets_arrived ==
                         st.packets_served + st.packets_dropped);
-            row[b * num_policies + p] =
+            row[b * num_rankers + p] =
                 Cell{static_cast<double>(st.packets_arrived),
                      static_cast<double>(st.packets_served),
                      static_cast<double>(st.packets_dropped),
@@ -417,26 +434,26 @@ void overload_sweep(api::JsonSink& json, bool smoke) {
       });
 
   for (std::size_t b = 0; b < cfg.buffers.size(); ++b) {
-    for (std::size_t p = 0; p < num_policies; ++p) {
+    for (std::size_t p = 0; p < num_rankers; ++p) {
       Cell acc;
       for (int d = 0; d < draws; ++d) {
-        const Cell& c = cells[static_cast<std::size_t>(d)][b * num_policies + p];
+        const Cell& c = cells[static_cast<std::size_t>(d)][b * num_rankers + p];
         acc.packets += c.packets;
         acc.served += c.served;
         acc.dropped += c.dropped;
         acc.value += c.value;
         acc.total += c.total;
       }
-      table.row({fmt(cfg.buffers[b]), policy_names[p],
+      table.row({fmt(cfg.buffers[b]), ranker_names[p],
                  fmt(acc.packets / draws, 0), fmt(acc.served / draws, 0),
                  fmt(acc.dropped / draws, 0), fmt(acc.value / acc.total, 3)});
       json.write(
           api::Row{}
               .add("sweep", "overload")
-              .add("streams", cfg.streams)
-              .add("service_rate", cfg.service_rate)
+              .add("streams", cfg.spec.streams)
+              .add("service_rate", cfg.spec.service_rate)
               .add("buffer", cfg.buffers[b])
-              .add("policy", policy_names[p])
+              .add("policy", ranker_names[p])
               .add("packets", acc.packets / draws)
               .add("served", acc.served / draws)
               .add("dropped", acc.dropped / draws)
@@ -458,26 +475,26 @@ void throughput_section(api::JsonSink& json, bool smoke) {
                "speedup"});
 
   VideoWorkload vw = overload_workload(cfg, Rng(4242));
-  const BufferedRouterParams rp{.service_rate = cfg.service_rate,
+  const BufferedRouterParams rp{.service_rate = cfg.spec.service_rate,
                                 .buffer_size = buffer,
                                 .drop_dead_frames = true};
   const double slots = static_cast<double>(vw.schedule.horizon);
   const double packets = static_cast<double>(vw.schedule.total_packets());
-  RandPrRanker ranker{Rng(7)};
+  auto ranker = api::rankers().make("randPr", Rng(7));
 
   // Old path: the straightened-out full-sort reference.
-  ranker.reseed(Rng(7));
+  ranker->reseed(Rng(7));
   auto t0 = std::chrono::steady_clock::now();
   RouterStats sort_stats =
-      simulate_buffered_router_reference(vw.schedule, ranker, rp);
+      simulate_buffered_router_reference(vw.schedule, *ranker, rp);
   const double sort_s = seconds_since(t0);
 
   // New path: the indexed-heap PacketQueue.
   BufferedRouterScratch scratch;
-  ranker.reseed(Rng(7));
+  ranker->reseed(Rng(7));
   t0 = std::chrono::steady_clock::now();
   RouterStats heap_stats =
-      simulate_buffered_router(vw.schedule, ranker, rp, &scratch);
+      simulate_buffered_router(vw.schedule, *ranker, rp, &scratch);
   const double heap_s = seconds_since(t0);
 
   // Decision-identity cross-check: the two paths must agree on every

@@ -11,7 +11,6 @@
 #include "algos/offline.hpp"
 #include "bench_common.hpp"
 #include "core/bounds.hpp"
-#include "gen/random_instances.hpp"
 
 namespace osp {
 namespace {
@@ -22,12 +21,17 @@ void corollary7_sweep(osp::api::JsonSink& json) {
   Table table({"m", "k", "sigma", "opt", "E[alg]", "ratio", "Cor7 bound(k)",
                "Cor6 bound"});
   Rng master(31337);
-  const int trials = 600;
-  for (std::size_t sigma : {2, 3, 4, 6, 8, 12}) {
-    const std::size_t k = 3;
-    const std::size_t m = 8 * sigma;  // keep n = mk/sigma = 24 constant
+  // The swept (m, sigma) cells live in the scenario catalog; the Rng
+  // split keys below derive from the cell values, so the declarative
+  // sweep reproduces the historical loop's streams bit for bit.
+  for (const api::ScenarioSpec& cell :
+       api::expand(api::scenarios().at("uniform/corollary7"))) {
+    const int trials = cell.default_trials;
+    const std::size_t k = cell.k;
+    const std::size_t sigma = cell.sigma;
+    const std::size_t m = cell.m;
     Rng gen = master.split(sigma);
-    Instance inst = regular_instance(m, k, sigma, WeightModel::unit(), gen);
+    Instance inst = api::build_instance(cell, gen);
     InstanceStats st = inst.stats();
     OfflineResult opt = exact_optimum(inst);
 
@@ -60,23 +64,25 @@ void theorem5_sweep(osp::api::JsonSink& json) {
   Table table({"m", "n", "k", "avg(s^2)/avg(s)^2", "opt", "E[alg]", "ratio",
                "Thm5 bound"});
   Rng master(999);
-  const int trials = 600;
-  for (std::size_t k : {2, 3, 4, 5}) {
+  for (const api::ScenarioSpec& cell :
+       api::expand(api::scenarios().at("uniform/theorem5"))) {
+    const int trials = cell.default_trials;
+    const std::size_t k = cell.k;
     Rng gen = master.split(k);
-    Instance inst = random_instance(24, 18, k, WeightModel::unit(), gen);
+    Instance inst = api::build_instance(cell, gen);
     InstanceStats st = inst.stats();
     OfflineResult opt = exact_optimum(inst);
     Rng runs = master.split(100 + k);
     RunningStat alg = bench::measure_randpr(inst, runs, trials);
     double ratio = alg.mean() > 0 ? opt.value / alg.mean() : 0;
     double dispersion = st.sigma_sq_avg / (st.sigma_avg * st.sigma_avg);
-    table.row({fmt(std::size_t{24}), fmt(inst.num_elements()), fmt(k),
+    table.row({fmt(cell.m), fmt(inst.num_elements()), fmt(k),
                fmt(dispersion, 3), fmt(opt.value, 1),
                bench::fmt_mean_ci(alg), fmt_ratio(ratio),
                fmt(theorem5_bound(st), 2)});
     json.write(api::Row{}
                    .add("sweep", "theorem5")
-                   .add("m", std::size_t{24})
+                   .add("m", cell.m)
                    .add("n", inst.num_elements())
                    .add("k", k)
                    .add("dispersion", dispersion)
@@ -95,23 +101,24 @@ void theorem6_sweep(osp::api::JsonSink& json) {
   Table table({"m", "n", "sigma", "kbar", "opt", "E[alg]", "ratio",
                "Thm6 bound"});
   Rng master(4242);
-  const int trials = 600;
-  for (std::size_t sigma : {2, 3, 4, 6, 8}) {
+  for (const api::ScenarioSpec& cell :
+       api::expand(api::scenarios().at("uniform/theorem6"))) {
+    const int trials = cell.default_trials;
+    const std::size_t sigma = cell.sigma;
     Rng gen = master.split(sigma);
-    Instance inst =
-        fixed_load_instance(20, 30, sigma, WeightModel::unit(), gen);
+    Instance inst = api::build_instance(cell, gen);
     InstanceStats st = inst.stats();
     OfflineResult opt = exact_optimum(inst);
     Rng runs = master.split(100 + sigma);
     RunningStat alg = bench::measure_randpr(inst, runs, trials);
     double ratio = alg.mean() > 0 ? opt.value / alg.mean() : 0;
-    table.row({fmt(std::size_t{20}), fmt(inst.num_elements()), fmt(sigma),
+    table.row({fmt(cell.m), fmt(inst.num_elements()), fmt(sigma),
                fmt(st.k_avg, 2), fmt(opt.value, 1),
                bench::fmt_mean_ci(alg), fmt_ratio(ratio),
                fmt(theorem6_bound(st), 2)});
     json.write(api::Row{}
                    .add("sweep", "theorem6")
-                   .add("m", std::size_t{20})
+                   .add("m", cell.m)
                    .add("n", inst.num_elements())
                    .add("sigma", sigma)
                    .add("k_avg", st.k_avg)

@@ -3,17 +3,23 @@
 // the registries, runs go through a Session, and results stream through
 // ResultSinks.
 //
-//   osp_cli list  [--policies] [--scenarios]
+//   osp_cli list  [--policies] [--scenarios] [--rankers] [--markdown]
 //   osp_cli gen   <scenario> [--out FILE] [--seed S] [--m M] [--n N] ...
-//   osp_cli stats <file>
+//   osp_cli stats <file|->
 //   osp_cli run   [file|-] [--alg SPEC] [--seed S] [--trials T]
-//   osp_cli solve <file>
-//   osp_cli bench [--scenario NAMES] [--alg SPECS] [--trials T] [--seed S]
-//                 [--json NAME]
+//   osp_cli solve <file|->
+//   osp_cli bench [--scenario NAMES] [--config FILE] [--alg SPECS]
+//                 [--ranker NAMES] [--trials T] [--seed S] [--json NAME]
 //
-// `list` enumerates everything the registries know; adding a policy or a
-// scenario in its home file makes it appear here (and in `bench`, and in
-// the test sweeps) with no CLI change.
+// `list` enumerates everything the registries know; adding a policy, a
+// scenario, or a ranker in its home file makes it appear here (and in
+// `bench`, and in the test sweeps) with no CLI change.  `list --markdown`
+// emits the same catalog as the markdown document checked in as
+// docs/CATALOG.md (CI regenerates it and fails on drift).  Scenarios with
+// sweep axes expand into one bench column per cell; `bench --config`
+// loads a scenario (axes included) from a key=value file, and
+// `bench --ranker` sweeps the buffered-router FrameRankers over a video
+// scenario instead of packing policies.
 #include <unistd.h>
 
 #include <cstdio>
@@ -25,9 +31,11 @@
 
 #include "algos/offline.hpp"
 #include "api/policy_registry.hpp"
+#include "api/ranker_registry.hpp"
 #include "api/result_sink.hpp"
 #include "api/scenario.hpp"
 #include "api/session.hpp"
+#include "engine/batch_runner.hpp"
 #include "core/bounds.hpp"
 #include "core/game.hpp"
 #include "core/io.hpp"
@@ -60,7 +68,8 @@ struct Args {
 
 /// Flags that are pure switches (no value follows them).
 bool is_boolean_flag(const std::string& name) {
-  return name == "policies" || name == "scenarios";
+  return name == "policies" || name == "scenarios" || name == "rankers" ||
+         name == "markdown";
 }
 
 Args parse(int argc, char** argv) {
@@ -94,17 +103,25 @@ std::vector<std::string> split_commas(const std::string& text) {
   return out;
 }
 
-/// Copies the named scenario out of the registry and applies every
-/// generator flag present on the command line.
-api::ScenarioSpec scenario_from(const Args& args, const std::string& name) {
-  api::ScenarioSpec spec = api::scenarios().at(name);
+/// Applies every generator flag present on the command line to `spec`
+/// (run-plumbing flags are skipped).
+api::ScenarioSpec& apply_overrides(api::ScenarioSpec& spec,
+                                   const Args& args) {
   for (const auto& [key, value] : args.options) {
     if (key == "out" || key == "seed" || key == "trials" || key == "alg" ||
-        key == "scenario" || key == "json")
+        key == "scenario" || key == "json" || key == "config" ||
+        key == "ranker")
       continue;  // run plumbing, not generator parameters
     spec.set(key, value);
   }
   return spec;
+}
+
+/// Copies the named scenario out of the registry and applies every
+/// generator flag present on the command line.
+api::ScenarioSpec scenario_from(const Args& args, const std::string& name) {
+  api::ScenarioSpec spec = api::scenarios().at(name);
+  return apply_overrides(spec, args);
 }
 
 Instance load_from(const std::string& where) {
@@ -113,10 +130,38 @@ Instance load_from(const std::string& where) {
 }
 
 int cmd_list(const Args& args) {
-  // No flag: both sections.  Either flag selects its section; giving
-  // both is the same as giving neither.
-  const bool show_policies = args.has("policies") || !args.has("scenarios");
-  const bool show_scenarios = args.has("scenarios") || !args.has("policies");
+  // No section flag: every section.  Any section flag selects only the
+  // named sections.
+  const bool any = args.has("policies") || args.has("scenarios") ||
+                   args.has("rankers");
+  const bool show_policies = !any || args.has("policies");
+  const bool show_scenarios = !any || args.has("scenarios");
+  const bool show_rankers = !any || args.has("rankers");
+
+  if (args.has("markdown")) {
+    // The markdown catalog is checked in as docs/CATALOG.md and CI
+    // regenerates it on every run — the output here must stay
+    // byte-stable for a given registry state.
+    std::cout << "# osp catalog — policies, scenarios, rankers\n\n"
+              << "Generated by `osp_cli list --markdown`; regenerate with\n"
+              << "`./build/osp_cli list --markdown > docs/CATALOG.md`.\n"
+              << "CI rebuilds this file and fails on drift — edit the\n"
+              << "registries, never this document.\n";
+    if (show_policies)
+      std::cout << "\n## Policies (" << api::policies().entries().size()
+                << ")\n\n"
+                << api::policies().render_markdown();
+    if (show_scenarios)
+      std::cout << "\n## Scenarios (" << api::scenarios().entries().size()
+                << ")\n\n"
+                << api::scenarios().render_markdown();
+    if (show_rankers)
+      std::cout << "\n## Rankers (" << api::rankers().entries().size()
+                << ")\n\n"
+                << api::rankers().render_markdown();
+    return 0;
+  }
+
   if (show_policies) {
     std::cout << "policies (" << api::policies().entries().size() << "):\n"
               << api::policies().render_catalog();
@@ -127,6 +172,11 @@ int cmd_list(const Args& args) {
               << "):\n"
               << api::scenarios().render_catalog();
   }
+  if (show_rankers) {
+    if (show_policies || show_scenarios) std::cout << '\n';
+    std::cout << "rankers (" << api::rankers().entries().size() << "):\n"
+              << api::rankers().render_catalog();
+  }
   return 0;
 }
 
@@ -135,6 +185,10 @@ int cmd_gen(const Args& args) {
                   "gen needs a scenario name; registered scenarios:\n"
                       << api::scenarios().render_catalog());
   api::ScenarioSpec spec = scenario_from(args, args.positional);
+  if (!spec.sweep.empty())
+    std::cerr << "note: scenario '" << spec.name
+              << "' declares sweep axes; gen builds the base cell only "
+                 "(bench expands the grid)\n";
   Rng rng(args.get_num("seed", 1));
   Instance inst = api::build_instance(spec, rng);
   const std::string out = args.get("out", "");
@@ -220,11 +274,160 @@ int cmd_solve(const Args& args) {
   return 0;
 }
 
+/// Opens the optional --json sink, refusing to overwrite any existing
+/// BENCH_*.json (the bench binaries' committed artifacts carry
+/// schema-gated key sets a CLI grid would break).
+std::unique_ptr<api::JsonSink> open_json_sink(const Args& args,
+                                              api::Session& session) {
+  if (!args.has("json")) return nullptr;
+  const std::string json_name = args.get("json", "cli");
+  OSP_REQUIRE_MSG(!json_name.empty(),
+                  "--json needs a non-empty artifact name");
+  const std::string json_path = "BENCH_" + json_name + ".json";
+  OSP_REQUIRE_MSG(!std::ifstream(json_path).good(),
+                  json_path << " already exists; refusing to overwrite "
+                               "— pick another name or remove it first");
+  auto json = std::make_unique<api::JsonSink>(json_name, session.threads());
+  session.attach(*json);
+  return json;
+}
+
+/// `bench --ranker`: sweeps buffered-router FrameRankers over the
+/// expanded video scenario cells instead of packing policies.  Each
+/// (cell, ranker) pair runs `trials` independent workload draws on the
+/// shared batch runner and emits one row of mean counters.
+int bench_rankers(const Args& args, api::Session& session,
+                  const std::vector<api::ScenarioSpec>& cells, int trials,
+                  std::uint64_t seed) {
+  const std::vector<std::string> ranker_names =
+      split_commas(args.get("ranker", ""));
+  OSP_REQUIRE_MSG(!ranker_names.empty(),
+                  "--ranker needs ranker names; registered rankers:\n"
+                      << api::rankers().render_catalog());
+  // Resolve every name and validate every cell up front, so an unknown
+  // ranker or a non-video scenario fails before any work runs — and
+  // before the --json sink creates its never-overwrite artifact file.
+  for (const std::string& name : ranker_names) api::rankers().at(name);
+  for (const api::ScenarioSpec& cell : cells)
+    OSP_REQUIRE_MSG(cell.family == api::ScenarioFamily::kVideo,
+                    "--ranker drives the buffered router and needs a video "
+                    "scenario; '"
+                        << cell.name << "' is not one");
+
+  api::TableSink table;
+  session.attach(table);
+  std::unique_ptr<api::JsonSink> json = open_json_sink(args, session);
+
+  Rng master(seed);
+  const std::size_t draws = static_cast<std::size_t>(trials);
+  std::vector<BufferedRouterScratch> scratch(
+      engine::shared_runner().num_threads());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const api::ScenarioSpec& cell = cells[c];
+    // Per-(cell, draw) streams, split serially up front (deterministic
+    // for any worker count).  Each cell splits its own child generator,
+    // and inside it the workload and ranker families use disjoint key
+    // ranges (draws is capped at 1e9 by the --trials bound), so no two
+    // (cell, draw, family) streams can collide.
+    Rng cell_master = master.split(c);
+    std::vector<Rng> wl_rngs, rk_rngs;
+    for (std::size_t d = 0; d < draws; ++d) {
+      wl_rngs.push_back(cell_master.split(d));
+      rk_rngs.push_back(cell_master.split(1000000000 + d));
+    }
+    for (const std::string& name : ranker_names) {
+      const api::RankerInfo& info = api::rankers().at(name);
+      auto stats = engine::shared_runner().map<RouterStats>(
+          draws, [&](std::size_t d, engine::TrialContext& ctx) {
+            Rng wl_rng = wl_rngs[d];
+            VideoWorkload vw = api::build_video(cell, wl_rng);
+            auto ranker = info.make(rk_rngs[d]);
+            BufferedRouterParams rp{.service_rate = cell.service_rate,
+                                    .buffer_size = cell.buffer,
+                                    .drop_dead_frames = true};
+            return simulate_buffered_router(vw.schedule, *ranker, rp,
+                                            &scratch[ctx.thread_index]);
+          });
+      double goodput = 0, served = 0, dropped = 0;
+      for (const RouterStats& st : stats) {
+        goodput += st.goodput();
+        served += static_cast<double>(st.packets_served);
+        dropped += static_cast<double>(st.packets_dropped);
+      }
+      const double n = static_cast<double>(draws);
+      session.emit(api::Row{}
+                       .add("scenario", cell.display_label())
+                       .add("ranker", info.name)
+                       .add("buffer", cell.buffer)
+                       .add("service_rate", cell.service_rate)
+                       .add("trials", draws)
+                       .add("goodput_mean", goodput / n)
+                       .add("served_mean", served / n)
+                       .add("dropped_mean", dropped / n));
+    }
+  }
+  session.close_sinks();
+  table.print(std::cout);
+  if (json != nullptr)
+    std::cerr << "wrote BENCH_" << args.get("json", "cli") << ".json\n";
+  return 0;
+}
+
 int cmd_bench(const Args& args) {
-  // Scenario columns.
-  const std::vector<std::string> scenario_names =
-      split_commas(args.get("scenario", "random"));
-  OSP_REQUIRE_MSG(!scenario_names.empty(), "bench needs --scenario names");
+  // Scenario columns: named registry entries and/or a config file, each
+  // expanded through its sweep axes into one column per cell.
+  std::vector<api::ScenarioSpec> specs;
+  if (args.has("scenario") || !args.has("config"))
+    for (const std::string& name :
+         split_commas(args.get("scenario", "random")))
+      specs.push_back(scenario_from(args, name));
+  if (args.has("config")) {
+    api::ScenarioSpec spec =
+        api::ScenarioSpec::from_file(args.get("config", ""));
+    specs.push_back(apply_overrides(spec, args));
+  }
+  OSP_REQUIRE_MSG(!specs.empty(), "bench needs --scenario names or --config");
+
+  // A generator flag on a swept key would be silently clobbered by the
+  // axis values during expansion; refuse instead of benching something
+  // other than what the user asked for.
+  for (const api::ScenarioSpec& spec : specs)
+    for (const api::SweepAxis& axis : spec.sweep)
+      for (const std::string& key : axis.keys)
+        OSP_REQUIRE_MSG(!args.has(key),
+                        "--" << key << " conflicts with scenario '"
+                             << spec.name << "', which sweeps '" << key
+                             << "'; change the axis (sweep." << key
+                             << " = …) in a config file instead");
+
+  const std::uint64_t seed = args.get_num("seed", 1);
+
+  std::vector<api::ScenarioSpec> cells;
+  int trials = -1;
+  for (const api::ScenarioSpec& spec : specs) {
+    trials = std::max(trials, spec.default_trials);
+    for (api::ScenarioSpec& cell : api::expand(spec))
+      cells.push_back(std::move(cell));
+  }
+  if (args.has("trials")) {
+    const std::size_t requested = args.get_num("trials", 100);
+    // Bound before narrowing to int so out-of-range values error instead
+    // of silently truncating to a wrong trial count.
+    OSP_REQUIRE_MSG(requested >= 1 && requested <= 1000000000,
+                    "flag --trials must be in [1, 1e9], got " << requested);
+    trials = static_cast<int>(requested);
+  }
+  OSP_REQUIRE_MSG(trials >= 1, "flag --trials must be at least 1");
+
+  api::Session session;
+  if (args.has("ranker")) {
+    // A policy grid and a ranker sweep are different experiments; a
+    // silently ignored --alg would read as "the policy ran too".
+    OSP_REQUIRE_MSG(!args.has("alg"),
+                    "--ranker and --alg are mutually exclusive: rankers "
+                    "drive the buffered router, --alg runs a packing grid");
+    return bench_rankers(args, session, cells, trials, seed);
+  }
 
   // Policy rows: every registered policy unless --alg narrows the sweep.
   std::vector<std::string> alg_specs;
@@ -237,31 +440,28 @@ int cmd_bench(const Args& args) {
     alg_specs = api::policies().names();
   }
 
-  const std::uint64_t seed = args.get_num("seed", 1);
-  api::Session session;
+  // A packing grid swept over a key build_instance ignores (buffer,
+  // service-rate, capacity on non-video families, …) would print
+  // identical columns whose labels claim a parameter varied.
+  for (const api::ScenarioSpec& spec : specs)
+    for (const api::SweepAxis& axis : spec.sweep)
+      for (const std::string& key : axis.keys)
+        if (!api::affects_instance(key, spec.family))
+          std::cerr << "note: sweep key '" << key << "' of scenario '"
+                    << spec.name
+                    << "' does not affect the packing instance; its "
+                       "columns differ only in label (use --ranker for "
+                       "the router knobs)\n";
 
-  std::vector<api::ScenarioSpec> specs;
   std::vector<Instance> instances;
   std::vector<const Instance*> instance_ptrs;
   std::vector<std::string> labels;
-  int trials = -1;
-  for (const std::string& name : scenario_names) {
-    specs.push_back(scenario_from(args, name));
+  for (const api::ScenarioSpec& cell : cells) {
     Rng rng(seed);
-    instances.push_back(api::build_instance(specs.back(), rng));
-    labels.push_back(specs.back().name);
-    trials = std::max(trials, specs.back().default_trials);
+    instances.push_back(api::build_instance(cell, rng));
+    labels.push_back(cell.display_label());
   }
   for (const Instance& inst : instances) instance_ptrs.push_back(&inst);
-  if (args.has("trials")) {
-    const std::size_t requested = args.get_num("trials", 100);
-    // Bound before narrowing to int so out-of-range values error instead
-    // of silently truncating to a wrong trial count.
-    OSP_REQUIRE_MSG(requested >= 1 && requested <= 1000000000,
-                    "flag --trials must be in [1, 1e9], got " << requested);
-    trials = static_cast<int>(requested);
-  }
-  OSP_REQUIRE_MSG(trials >= 1, "flag --trials must be at least 1");
 
   engine::GridSpec grid;
   grid.instances = instance_ptrs;
@@ -272,21 +472,7 @@ int cmd_bench(const Args& args) {
 
   api::TableSink table;
   session.attach(table);
-  std::unique_ptr<api::JsonSink> json;
-  if (args.has("json")) {
-    const std::string json_name = args.get("json", "cli");
-    OSP_REQUIRE_MSG(!json_name.empty(),
-                    "--json needs a non-empty artifact name");
-    // Never overwrite an existing artifact: the bench binaries' committed
-    // BENCH_*.json carry schema-gated key sets a CLI grid would break,
-    // and this stays correct for every artifact any future bench emits.
-    const std::string json_path = "BENCH_" + json_name + ".json";
-    OSP_REQUIRE_MSG(!std::ifstream(json_path).good(),
-                    json_path << " already exists; refusing to overwrite "
-                                 "— pick another name or remove it first");
-    json = std::make_unique<api::JsonSink>(json_name, session.threads());
-    session.attach(*json);
-  }
+  std::unique_ptr<api::JsonSink> json = open_json_sink(args, session);
 
   session.run_grid(grid, labels);
   session.close_sinks();
@@ -299,20 +485,27 @@ int cmd_bench(const Args& args) {
 int usage() {
   std::cerr <<
       R"(osp_cli — online set packing toolbox
-  osp_cli list  [--policies] [--scenarios]
+  osp_cli list  [--policies] [--scenarios] [--rankers] [--markdown]
   osp_cli gen   <scenario> [--out FILE] [--seed S] [--m M] [--n N] [--k K]
                 [--sigma SIGMA] [--ell ELL] [--t T] [--weights W] ...
   osp_cli stats <file|->
   osp_cli run   [file|-] [--alg SPEC] [--seed S] [--trials T]
   osp_cli solve <file|->
-  osp_cli bench [--scenario NAMES] [--alg SPECS] [--trials T] [--seed S]
-                [--json NAME]
-('-' or a pipe reads the instance from stdin; NAMES/SPECS are
-comma-separated.)
+  osp_cli bench [--scenario NAMES] [--config FILE] [--alg SPECS]
+                [--ranker NAMES] [--trials T] [--seed S] [--json NAME]
+
+stats/run/solve read the instance from a file, from '-', or from a pipe
+on stdin (so `osp_cli gen … | osp_cli run …` works); NAMES/SPECS are
+comma-separated.  Scenarios with sweep axes expand into one bench column
+per cell.  `bench --config FILE` loads a key=value scenario file
+(scenario = <base>, field overrides, sweep.<key> = values — see
+docs/EXPERIMENTS.md); `bench --ranker` sweeps buffered-router rankers
+over a video scenario; `list --markdown` emits docs/CATALOG.md.
 
 )" << "policies:\n"
             << osp::api::policies().render_catalog() << "\nscenarios:\n"
-            << osp::api::scenarios().render_catalog()
+            << osp::api::scenarios().render_catalog() << "\nrankers:\n"
+            << osp::api::rankers().render_catalog()
             << "\nweights: unit uniform zipf exp\n";
   return 2;
 }

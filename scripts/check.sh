@@ -53,6 +53,14 @@ echo "== examples smoke: osp_cli (registry-driven) + quickstart =="
 ./build/osp_cli list > /dev/null
 ./build/osp_cli gen random --seed 3 | ./build/osp_cli run --alg randpr
 ./build/osp_cli bench --scenario random --alg randpr,greedy:maxw --trials 50
+# Config-file scenario (with a sweep axis) and the buffered-ranker mode.
+printf '%s\n' 'scenario = regular' 'm = 12' 'sigma = 3' 'sweep.k = 2,3' \
+  > build/check_demo.cfg
+./build/osp_cli bench --config build/check_demo.cfg --alg randpr --trials 20
+./build/osp_cli bench --scenario router/buffered-smoke \
+  --ranker randPr,drop-tail --trials 4
+# docs/CATALOG.md is generated output: regenerate and fail on drift.
+./build/osp_cli list --markdown | diff -u docs/CATALOG.md -
 ./build/quickstart > /dev/null
 
 echo

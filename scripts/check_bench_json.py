@@ -20,6 +20,10 @@ validates, with the standard library only:
 
 Usage: scripts/check_bench_json.py [file-or-dir ...]
        (defaults to the repository root; exits non-zero on any violation)
+       scripts/check_bench_json.py --describe
+       (prints the validated field lists — the same tuples the checks
+       iterate, so the printed schema can never drift from the validator;
+       docs/BENCHMARKS.md documents the semantics)
 """
 
 import json
@@ -140,7 +144,22 @@ def collect(args):
     return files
 
 
+def describe():
+    """Prints the validated schema from the same tuples check_file uses."""
+    print("BENCH_*.json schema (what this script validates):")
+    print("  document preamble: bench (non-empty str), threads (int >= 1),")
+    print("                     results (non-empty array of objects)")
+    print("  engine workload row keys: " + ", ".join(ENGINE_WORKLOAD_KEYS))
+    print("  engine largest_summary row keys: "
+          + ", ".join(ENGINE_SUMMARY_KEYS))
+    print("  router throughput row keys: " + ", ".join(ROUTER_THROUGHPUT_KEYS))
+    print("  every numeric value finite; strict JSON (no NaN/Infinity)")
+    return 0
+
+
 def main(argv):
+    if "--describe" in argv[1:]:
+        return describe()
     files = collect(argv[1:])
     if not files:
         raise SystemExit("check_bench_json: no BENCH_*.json files found")

@@ -1,0 +1,42 @@
+// Shared markdown-table emitter behind the registries' render_markdown()
+// methods.  docs/CATALOG.md is the concatenation of those tables and CI
+// drift-gates it byte for byte, so there is exactly one place that
+// decides the table format.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace osp::api::detail {
+
+/// "| a | b | c |" rows under a header and a "| --- |" separator sized
+/// from the header.
+inline std::string markdown_table(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::ostringstream os;
+  auto line = [&os](const std::vector<std::string>& cells) {
+    os << '|';
+    for (const std::string& cell : cells) os << ' ' << cell << " |";
+    os << '\n';
+  };
+  line(header);
+  line(std::vector<std::string>(header.size(), "---"));
+  for (const std::vector<std::string>& row : rows) line(row);
+  return os.str();
+}
+
+/// "`a`, `b`" for the aliases/sweep columns; an em dash when empty.
+inline std::string code_list(const std::vector<std::string>& items,
+                             const char* separator = ", ") {
+  if (items.empty()) return "—";
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += separator;
+    out += '`' + items[i] + '`';
+  }
+  return out;
+}
+
+}  // namespace osp::api::detail

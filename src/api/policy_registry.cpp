@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "api/markdown.hpp"
 #include "util/require.hpp"
 
 namespace osp::api {
@@ -95,6 +96,14 @@ std::string PolicyRegistry::render_catalog() const {
        << '\n';
   }
   return os.str();
+}
+
+std::string PolicyRegistry::render_markdown() const {
+  std::vector<std::vector<std::string>> rows;
+  for (const PolicyInfo& e : entries_)
+    rows.push_back(
+        {'`' + e.name + '`', e.description, detail::code_list(e.aliases)});
+  return detail::markdown_table({"spec", "description", "aliases"}, rows);
 }
 
 PolicyRegistry& PolicyRegistry_instance() {

@@ -73,6 +73,9 @@ class PolicyRegistry {
   /// "  name  description" lines (one per entry) for help text and errors.
   std::string render_catalog() const;
 
+  /// "| spec | description | aliases |" markdown table (docs/CATALOG.md).
+  std::string render_markdown() const;
+
  private:
   std::vector<PolicyInfo> entries_;
 };

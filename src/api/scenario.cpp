@@ -1,13 +1,65 @@
 #include "api/scenario.hpp"
 
 #include <algorithm>
+#include <fstream>
+#include <istream>
 #include <sstream>
 
+#include "api/markdown.hpp"
 #include "design/lower_bounds.hpp"
 #include "gen/schedule.hpp"
 #include "util/require.hpp"
 
 namespace osp::api {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Ceiling on cells a single lo..hi[..step] range may expand to: a typo'd
+/// bound must fail as a RequireError, not materialize billions of cells.
+constexpr std::size_t kMaxRangeCells = 10000;
+
+/// Ceiling on a spec's whole expanded grid — the cartesian product of
+/// several in-bounds axes must not defeat the per-range cap above.
+constexpr std::size_t kMaxGridCells = 100000;
+
+/// Appends one value-list element to `out`: either a literal value or an
+/// inclusive lo..hi[..step] integer range.
+void append_sweep_element(const std::string& key, const std::string& element,
+                          std::vector<std::vector<std::string>>& out) {
+  const std::size_t dots = element.find("..");
+  if (dots == std::string::npos) {
+    out.push_back({element});
+    return;
+  }
+  const std::string what = "sweep range for '" + key + "'";
+  const std::string rest = element.substr(dots + 2);
+  const std::size_t dots2 = rest.find("..");
+  const std::size_t lo = parse_size(what, element.substr(0, dots));
+  const std::size_t hi = parse_size(
+      what, dots2 == std::string::npos ? rest : rest.substr(0, dots2));
+  const std::size_t step =
+      dots2 == std::string::npos ? 1 : parse_size(what, rest.substr(dots2 + 2));
+  OSP_REQUIRE_MSG(hi >= lo, what << " needs lo <= hi, got '" << element << "'");
+  OSP_REQUIRE_MSG(step >= 1, what << " needs a step >= 1, got '" << element
+                                  << "'");
+  // Count-based loop: immune to v += step wrapping past hi, and bounded
+  // so a typo'd range errors instead of OOMing.
+  const std::size_t count = (hi - lo) / step + 1;
+  OSP_REQUIRE_MSG(count <= kMaxRangeCells,
+                  what << " would expand to " << count << " cells (max "
+                       << kMaxRangeCells << "); got '" << element << "'");
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back({std::to_string(lo + i * step)});
+}
+
+}  // namespace
 
 std::size_t parse_size(const std::string& what, const std::string& text) {
   std::size_t consumed = 0;
@@ -37,6 +89,210 @@ WeightModel weight_model_from(const std::string& name) {
   return {};
 }
 
+SweepAxis sweep_axis(const std::string& key, const std::string& values) {
+  SweepAxis axis;
+  axis.keys = {key};
+  std::istringstream is(values);
+  std::string element;
+  while (std::getline(is, element, ',')) {
+    element = trim(element);
+    OSP_REQUIRE_MSG(!element.empty(), "sweep axis for '"
+                                          << key
+                                          << "' has an empty value in '"
+                                          << values << "'");
+    append_sweep_element(key, element, axis.values);
+  }
+  OSP_REQUIRE_MSG(!axis.values.empty(),
+                  "sweep axis for '" << key << "' has no values");
+  return axis;
+}
+
+SweepAxis sweep_axis(std::vector<std::string> keys,
+                     std::vector<std::vector<std::string>> cells,
+                     std::vector<std::string> labels) {
+  SweepAxis axis;
+  axis.keys = std::move(keys);
+  axis.values = std::move(cells);
+  axis.labels = std::move(labels);
+  return axis;
+}
+
+std::vector<ScenarioSpec> expand(const ScenarioSpec& spec) {
+  // Validate every axis up front so a malformed declaration fails before
+  // any cell is emitted.
+  std::vector<std::string> seen_keys;
+  for (const SweepAxis& axis : spec.sweep) {
+    for (const std::string& key : axis.keys) {
+      // A key swept twice would silently square the grid (and the later
+      // axis would clobber the earlier one's values inside each cell).
+      OSP_REQUIRE_MSG(std::find(seen_keys.begin(), seen_keys.end(), key) ==
+                          seen_keys.end(),
+                      "scenario '" << spec.name << "' sweeps '" << key
+                                   << "' in more than one axis");
+      seen_keys.push_back(key);
+    }
+  }
+  for (const SweepAxis& axis : spec.sweep) {
+    OSP_REQUIRE_MSG(!axis.keys.empty(), "scenario '" << spec.name
+                                                     << "' has a sweep axis "
+                                                        "without keys");
+    OSP_REQUIRE_MSG(axis.cells() >= 1, "scenario '"
+                                           << spec.name
+                                           << "' has a sweep axis over '"
+                                           << axis.keys.front()
+                                           << "' with no cells");
+    for (const std::vector<std::string>& cell : axis.values)
+      OSP_REQUIRE_MSG(cell.size() == axis.keys.size(),
+                      "scenario '" << spec.name << "' sweep axis over '"
+                                   << axis.keys.front() << "' zips "
+                                   << axis.keys.size()
+                                   << " keys but a cell carries "
+                                   << cell.size() << " values");
+    OSP_REQUIRE_MSG(axis.labels.empty() ||
+                        axis.labels.size() == axis.cells(),
+                    "scenario '" << spec.name << "' sweep axis over '"
+                                 << axis.keys.front() << "' has "
+                                 << axis.labels.size() << " labels for "
+                                 << axis.cells() << " cells");
+  }
+
+  std::size_t total = 1;
+  for (const SweepAxis& axis : spec.sweep) {
+    // Multiply toward the cap without overflowing.
+    OSP_REQUIRE_MSG(axis.cells() <= kMaxGridCells / total,
+                    "scenario '" << spec.name
+                                 << "' would expand to more than "
+                                 << kMaxGridCells << " cells");
+    total *= axis.cells();
+  }
+
+  std::vector<ScenarioSpec> out;
+  ScenarioSpec base = spec;
+  base.sweep.clear();
+  out.push_back(std::move(base));
+  // Cartesian product: each axis multiplies the grid built so far, so the
+  // first-declared axis varies slowest (outermost loop order).
+  for (const SweepAxis& axis : spec.sweep) {
+    std::vector<ScenarioSpec> next;
+    next.reserve(out.size() * axis.cells());
+    for (const ScenarioSpec& partial : out) {
+      for (std::size_t c = 0; c < axis.cells(); ++c) {
+        ScenarioSpec cell = partial;
+        for (std::size_t i = 0; i < axis.keys.size(); ++i)
+          cell.set(axis.keys[i], axis.values[c][i]);
+        if (!axis.labels.empty()) {
+          cell.label = axis.labels[c];
+        } else {
+          std::string label = cell.display_label();
+          for (std::size_t i = 0; i < axis.keys.size(); ++i)
+            label += " " + axis.keys[i] + "=" + axis.values[c][i];
+          cell.label = label;
+        }
+        next.push_back(std::move(cell));
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+ScenarioSpec ScenarioSpec::from_stream(std::istream& in,
+                                       const std::string& origin) {
+  ScenarioSpec spec;
+  bool have_base = false;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    OSP_REQUIRE_MSG(eq != std::string::npos,
+                    origin << ":" << lineno << ": expected 'key = value', got '"
+                           << line << "'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    OSP_REQUIRE_MSG(!key.empty(),
+                    origin << ":" << lineno << ": missing key before '='");
+
+    // Prefix every downstream parse error (unknown key, bad value, bad
+    // sweep range) with the config location so a shared file fails loudly
+    // AND findably.
+    try {
+      if (key == "scenario") {
+        OSP_REQUIRE_MSG(!have_base,
+                        "'scenario' must appear exactly once, first");
+        spec = scenarios().at(value);
+        have_base = true;
+        continue;
+      }
+      OSP_REQUIRE_MSG(have_base,
+                      "the first directive must be 'scenario = <name>' "
+                      "naming the registry entry to start from");
+      if (key == "name") {
+        spec.name = value;
+      } else if (key == "label") {
+        spec.label = value;
+      } else if (key == "trials") {
+        const std::size_t trials = parse_size("config key trials", value);
+        OSP_REQUIRE_MSG(trials >= 1 && trials <= 1000000000,
+                        "config key trials must be in [1, 1e9], got "
+                            << trials);
+        spec.default_trials = static_cast<int>(trials);
+      } else if (key.rfind("sweep.", 0) == 0) {
+        const std::string axis_key = key.substr(6);
+        OSP_REQUIRE_MSG(!axis_key.empty(),
+                        "sweep directive needs a key: 'sweep.<key> = …'");
+        for (const SweepAxis& existing : spec.sweep)
+          for (const std::string& k : existing.keys)
+            OSP_REQUIRE_MSG(k != axis_key,
+                            "'" << axis_key
+                                << "' is already swept (by this config or "
+                                   "the base scenario)");
+        SweepAxis axis = sweep_axis(axis_key, value);
+        // Probe every value now so a typo'd key OR value fails on its
+        // own line, not at expand() time far from the file.
+        ScenarioSpec probe = spec;
+        for (const std::vector<std::string>& cell : axis.values)
+          probe.set(axis_key, cell.front());
+        spec.vary(std::move(axis));
+      } else {
+        // Mirror the CLI-flag rule: a plain override of a key the base
+        // scenario sweeps would be silently clobbered by the axis values
+        // at expand() time.
+        for (const SweepAxis& existing : spec.sweep)
+          for (const std::string& k : existing.keys)
+            OSP_REQUIRE_MSG(k != key,
+                            "'" << key
+                                << "' is swept by the base scenario; set "
+                                   "sweep."
+                                << key << " instead");
+        spec.set(key, value);
+      }
+    } catch (const RequireError& e) {
+      // Re-thrown with the config location composed in directly — a
+      // second OSP_REQUIRE wrap would bury the message under another
+      // "requirement failed at scenario.cpp:…" preamble.
+      throw RequireError(origin + ":" + std::to_string(lineno) + ": " +
+                         e.what());
+    }
+  }
+  OSP_REQUIRE_MSG(have_base, origin
+                                 << ": empty config — the first directive "
+                                    "must be 'scenario = <name>'");
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::from_file(const std::string& path) {
+  std::ifstream in(path);
+  OSP_REQUIRE_MSG(in.good(),
+                  "cannot open scenario config '" << path << "'");
+  return from_stream(in, path);
+}
+
 ScenarioSpec& ScenarioSpec::set(const std::string& key,
                                 const std::string& value) {
   const std::string what = "scenario parameter --" + key;
@@ -55,6 +311,7 @@ ScenarioSpec& ScenarioSpec::set(const std::string& key,
     capacity = static_cast<Capacity>(parse_size(what, value));
   else if (key == "service-rate")
     service_rate = static_cast<Capacity>(parse_size(what, value));
+  else if (key == "buffer") buffer = parse_size(what, value);
   else if (key == "weights") weights = weight_model_from(value);
   else
     OSP_REQUIRE_MSG(false,
@@ -62,7 +319,7 @@ ScenarioSpec& ScenarioSpec::set(const std::string& key,
                         << key
                         << "' (known: m n k sigma cap-max ell t streams "
                            "frames packets switches capacity service-rate "
-                           "weights)");
+                           "buffer weights)");
   return *this;
 }
 
@@ -89,6 +346,33 @@ Instance build_instance(const ScenarioSpec& spec, Rng& rng) {
   }
   OSP_REQUIRE_MSG(false, "scenario '" << spec.name << "' has an unknown family");
   return InstanceBuilder{}.build();
+}
+
+bool affects_instance(const std::string& key, ScenarioFamily family) {
+  auto any_of = [&key](std::initializer_list<const char*> keys) {
+    for (const char* k : keys)
+      if (key == k) return true;
+    return false;
+  };
+  switch (family) {
+    case ScenarioFamily::kRandom:
+      return any_of({"m", "n", "k", "weights"});
+    case ScenarioFamily::kRandomCapacity:
+      return any_of({"m", "n", "k", "cap-max", "weights"});
+    case ScenarioFamily::kRegular:
+      return any_of({"m", "k", "sigma", "weights"});
+    case ScenarioFamily::kFixedLoad:
+      return any_of({"m", "n", "sigma", "weights"});
+    case ScenarioFamily::kVideo:
+      return any_of({"streams", "frames", "capacity"});
+    case ScenarioFamily::kMultihop:
+      return any_of({"packets", "switches"});
+    case ScenarioFamily::kWeakLb:
+      return any_of({"t"});
+    case ScenarioFamily::kLemma9:
+      return any_of({"ell"});
+  }
+  return true;  // unknown family: stay quiet rather than mis-warn
 }
 
 VideoWorkload build_video(const ScenarioSpec& spec, Rng& rng) {
@@ -144,22 +428,35 @@ std::string ScenarioRegistry::render_catalog() const {
 
 namespace {
 
-ScenarioSpec engine_shape(const char* name, const char* label, std::size_t m,
-                          std::size_t n, std::size_t k) {
-  ScenarioSpec s;
-  s.name = name;
-  s.label = label;
-  s.description = "engine-throughput ladder: random m=" +
-                  std::to_string(m) + " n=" + std::to_string(n) +
-                  " k=" + std::to_string(k);
-  s.family = ScenarioFamily::kRandom;
-  s.m = m;
-  s.n = n;
-  s.k = k;
-  s.weights = WeightModel::unit();
-  s.engine_shape = true;
-  return s;
+/// "sigma=2,3,4" for a single-key axis, "m,n,k=64/128/4;1024/2048/4;…"
+/// for a zipped one — the catalog table's sweep column.
+std::string axis_summary(const SweepAxis& axis) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < axis.keys.size(); ++i)
+    os << (i ? "," : "") << axis.keys[i];
+  os << '=';
+  for (std::size_t c = 0; c < axis.cells(); ++c) {
+    os << (c ? (axis.keys.size() > 1 ? ";" : ",") : "");
+    for (std::size_t i = 0; i < axis.values[c].size(); ++i)
+      os << (i ? "/" : "") << axis.values[c][i];
+  }
+  return os.str();
 }
+
+}  // namespace
+
+std::string ScenarioRegistry::render_markdown() const {
+  std::vector<std::vector<std::string>> rows;
+  for (const ScenarioSpec& s : entries_) {
+    std::vector<std::string> axes;
+    for (const SweepAxis& axis : s.sweep) axes.push_back(axis_summary(axis));
+    rows.push_back({'`' + s.name + '`', s.description,
+                    detail::code_list(axes, " × ")});
+  }
+  return detail::markdown_table({"name", "description", "sweep"}, rows);
+}
+
+namespace {
 
 ScenarioRegistry build_catalog() {
   ScenarioRegistry reg;
@@ -223,20 +520,149 @@ ScenarioRegistry build_catalog() {
     reg.add(s);
   }
 
-  // The engine-throughput ladder (bench_perf's workload table).  Labels
-  // are the BENCH_engine.json row keys and must stay stable across PRs —
-  // the perf trajectory is keyed on them.  The last entry is the largest
-  // workload the acceptance gates are measured on: sustained ~sigma=16
-  // congestion over a quarter-million arrivals.
-  reg.add(engine_shape("engine/legacy-64", "legacy/64", 64, 128, 4));
-  reg.add(engine_shape("engine/legacy-1024", "legacy/1024", 1024, 2048, 4));
-  reg.add(engine_shape("engine/legacy-4096", "legacy/4096", 4096, 8192, 4));
-  reg.add(engine_shape("engine/router-32k", "router/32k", 1024, 32768, 64));
-  reg.add(
-      engine_shape("engine/router-128k", "router/128k", 4096, 131072, 64));
-  reg.add(engine_shape("engine/overload-256k", "overload/256k", 8192, 262144,
-                       512));
+  // ---------------------------------------------------------------
+  // Declarative sweeps: the per-bench sweep loops as data.  The benches
+  // iterate expand(scenarios().at(...)) instead of hand-rolled value
+  // lists, so the swept values below ARE the committed BENCH_*.json row
+  // keys — change them and the perf trajectory re-keys.
 
+  // The engine-throughput ladder (bench_perf's workload table), one
+  // zipped (m, n, k) axis.  The cell labels are the BENCH_engine.json
+  // row keys and must stay stable across PRs — the perf trajectory is
+  // keyed on them.  The last cell is the largest workload the
+  // acceptance gates are measured on: sustained ~sigma=16 congestion
+  // over a quarter-million arrivals.
+  {
+    ScenarioSpec s;
+    s.name = "engine/ladder";
+    s.description =
+        "engine-throughput ladder: 6 random shapes up to m=8192 n=262144";
+    s.family = ScenarioFamily::kRandom;
+    s.m = 64;
+    s.n = 128;
+    s.k = 4;
+    s.weights = WeightModel::unit();
+    s.engine_shape = true;
+    s.vary(sweep_axis({"m", "n", "k"},
+                      {{"64", "128", "4"},
+                       {"1024", "2048", "4"},
+                       {"4096", "8192", "4"},
+                       {"1024", "32768", "64"},
+                       {"4096", "131072", "64"},
+                       {"8192", "262144", "512"}},
+                      {"legacy/64", "legacy/1024", "legacy/4096",
+                       "router/32k", "router/128k", "overload/256k"}));
+    reg.add(s);
+  }
+
+  // bench_uniform's three sweeps (E3: Theorems 5/6, Corollary 7).
+  {
+    ScenarioSpec s;
+    s.name = "uniform/corollary7";
+    s.description =
+        "bi-regular sweep: k=3 fixed, sigma rising, n held at 24";
+    s.family = ScenarioFamily::kRegular;
+    s.m = 16;
+    s.k = 3;
+    s.sigma = 2;
+    s.default_trials = 600;
+    // m = 8·sigma keeps n = mk/sigma = 24 constant across the axis.
+    s.vary(sweep_axis({"m", "sigma"}, {{"16", "2"},
+                                       {"24", "3"},
+                                       {"32", "4"},
+                                       {"48", "6"},
+                                       {"64", "8"},
+                                       {"96", "12"}}));
+    reg.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "uniform/theorem5";
+    s.description = "uniform size k rising, loads vary (random instances)";
+    s.family = ScenarioFamily::kRandom;
+    s.m = 24;
+    s.n = 18;
+    s.k = 2;
+    s.default_trials = 600;
+    s.vary(sweep_axis("k", "2,3,4,5"));
+    reg.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "uniform/theorem6";
+    s.description = "uniform load sigma rising, sizes vary";
+    s.family = ScenarioFamily::kFixedLoad;
+    s.m = 20;
+    s.n = 30;
+    s.sigma = 2;
+    s.default_trials = 600;
+    s.vary(sweep_axis("sigma", "2,3,4,6,8"));
+    reg.add(s);
+  }
+
+  // bench_capacity's two sweeps (E6: Theorem 4).
+  {
+    ScenarioSpec s;
+    s.name = "capacity/random";
+    s.description = "capacities U[1, cap-max] for growing cap-max";
+    s.family = ScenarioFamily::kRandomCapacity;
+    s.m = 22;
+    s.n = 20;
+    s.k = 3;
+    s.cap_max = 1;
+    s.default_trials = 600;
+    s.vary(sweep_axis("cap-max", "1,2,3,4,6,8"));
+    reg.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "capacity/uniform";
+    s.description = "fixed random layout, uniform capacity b rising";
+    s.family = ScenarioFamily::kRandom;
+    s.m = 24;
+    s.n = 18;
+    s.k = 3;
+    s.default_trials = 600;
+    s.vary(sweep_axis("capacity", "1..4"));
+    reg.add(s);
+  }
+
+  // bench_router's sweeps (E7 sections (a), (b), (d)/(e)).
+  {
+    ScenarioSpec s;
+    s.name = "router/unbuffered";
+    s.description = "GOP video through an unbuffered link, streams rising";
+    s.family = ScenarioFamily::kVideo;
+    s.streams = 4;
+    s.frames = 24;
+    s.default_trials = 25;
+    s.vary(sweep_axis("streams", "4,8,12"));
+    reg.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "router/buffered";
+    s.description = "10 video streams, buffer ladder 0..64 (open problem 2)";
+    s.family = ScenarioFamily::kVideo;
+    s.streams = 10;
+    s.frames = 24;
+    s.service_rate = 1;
+    s.default_trials = 25;
+    s.vary(sweep_axis("buffer", "0,2,4,8,16,32,64"));
+    reg.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "router/buffered-smoke";
+    s.description = "toy-size buffered ladder for sanitized smoke runs";
+    s.family = ScenarioFamily::kVideo;
+    s.streams = 10;
+    s.frames = 24;
+    s.service_rate = 1;
+    s.default_trials = 4;
+    s.vary(sweep_axis("buffer", "0,4,16"));
+    reg.add(s);
+  }
   {  // bench_router's big buffered scenario (sections (d)/(e)).
     ScenarioSpec s;
     s.name = "router/overload";
@@ -246,6 +672,9 @@ ScenarioRegistry build_catalog() {
     s.streams = 64;
     s.frames = 6720;
     s.service_rate = 32;
+    s.buffer = 256;
+    s.default_trials = 3;
+    s.vary(sweep_axis("buffer", "256,1024,4096"));
     reg.add(s);
   }
   {
@@ -256,6 +685,9 @@ ScenarioRegistry build_catalog() {
     s.streams = 8;
     s.frames = 60;
     s.service_rate = 4;
+    s.buffer = 16;
+    s.default_trials = 2;
+    s.vary(sweep_axis("buffer", "16,64"));
     reg.add(s);
   }
 
@@ -269,10 +701,12 @@ ScenarioRegistry& scenarios() {
   return registry;
 }
 
-std::vector<const ScenarioSpec*> engine_shapes() {
-  std::vector<const ScenarioSpec*> out;
-  for (const ScenarioSpec& s : scenarios().entries())
-    if (s.engine_shape) out.push_back(&s);
+std::vector<ScenarioSpec> engine_shapes() {
+  std::vector<ScenarioSpec> out;
+  for (const ScenarioSpec& s : scenarios().entries()) {
+    if (!s.engine_shape) continue;
+    for (ScenarioSpec& cell : expand(s)) out.push_back(std::move(cell));
+  }
   return out;
 }
 

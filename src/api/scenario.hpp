@@ -16,9 +16,17 @@
 // Specs are value types: copy one out of the registry, override fields
 // (directly or via set(key, value) from CLI-style strings), and compile it
 // with build_instance() / build_video() / build_multihop().
+//
+// A spec can also carry SweepAxes — swept parameter dimensions declared as
+// data.  expand() turns one swept spec into the concrete grid of specs the
+// benches and `osp_cli bench` iterate, so a whole bench sweep is one
+// declarative object instead of a recompiled loop.  Specs (including their
+// axes) load from key=value config files via from_file(), making scenarios
+// and sweeps shareable without recompiling.
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -41,6 +49,32 @@ enum class ScenarioFamily {
   kWeakLb,          // build_weak_lb_instance(t)
   kLemma9,          // build_lemma9_instance(ell)
 };
+
+/// One swept dimension of a scenario.  An axis varies one or more spec
+/// keys together (zipped): cell c applies set(keys[i], values[c][i]) for
+/// every key i.  A spec with several axes expands as their cartesian
+/// product, first axis outermost (see expand()).
+struct SweepAxis {
+  std::vector<std::string> keys;
+  std::vector<std::vector<std::string>> values;  // [cell][key index]
+  /// Optional display label per cell; when set, the expanded spec's label
+  /// becomes labels[cell] (the engine ladder's BENCH row keys work this
+  /// way).  Empty, or one entry per cell.
+  std::vector<std::string> labels;
+
+  std::size_t cells() const { return values.size(); }
+};
+
+/// Single-key axis from a value-list string: comma-separated elements,
+/// each a literal value or an inclusive lo..hi[..step] integer range —
+/// "2,3,4", "2..12", "2..12..2", and mixes like "1,4..6" all work.
+SweepAxis sweep_axis(const std::string& key, const std::string& values);
+
+/// Zipped multi-key axis: cell c assigns cells[c][i] to keys[i].  `labels`
+/// (optional) names the expanded specs, one entry per cell.
+SweepAxis sweep_axis(std::vector<std::string> keys,
+                     std::vector<std::vector<std::string>> cells,
+                     std::vector<std::string> labels = {});
 
 /// A declarative workload description.  Field meaning depends on family;
 /// unused fields are ignored by build_*().
@@ -68,11 +102,15 @@ struct ScenarioSpec {
   std::size_t switches = 6;      // kMultihop: path length
   Capacity capacity = 1;         // kVideo→instance link capacity
   Capacity service_rate = 1;     // router benches: packets served per slot
+  std::size_t buffer = 0;        // router benches: packets that can wait
 
   // Bench plumbing.
   std::string label;         // table/JSON label; name when empty
   int default_trials = 100;  // suggested trial count for `osp_cli bench`
   bool engine_shape = false; // member of the engine-throughput ladder
+
+  /// Swept dimensions; empty for a plain single-cell scenario.
+  std::vector<SweepAxis> sweep;
 
   /// The label benches key their rows on.
   const std::string& display_label() const {
@@ -82,11 +120,41 @@ struct ScenarioSpec {
   /// Applies a CLI-style string override ("m", "sigma", "weights", …).
   /// Throws RequireError naming the key on unknown keys or bad values.
   ScenarioSpec& set(const std::string& key, const std::string& value);
+
+  /// Appends a sweep axis (builder style for catalog registration).
+  ScenarioSpec& vary(SweepAxis axis) {
+    sweep.push_back(std::move(axis));
+    return *this;
+  }
+
+  /// Parses a key=value scenario config ('#' comments, blank lines
+  /// ignored).  The first directive must be `scenario = <base>` naming the
+  /// registry entry to copy; later lines override fields through set()
+  /// (strict unknown-key errors, prefixed with origin:line), with the
+  /// extra keys `name`, `label`, `trials`, and `sweep.<key> = <values>`
+  /// (one single-key axis per line, sweep_axis() value syntax).
+  static ScenarioSpec from_stream(std::istream& in, const std::string& origin);
+  static ScenarioSpec from_file(const std::string& path);
 };
+
+/// Expands a spec's sweep axes into the concrete grid of specs, cartesian
+/// product in declaration order (first axis outermost).  Every returned
+/// spec has its axes cleared, fields overridden through set(), and a label
+/// naming the cell (axis labels when declared, appended "key=value" pairs
+/// otherwise).  A spec without axes expands to itself, so callers can
+/// iterate unconditionally.  Throws RequireError on malformed axes
+/// (unknown key, zip length mismatch, empty axis).
+std::vector<ScenarioSpec> expand(const ScenarioSpec& spec);
 
 /// Compiles a scenario into a set-packing Instance (every family can;
 /// traffic families convert through their schedule, like `osp_cli gen`).
 Instance build_instance(const ScenarioSpec& spec, Rng& rng);
+
+/// True when `key` influences build_instance() for `family`.  Router-only
+/// knobs (buffer, service-rate) and keys a family ignores return false —
+/// what `osp_cli bench` uses to warn that a packing grid swept over such
+/// a key yields identical columns that differ only in label.
+bool affects_instance(const std::string& key, ScenarioFamily family);
 
 /// Compiles a kVideo scenario into the router benches' frame workload.
 VideoWorkload build_video(const ScenarioSpec& spec, Rng& rng);
@@ -102,6 +170,8 @@ class ScenarioRegistry {
   const ScenarioSpec& at(const std::string& name) const;
   const std::vector<ScenarioSpec>& entries() const { return entries_; }
   std::string render_catalog() const;
+  /// "| name | description | sweep |" markdown table (docs/CATALOG.md).
+  std::string render_markdown() const;
 
  private:
   std::vector<ScenarioSpec> entries_;
@@ -110,10 +180,11 @@ class ScenarioRegistry {
 /// The process-wide catalog (populated at first use).
 ScenarioRegistry& scenarios();
 
-/// The engine-throughput ladder (scenarios with engine_shape set), in
-/// registration order — bench_perf's workload table.  The last entry is
-/// the "largest workload" the perf gates are measured on.
-std::vector<const ScenarioSpec*> engine_shapes();
+/// The engine-throughput ladder — the expansion of the scenarios with
+/// engine_shape set (the "engine/ladder" zipped sweep), in registration
+/// order; bench_perf's workload table.  The last entry is the "largest
+/// workload" the perf gates are measured on.
+std::vector<ScenarioSpec> engine_shapes();
 
 /// Strict non-negative integer parse for CLI flags and spec overrides;
 /// throws RequireError naming `what` on malformed input (the seed CLI

@@ -65,7 +65,10 @@ struct RouterStats {
 RouterStats simulate_router(const FrameSchedule& schedule,
                             OnlineAlgorithm& alg, Capacity service_rate = 1);
 
-/// Per-frame priority oracle for the buffered router.
+/// Per-frame priority oracle for the buffered router.  Shipped rankers
+/// self-register in api::rankers() (api/ranker_registry.hpp; registrar
+/// statics at the bottom of router_sim.cpp), which is what the router
+/// benches and `osp_cli bench --ranker` enumerate.
 class FrameRanker {
  public:
   virtual ~FrameRanker() = default;

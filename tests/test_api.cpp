@@ -1,21 +1,27 @@
 // Tests for the experiment API layer (src/api): the policy registry's
-// round-trip and param-syntax error surface, the scenario registry and
-// spec compilation, the Session measure/grid facade (bit-identical to
-// the historical serial loops), and a golden check that JsonSink output
-// passes the repository's BENCH_*.json schema validator.
+// round-trip and param-syntax error surface, the scenario registry, spec
+// compilation, sweep-axis expansion, the key=value config loader, the
+// ranker registry's round-trip parity with the hand-built router list,
+// the Session measure/grid facade (bit-identical to the historical
+// serial loops), and a golden check that JsonSink output passes the
+// repository's BENCH_*.json schema validator.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "api/policy_registry.hpp"
+#include "api/ranker_registry.hpp"
 #include "api/result_sink.hpp"
 #include "api/scenario.hpp"
 #include "api/session.hpp"
 #include "core/game.hpp"
 #include "core/rand_pr.hpp"
 #include "gen/random_instances.hpp"
+#include "gen/video.hpp"
+#include "net/router_sim.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
 
@@ -103,19 +109,24 @@ TEST(PolicyRegistry, UnknownVariantErrorsNameTheFamily) {
 
 TEST(ScenarioRegistry, CatalogCoversFamiliesAndEngineShapes) {
   EXPECT_GE(api::scenarios().entries().size(), 6u);
-  for (const char* expected : {"random", "regular", "fixedload", "video",
-                               "multihop", "weaklb", "lemma9"})
+  for (const char* expected :
+       {"random", "regular", "fixedload", "video", "multihop", "weaklb",
+        "lemma9", "engine/ladder", "uniform/corollary7", "uniform/theorem5",
+        "uniform/theorem6", "capacity/random", "capacity/uniform",
+        "router/unbuffered", "router/buffered", "router/overload"})
     EXPECT_NE(api::scenarios().find(expected), nullptr) << expected;
 
-  // The engine ladder replaces bench_common's workload table; the labels
-  // are the BENCH_engine.json row keys and must stay stable.
+  // The engine ladder is now one zipped sweep ("engine/ladder"); its
+  // expanded cell labels are the BENCH_engine.json row keys and must
+  // stay stable.
   auto shapes = api::engine_shapes();
   ASSERT_EQ(shapes.size(), 6u);
-  EXPECT_EQ(shapes.front()->display_label(), "legacy/64");
-  EXPECT_EQ(shapes.back()->display_label(), "overload/256k");
-  EXPECT_EQ(shapes.back()->m, 8192u);
-  EXPECT_EQ(shapes.back()->n, 262144u);
-  EXPECT_EQ(shapes.back()->k, 512u);
+  EXPECT_EQ(shapes.front().display_label(), "legacy/64");
+  EXPECT_EQ(shapes.front().m, 64u);
+  EXPECT_EQ(shapes.back().display_label(), "overload/256k");
+  EXPECT_EQ(shapes.back().m, 8192u);
+  EXPECT_EQ(shapes.back().n, 262144u);
+  EXPECT_EQ(shapes.back().k, 512u);
 }
 
 TEST(ScenarioRegistry, EveryScenarioBuildsAnInstance) {
@@ -165,6 +176,366 @@ TEST(ScenarioSpec, ParseSizeNamesTheFlag) {
     } catch (const RequireError& e) {
       EXPECT_NE(std::string(e.what()).find("--m"), std::string::npos)
           << bad;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Sweep axes and expansion.
+
+TEST(SweepAxis, ValueListsAndRangesParse) {
+  api::SweepAxis a = api::sweep_axis("sigma", "2,3,4");
+  ASSERT_EQ(a.cells(), 3u);
+  EXPECT_EQ(a.values[0][0], "2");
+  EXPECT_EQ(a.values[2][0], "4");
+
+  // Inclusive ranges, with and without a step, mixed with literals.
+  a = api::sweep_axis("m", "2..5");
+  ASSERT_EQ(a.cells(), 4u);
+  EXPECT_EQ(a.values[3][0], "5");
+  a = api::sweep_axis("m", "2..12..3");
+  ASSERT_EQ(a.cells(), 4u);  // 2, 5, 8, 11
+  EXPECT_EQ(a.values[1][0], "5");
+  EXPECT_EQ(a.values[3][0], "11");
+  a = api::sweep_axis("m", "1, 4..6, 9");
+  ASSERT_EQ(a.cells(), 5u);
+  EXPECT_EQ(a.values[1][0], "4");
+  EXPECT_EQ(a.values[4][0], "9");
+  // Non-range literals (weight-model names) pass through untouched.
+  a = api::sweep_axis("weights", "unit,zipf");
+  ASSERT_EQ(a.cells(), 2u);
+  EXPECT_EQ(a.values[1][0], "zipf");
+
+  EXPECT_THROW(api::sweep_axis("m", ""), RequireError);
+  EXPECT_THROW(api::sweep_axis("m", "3,,4"), RequireError);
+  EXPECT_THROW(api::sweep_axis("m", "5..2"), RequireError);
+  EXPECT_THROW(api::sweep_axis("m", "2..8..0"), RequireError);
+  EXPECT_THROW(api::sweep_axis("m", "2..x"), RequireError);
+  // A typo'd huge range must error, not materialize billions of cells.
+  EXPECT_THROW(api::sweep_axis("m", "1..4000000000"), RequireError);
+  // The count-based loop cannot wrap past hi: a step of 2^64-1 over the
+  // full u64 range is exactly two cells, not an infinite loop.
+  a = api::sweep_axis("m",
+                      "0..18446744073709551615..18446744073709551615");
+  ASSERT_EQ(a.cells(), 2u);
+  EXPECT_EQ(a.values[0][0], "0");
+  EXPECT_EQ(a.values[1][0], "18446744073709551615");
+}
+
+TEST(SweepExpansion, CartesianProductAppliesValuesAndLabels) {
+  api::ScenarioSpec spec = api::scenarios().at("random");
+  spec.vary(api::sweep_axis("sigma", "2,4"));
+  spec.vary(api::sweep_axis("k", "3,5"));
+
+  auto cells = api::expand(spec);
+  ASSERT_EQ(cells.size(), 4u);  // first axis outermost
+  EXPECT_EQ(cells[0].sigma, 2u);
+  EXPECT_EQ(cells[0].k, 3u);
+  EXPECT_EQ(cells[1].sigma, 2u);
+  EXPECT_EQ(cells[1].k, 5u);
+  EXPECT_EQ(cells[3].sigma, 4u);
+  EXPECT_EQ(cells[3].k, 5u);
+  EXPECT_EQ(cells[0].display_label(), "random sigma=2 k=3");
+  EXPECT_EQ(cells[3].display_label(), "random sigma=4 k=5");
+  for (const api::ScenarioSpec& cell : cells) {
+    EXPECT_TRUE(cell.sweep.empty());        // cells are concrete
+    EXPECT_EQ(cell.name, spec.name);        // name survives, label varies
+    EXPECT_EQ(cell.m, spec.m);              // unswept fields untouched
+  }
+
+  // A spec without axes expands to exactly itself.
+  auto plain = api::expand(api::scenarios().at("random"));
+  ASSERT_EQ(plain.size(), 1u);
+  EXPECT_EQ(plain[0].display_label(), "random");
+}
+
+TEST(SweepExpansion, ZippedAxisVariesKeysTogether) {
+  api::ScenarioSpec spec = api::scenarios().at("uniform/corollary7");
+  auto cells = api::expand(spec);
+  ASSERT_EQ(cells.size(), 6u);
+  // m = 8·sigma in every cell — the zip, not a cartesian square.
+  for (const api::ScenarioSpec& cell : cells)
+    EXPECT_EQ(cell.m, 8 * cell.sigma);
+  EXPECT_EQ(cells.front().sigma, 2u);
+  EXPECT_EQ(cells.back().sigma, 12u);
+  EXPECT_EQ(cells.back().m, 96u);
+}
+
+TEST(SweepExpansion, MalformedAxesThrow) {
+  api::ScenarioSpec spec = api::scenarios().at("random");
+
+  // Unknown key: the error comes from the shared set() surface.
+  spec.sweep = {api::sweep_axis("frobnication", "1,2")};
+  EXPECT_THROW(api::expand(spec), RequireError);
+
+  // Zip length mismatch.
+  spec.sweep = {api::sweep_axis({"m", "n"}, {{"8", "16"}, {"12"}})};
+  EXPECT_THROW(api::expand(spec), RequireError);
+
+  // Empty axis and label-count mismatch.
+  spec.sweep = {api::SweepAxis{{"m"}, {}, {}}};
+  EXPECT_THROW(api::expand(spec), RequireError);
+  spec.sweep = {api::sweep_axis({"m"}, {{"8"}, {"12"}}, {"only-one"})};
+  EXPECT_THROW(api::expand(spec), RequireError);
+
+  // A key swept by two axes (or twice within a zip) would silently
+  // square the grid with lying labels; both are rejected.
+  spec.sweep = {api::sweep_axis("k", "2,3"), api::sweep_axis("k", "4,5")};
+  EXPECT_THROW(api::expand(spec), RequireError);
+  spec.sweep = {api::sweep_axis({"m", "m"}, {{"8", "9"}})};
+  EXPECT_THROW(api::expand(spec), RequireError);
+
+  // The cartesian product is capped: two in-bounds axes whose product
+  // explodes must throw before materializing any cell.
+  spec.sweep = {api::sweep_axis("m", "1..10000"),
+                api::sweep_axis("sigma", "1..10000")};
+  EXPECT_THROW(api::expand(spec), RequireError);
+}
+
+// ---------------------------------------------------------------------
+// Config-file scenarios.
+
+TEST(ScenarioConfig, StreamRoundTripIncludingSweep) {
+  std::istringstream in(
+      "# demo config\n"
+      "scenario = regular   # base entry to copy\n"
+      "\n"
+      "m = 12\n"
+      "sigma = 3\n"
+      "weights = zipf\n"
+      "label = demo\n"
+      "trials = 42\n"
+      "sweep.k = 2,3\n");
+  api::ScenarioSpec spec = api::ScenarioSpec::from_stream(in, "demo.cfg");
+  EXPECT_EQ(spec.name, "regular");
+  EXPECT_EQ(spec.m, 12u);
+  EXPECT_EQ(spec.sigma, 3u);
+  EXPECT_EQ(spec.weights.kind, WeightModel::Kind::kZipf);
+  EXPECT_EQ(spec.label, "demo");
+  EXPECT_EQ(spec.default_trials, 42);
+  ASSERT_EQ(spec.sweep.size(), 1u);
+
+  auto cells = api::expand(spec);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].k, 2u);
+  EXPECT_EQ(cells[1].k, 3u);
+  EXPECT_EQ(cells[0].display_label(), "demo k=2");
+  for (const api::ScenarioSpec& cell : cells) {
+    Rng rng(3);
+    Instance inst = api::build_instance(cell, rng);
+    EXPECT_EQ(inst.num_sets(), 12u);
+  }
+}
+
+TEST(ScenarioConfig, FileRoundTrip) {
+  const char* path = "test_api_scenario.cfg";
+  // Removed even when from_file throws, so a failing run cannot leak the
+  // file into the directory the test ran from.
+  struct Cleanup {
+    const char* path;
+    ~Cleanup() { std::remove(path); }
+  } cleanup{path};
+  {
+    std::ofstream out(path);
+    out << "scenario = random\nm = 9\nn = 14\nsweep.k = 2..3\n";
+  }
+  api::ScenarioSpec spec = api::ScenarioSpec::from_file(path);
+  EXPECT_EQ(spec.m, 9u);
+  EXPECT_EQ(spec.n, 14u);
+  EXPECT_EQ(api::expand(spec).size(), 2u);
+
+  EXPECT_THROW(api::ScenarioSpec::from_file("no-such-config.cfg"),
+               RequireError);
+}
+
+TEST(ScenarioConfig, ErrorsNameTheOriginLineAndKey) {
+  // Unknown key: strict, names the key and the config location.
+  {
+    std::istringstream in("scenario = random\nfrobnication = 9\n");
+    try {
+      api::ScenarioSpec::from_stream(in, "bad.cfg");
+      FAIL() << "expected RequireError";
+    } catch (const RequireError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("bad.cfg:2"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("frobnication"), std::string::npos) << msg;
+    }
+  }
+  // Malformed line (no '=').
+  {
+    std::istringstream in("scenario = random\njust some words\n");
+    try {
+      api::ScenarioSpec::from_stream(in, "bad.cfg");
+      FAIL() << "expected RequireError";
+    } catch (const RequireError& e) {
+      EXPECT_NE(std::string(e.what()).find("bad.cfg:2"), std::string::npos);
+    }
+  }
+  // Missing/duplicate/unknown base scenario, bad values, bad sweep key.
+  {
+    std::istringstream in("m = 9\n");
+    EXPECT_THROW(api::ScenarioSpec::from_stream(in, "bad.cfg"),
+                 RequireError);
+  }
+  {
+    std::istringstream in("scenario = random\nscenario = regular\n");
+    EXPECT_THROW(api::ScenarioSpec::from_stream(in, "bad.cfg"),
+                 RequireError);
+  }
+  {
+    std::istringstream in("scenario = no-such-scenario\n");
+    EXPECT_THROW(api::ScenarioSpec::from_stream(in, "bad.cfg"),
+                 RequireError);
+  }
+  {
+    std::istringstream in("scenario = random\nm = 12x\n");
+    EXPECT_THROW(api::ScenarioSpec::from_stream(in, "bad.cfg"),
+                 RequireError);
+  }
+  {  // sweep over an unknown key fails on its own line, not at expand().
+    std::istringstream in("scenario = random\nsweep.bogus = 1,2\n");
+    try {
+      api::ScenarioSpec::from_stream(in, "bad.cfg");
+      FAIL() << "expected RequireError";
+    } catch (const RequireError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("bad.cfg:2"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("bogus"), std::string::npos) << msg;
+    }
+  }
+  {  // ... and so does a malformed value anywhere in the list, not just
+     // the first (every cell is probed at load time).
+    std::istringstream in("scenario = random\nsweep.m = 8,zzz\n");
+    try {
+      api::ScenarioSpec::from_stream(in, "bad.cfg");
+      FAIL() << "expected RequireError";
+    } catch (const RequireError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("bad.cfg:2"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("zzz"), std::string::npos) << msg;
+    }
+  }
+  {  // a plain override of a key the base scenario sweeps would be
+     // clobbered at expand() time; refused at load like the CLI flag.
+    std::istringstream in("scenario = router/buffered\nbuffer = 7\n");
+    try {
+      api::ScenarioSpec::from_stream(in, "bad.cfg");
+      FAIL() << "expected RequireError";
+    } catch (const RequireError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("bad.cfg:2"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("sweep.buffer"), std::string::npos) << msg;
+    }
+  }
+  {  // duplicate sweep axes over one key fail at load, on their line.
+    std::istringstream in(
+        "scenario = random\nsweep.k = 2,3\nsweep.k = 4,5\n");
+    try {
+      api::ScenarioSpec::from_stream(in, "bad.cfg");
+      FAIL() << "expected RequireError";
+    } catch (const RequireError& e) {
+      EXPECT_NE(std::string(e.what()).find("bad.cfg:3"), std::string::npos)
+          << e.what();
+    }
+  }
+  {  // empty config
+    std::istringstream in("# nothing but comments\n");
+    EXPECT_THROW(api::ScenarioSpec::from_stream(in, "bad.cfg"),
+                 RequireError);
+  }
+}
+
+TEST(ScenarioSpec, AffectsInstanceSeparatesPackingFromRouterKnobs) {
+  using api::ScenarioFamily;
+  EXPECT_TRUE(api::affects_instance("m", ScenarioFamily::kRandom));
+  EXPECT_TRUE(api::affects_instance("sigma", ScenarioFamily::kRegular));
+  EXPECT_TRUE(api::affects_instance("streams", ScenarioFamily::kVideo));
+  EXPECT_TRUE(api::affects_instance("capacity", ScenarioFamily::kVideo));
+  // Router-only knobs and keys a family ignores.
+  EXPECT_FALSE(api::affects_instance("buffer", ScenarioFamily::kVideo));
+  EXPECT_FALSE(
+      api::affects_instance("service-rate", ScenarioFamily::kVideo));
+  EXPECT_FALSE(api::affects_instance("capacity", ScenarioFamily::kRandom));
+  EXPECT_FALSE(api::affects_instance("sigma", ScenarioFamily::kRandom));
+}
+
+// ---------------------------------------------------------------------
+// RankerRegistry.
+
+TEST(RankerRegistry, CatalogMatchesTheHistoricalHandBuiltList) {
+  // bench_router's old hand-built list, now the registration order (the
+  // names key BENCH_router.json rows, so they must stay stable).
+  const std::vector<std::string> expected = {"randPr", "by-weight",
+                                             "drop-tail", "random-drop"};
+  EXPECT_EQ(api::rankers().names(), expected);
+  // Display-name/alias lookups resolve, and every registered name equals
+  // the constructed ranker's self-reported name().
+  EXPECT_EQ(api::rankers().find("randpr"), api::rankers().find("randPr"));
+  for (const api::RankerInfo& info : api::rankers().entries()) {
+    auto ranker = info.make(Rng(1));
+    ASSERT_NE(ranker, nullptr) << info.name;
+    EXPECT_EQ(ranker->name(), info.name);
+    // The randomized flag is what the router benches gate their per-draw
+    // reseed wiring on — it must match the ranker's actual behavior.
+    EXPECT_EQ(info.randomized,
+              info.name == "randPr" || info.name == "random-drop")
+        << info.name;
+  }
+  EXPECT_THROW(api::rankers().at("no-such-ranker"), RequireError);
+  try {
+    api::rankers().at("no-such-ranker");
+    FAIL() << "expected RequireError";
+  } catch (const RequireError& e) {
+    for (const api::RankerInfo& info : api::rankers().entries())
+      EXPECT_NE(std::string(e.what()).find(info.name), std::string::npos);
+  }
+}
+
+TEST(RankerRegistry, RegistryRankersAreDecisionIdenticalToHandBuilt) {
+  // Round-trip parity: registry-built rankers must serve exactly the
+  // packets the directly constructed ones do (stats AND serve trace).
+  Rng wl_rng(5);
+  VideoParams params;
+  params.num_streams = 6;
+  params.frames_per_stream = 12;
+  VideoWorkload vw = make_video_workload(params, wl_rng);
+  const BufferedRouterParams rp{.service_rate = 1,
+                                .buffer_size = 8,
+                                .drop_dead_frames = true};
+
+  RandPrRanker hand_randpr{Rng(9)};
+  WeightRanker hand_weight;
+  FifoRanker hand_fifo;
+  RandomRanker hand_random{Rng(11)};
+  struct Case {
+    const char* name;
+    FrameRanker* hand;
+    std::uint64_t seed;
+  };
+  for (const Case& c : {Case{"randPr", &hand_randpr, 9},
+                        Case{"by-weight", &hand_weight, 0},
+                        Case{"drop-tail", &hand_fifo, 0},
+                        Case{"random-drop", &hand_random, 11}}) {
+    RouterTrace hand_trace, reg_trace;
+    RouterStats hand_stats =
+        simulate_buffered_router(vw.schedule, *c.hand, rp, nullptr,
+                                 &hand_trace);
+    auto reg = api::rankers().make(c.name, Rng(c.seed));
+    RouterStats reg_stats =
+        simulate_buffered_router(vw.schedule, *reg, rp, nullptr, &reg_trace);
+
+    EXPECT_EQ(hand_stats.packets_served, reg_stats.packets_served) << c.name;
+    EXPECT_EQ(hand_stats.packets_dropped, reg_stats.packets_dropped)
+        << c.name;
+    EXPECT_EQ(hand_stats.frames_delivered, reg_stats.frames_delivered)
+        << c.name;
+    EXPECT_DOUBLE_EQ(hand_stats.value_delivered, reg_stats.value_delivered)
+        << c.name;
+    ASSERT_EQ(hand_trace.served.size(), reg_trace.served.size()) << c.name;
+    for (std::size_t i = 0; i < hand_trace.served.size(); ++i) {
+      EXPECT_EQ(hand_trace.served[i].slot, reg_trace.served[i].slot);
+      EXPECT_EQ(hand_trace.served[i].frame, reg_trace.served[i].frame);
+      EXPECT_EQ(hand_trace.served[i].seq, reg_trace.served[i].seq);
     }
   }
 }
