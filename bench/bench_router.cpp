@@ -36,6 +36,7 @@
 
 #include "api/ranker_registry.hpp"
 #include "bench_common.hpp"
+#include "core/cpu_features.hpp"
 #include "engine/batch_runner.hpp"
 #include "gen/traffic.hpp"
 #include "gen/video.hpp"
@@ -519,6 +520,7 @@ void throughput_section(api::JsonSink& json, bool smoke) {
           api::Row{}
               .add("sweep", "throughput")
               .add("path", path)
+              .add("isa", simd::active_isa_name())
               .add("buffer", buffer)
               .add("slots", slots)
               .add("packets", packets)

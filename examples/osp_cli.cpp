@@ -10,6 +10,7 @@
 //   osp_cli solve <file|->
 //   osp_cli bench [--scenario NAMES] [--config FILE] [--alg SPECS]
 //                 [--ranker NAMES] [--trials T] [--seed S] [--json NAME]
+//   osp_cli version
 //
 // `list` enumerates everything the registries know; adding a policy, a
 // scenario, or a ranker in its home file makes it appear here (and in
@@ -37,6 +38,7 @@
 #include "api/session.hpp"
 #include "engine/batch_runner.hpp"
 #include "core/bounds.hpp"
+#include "core/cpu_features.hpp"
 #include "core/game.hpp"
 #include "core/io.hpp"
 #include "engine/trial.hpp"
@@ -482,6 +484,59 @@ int cmd_bench(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------
+// version
+
+int cmd_version(const Args&) {
+  // Perf artifacts from heterogeneous runners are only comparable when
+  // the build flavor, the CPU's capabilities, and the ISA the dispatcher
+  // actually picked are all on record; this prints the three in a stable
+  // `key: value` layout scripts can grep (check.sh parses isa.available).
+  std::cout << "osp_cli version\n";
+#if defined(__VERSION__)
+  std::cout << "build.compiler: " << __VERSION__ << "\n";
+#endif
+  std::cout << "build.std: " << __cplusplus << "\n";
+#if defined(__x86_64__)
+  std::cout << "build.arch: x86_64\n";
+#elif defined(__aarch64__)
+  std::cout << "build.arch: aarch64\n";
+#else
+  std::cout << "build.arch: other\n";
+#endif
+#if defined(NDEBUG)
+  std::cout << "build.assertions: off\n";
+#else
+  std::cout << "build.assertions: on\n";
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+  std::cout << "build.sanitizers: address\n";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  std::cout << "build.sanitizers: address\n";
+#else
+  std::cout << "build.sanitizers: none\n";
+#endif
+#else
+  std::cout << "build.sanitizers: none\n";
+#endif
+
+  const simd::CpuFeatures& f = simd::detect_cpu_features();
+  std::cout << "cpu.sse2: " << (f.sse2 ? "yes" : "no") << "\n"
+            << "cpu.avx2: " << (f.avx2 ? "yes" : "no") << "\n"
+            << "cpu.neon: " << (f.neon ? "yes" : "no") << "\n";
+
+  std::string available;
+  for (simd::Isa isa : simd::available_isas()) {
+    if (!available.empty()) available += " ";
+    available += simd::isa_name(isa);
+  }
+  std::cout << "isa.available: " << available << "\n"
+            << "isa.active: " << simd::active_isa_name() << "\n"
+            << "isa.selection: " << simd::isa_selection_note() << "\n";
+  return 0;
+}
+
 int usage() {
   std::cerr <<
       R"(osp_cli — online set packing toolbox
@@ -493,6 +548,7 @@ int usage() {
   osp_cli solve <file|->
   osp_cli bench [--scenario NAMES] [--config FILE] [--alg SPECS]
                 [--ranker NAMES] [--trials T] [--seed S] [--json NAME]
+  osp_cli version
 
 stats/run/solve read the instance from a file, from '-', or from a pipe
 on stdin (so `osp_cli gen … | osp_cli run …` works); NAMES/SPECS are
@@ -520,6 +576,7 @@ int main(int argc, char** argv) {
     if (args.command == "run") return cmd_run(args);
     if (args.command == "solve") return cmd_solve(args);
     if (args.command == "bench") return cmd_bench(args);
+    if (args.command == "version") return cmd_version(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

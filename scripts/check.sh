@@ -66,8 +66,26 @@ printf '%s\n' 'scenario = regular' 'm = 12' 'sigma = 3' 'sweep.k = 2,3' \
 echo
 echo "== sanitizers: ASan/UBSan build of fuzz + engine + queue tests =="
 cmake -B build-asan -S . -DOSP_SANITIZE=ON
-cmake --build build-asan -j "${jobs}" --target test_fuzz test_engine test_game test_instance test_rand_pr test_net test_queue bench_router
-(cd build-asan && ctest --output-on-failure -R 'test_(fuzz|engine|game|instance|rand_pr|net|queue)')
+cmake --build build-asan -j "${jobs}" --target test_fuzz test_engine test_game test_instance test_rand_pr test_net test_queue test_simd bench_router
+(cd build-asan && ctest --output-on-failure -R 'test_(fuzz|engine|game|instance|rand_pr|net|queue|simd)')
+
+echo
+echo "== sanitizers: forced-ISA decision equivalence smoke =="
+# Every ISA tier this CPU can run must produce identical decisions under
+# ASan/UBSan; the available set comes from the version subcommand so the
+# loop adapts to the host (scalar-only, x86, aarch64) automatically.
+isas="$(./build/osp_cli version | sed -n 's/^isa\.available: //p')"
+echo "available tiers: ${isas}"
+for isa in ${isas}; do
+  echo "-- OSP_FORCE_ISA=${isa}"
+  (cd build-asan && OSP_FORCE_ISA="${isa}" \
+    ctest --output-on-failure -R 'test_(simd|engine)' > /dev/null)
+done
+# Forcing an unknown ISA must fail loudly — never fall back silently.
+if OSP_FORCE_ISA=bogus ./build/osp_cli version > /dev/null 2>&1; then
+  echo "OSP_FORCE_ISA=bogus unexpectedly succeeded" >&2
+  exit 1
+fi
 
 echo
 echo "== sanitizers: bench_router --smoke (heap vs sort cross-check) =="

@@ -45,8 +45,29 @@ struct SetMeta {
 /// Reusable engine-owned workspace handed to decide_batch; implementations
 /// may use it instead of growing their own members (the shared block
 /// selection kernel uses topk as its nth_element workspace).
+///
+/// The `got` / `hist_applied` pair is the fused-histogram channel: an
+/// engine that would otherwise re-walk every choice row to bump its
+/// per-set assignment histogram may point `got` at that histogram (one
+/// counter per set) and clear `hist_applied` before the call.  A kernel
+/// that already touches each chosen set while writing the row — the
+/// shared block selection kernel does — bumps `got` in the same pass and
+/// sets `hist_applied = true`, letting the engine skip its own pass.
+/// The flag is the trust boundary: only in-library kernels whose output
+/// the fuzz suite proves subset-valid may set it, because the engine also
+/// skips its per-row validation for a block the kernel accounted for.
+/// Policies that route through the default per-element loop leave it
+/// false and keep full engine-side validation.  `got == nullptr` (the
+/// default) disables the channel entirely.
 struct BlockScratch {
   std::vector<SetId> topk;
+  std::uint32_t* got = nullptr;
+  bool hist_applied = false;
+  // Workspace for the vector block kernel's deferred unit-capacity rows:
+  // (block row, output slot) pairs plus the per-row collision flags the
+  // batched kernel reports back.  Grow-only; unused on the scalar tier.
+  std::vector<std::uint32_t> unit_rows;
+  std::vector<std::uint8_t> row_coll;
 };
 
 /// Arrivals per decide_batch call when a block-stepped caller does not

@@ -1,0 +1,116 @@
+#include "core/cpu_features.hpp"
+
+#include <cstdlib>
+
+#include "util/require.hpp"
+
+namespace osp::simd {
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kSse2: return "sse2";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kNeon: return "neon";
+  }
+  return "unknown";
+}
+
+const CpuFeatures& detect_cpu_features() {
+  static const CpuFeatures features = [] {
+    CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+    // __builtin_cpu_supports runs CPUID once per flag and caches inside
+    // libgcc/compiler-rt; this lambda additionally caches the struct.
+    f.sse2 = __builtin_cpu_supports("sse2") != 0;
+    f.avx2 = __builtin_cpu_supports("avx2") != 0;
+#elif defined(__aarch64__)
+    // AdvSIMD is architecturally mandatory on AArch64.
+    f.neon = true;
+#endif
+    return f;
+  }();
+  return features;
+}
+
+bool isa_available(Isa isa) {
+  const CpuFeatures& f = detect_cpu_features();
+  switch (isa) {
+    case Isa::kScalar: return true;
+    case Isa::kSse2: return f.sse2;
+    case Isa::kAvx2: return f.avx2;
+    case Isa::kNeon: return f.neon;
+  }
+  return false;
+}
+
+std::vector<Isa> available_isas() {
+  std::vector<Isa> isas;
+  for (Isa isa : {Isa::kScalar, Isa::kSse2, Isa::kAvx2, Isa::kNeon})
+    if (isa_available(isa)) isas.push_back(isa);
+  return isas;
+}
+
+Isa best_isa() {
+  // Preference within an architecture: AVX2 > SSE2 > scalar on x86,
+  // NEON > scalar on aarch64.  available_isas() is ascending by tier.
+  return available_isas().back();
+}
+
+Isa parse_isa(const std::string& name) {
+  for (Isa isa : {Isa::kScalar, Isa::kSse2, Isa::kAvx2, Isa::kNeon})
+    if (name == isa_name(isa)) return isa;
+  OSP_REQUIRE_MSG(false, "unknown ISA '" << name
+                         << "'; valid values: scalar sse2 avx2 neon");
+  return Isa::kScalar;  // unreachable
+}
+
+namespace {
+
+/// The startup selection: OSP_FORCE_ISA wins (and must name a runnable
+/// ISA — forcing an unsupported one is a hard error so a forced-ISA CI
+/// leg can never silently test the wrong kernel); otherwise the best
+/// tier the CPU supports.
+Isa select_isa() {
+  const char* env = std::getenv("OSP_FORCE_ISA");
+  if (env != nullptr && *env != '\0') {
+    const Isa forced = parse_isa(env);
+    OSP_REQUIRE_MSG(isa_available(forced),
+                    "OSP_FORCE_ISA=" << env
+                                     << " names an ISA this CPU cannot run");
+    return forced;
+  }
+  return best_isa();
+}
+
+Isa& active_slot() {
+  static Isa isa = select_isa();
+  return isa;
+}
+
+}  // namespace
+
+Isa active_isa() { return active_slot(); }
+
+const char* active_isa_name() { return isa_name(active_isa()); }
+
+void set_active_isa(Isa isa) {
+  OSP_REQUIRE_MSG(isa_available(isa),
+                  "set_active_isa: " << isa_name(isa)
+                                     << " is not available on this CPU");
+  active_slot() = isa;
+}
+
+void refresh_active_isa() { active_slot() = select_isa(); }
+
+std::string isa_selection_note() {
+  const char* env = std::getenv("OSP_FORCE_ISA");
+  std::string note = isa_name(active_isa());
+  if (env != nullptr && *env != '\0' && active_isa() == parse_isa(env))
+    return note + " (forced via OSP_FORCE_ISA)";
+  if (active_isa() == best_isa()) return note + " (auto: best supported)";
+  return note + " (pinned in-process)";
+}
+
+}  // namespace osp::simd

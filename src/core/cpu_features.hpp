@@ -1,0 +1,77 @@
+// Runtime CPU-feature detection and ISA selection for the SIMD kernels.
+//
+// The block decision kernel (top_by_priority_soa_block) has one
+// implementation per instruction-set tier — scalar always, SSE2/AVX2 on
+// x86-64, NEON on aarch64 — and the tier is picked ONCE per process:
+// the first call to active_isa() probes the CPU, applies the
+// OSP_FORCE_ISA environment override, and caches the answer.  Every
+// later dispatch is a cached read, so the hot path never re-detects.
+//
+// Contract (see docs/ARCHITECTURE.md, "SIMD kernel & runtime dispatch"):
+//   * every tier is decision-identical to the scalar kernel — the fuzz
+//     suite in test_engine/test_simd proves it per available ISA;
+//   * OSP_FORCE_ISA=<scalar|sse2|avx2|neon> pins the selection for
+//     testing; naming an ISA the CPU cannot run is a hard RequireError,
+//     never a silent fallback (a CI leg that "tested avx2" on a
+//     SSE2-only box must fail loudly, not pass vacuously);
+//   * set_active_isa()/refresh_active_isa() re-run the selection
+//     in-process — what the forced-ISA fuzz tests and bench_perf's
+//     --isa-sweep use to sweep every tier inside one run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace osp::simd {
+
+/// Instruction-set tiers of the block decision kernel, ascending by
+/// preference within an architecture.  kScalar is always available.
+enum class Isa { kScalar = 0, kSse2 = 1, kAvx2 = 2, kNeon = 3 };
+
+/// Lower-case display/parse name ("scalar", "sse2", "avx2", "neon").
+const char* isa_name(Isa isa);
+
+/// Raw hardware capability flags, probed once and cached.
+struct CpuFeatures {
+  bool sse2 = false;
+  bool avx2 = false;
+  bool neon = false;
+};
+const CpuFeatures& detect_cpu_features();
+
+/// True when the running CPU can execute `isa`'s kernel.
+bool isa_available(Isa isa);
+
+/// Every ISA this process can run, ascending (scalar first).
+std::vector<Isa> available_isas();
+
+/// The highest-preference available ISA (what startup selects absent an
+/// override).
+Isa best_isa();
+
+/// Parses an OSP_FORCE_ISA value; unknown names throw RequireError
+/// listing the valid spellings.
+Isa parse_isa(const std::string& name);
+
+/// The ISA the dispatcher currently runs: selected on first call (CPU
+/// probe + OSP_FORCE_ISA override) and cached.  This is what every
+/// caller of the block kernel reports in its perf rows.
+Isa active_isa();
+
+/// Convenience: isa_name(active_isa()).
+const char* active_isa_name();
+
+/// In-process override for benches and tests: pins the dispatcher to
+/// `isa`.  Requires isa_available(isa).  Undone by refresh_active_isa().
+void set_active_isa(Isa isa);
+
+/// Re-runs the startup selection (CPU probe + OSP_FORCE_ISA), replacing
+/// any set_active_isa() pin — lets a test setenv(OSP_FORCE_ISA) and
+/// exercise the exact path a fresh process would take.
+void refresh_active_isa();
+
+/// One line describing how the active ISA was chosen, for osp_cli
+/// version ("avx2 (auto: best supported)" / "scalar (OSP_FORCE_ISA)").
+std::string isa_selection_note();
+
+}  // namespace osp::simd

@@ -101,6 +101,13 @@ Outcome play_flat_blocks(const Instance& inst, OnlineAlgorithm& alg,
 
   scratch.got.assign(m, 0);
   BlockChoices& choices = scratch.block_choices;
+  BlockScratch& bs = scratch.block_scratch;
+  // Offer the fused-histogram channel: a trusted in-library kernel bumps
+  // scratch.got while writing each row and reports hist_applied, letting
+  // this engine skip its own validate-and-count pass for that block (the
+  // fuzz suite proves those kernels subset-valid).  Policies on the
+  // default per-element loop never set the flag and keep full validation.
+  bs.got = scratch.got.data();
 
   Outcome out;
   const std::size_t num_elements = inst.num_elements();
@@ -108,11 +115,16 @@ Outcome play_flat_blocks(const Instance& inst, OnlineAlgorithm& alg,
     const std::size_t count = std::min(block_size, num_elements - base);
     const ArrivalBlock block =
         inst.arrival_block(static_cast<ElementId>(base), count);
-    alg.decide_batch(block, scratch.block_scratch, choices);
+    bs.hist_applied = false;
+    alg.decide_batch(block, bs, choices);
     OSP_REQUIRE_MSG(choices.offsets.size() == count + 1 &&
                         choices.offsets.front() == 0 &&
                         choices.offsets.back() <= choices.ids.size(),
                     "decide_batch produced a malformed choice block");
+    if (bs.hist_applied) {
+      out.decisions += choices.offsets.back();
+      continue;
+    }
     // The same rules as the per-element path, applied to each packed row.
     // The single-choice row (the unit-capacity common case) is validated
     // inline — a short sorted candidate list is cheaper to scan linearly
@@ -146,6 +158,10 @@ Outcome play_flat_blocks(const Instance& inst, OnlineAlgorithm& alg,
     }
     out.decisions += choices.offsets.back();
   }
+  // scratch.got may be resized or freed between plays; never leave a
+  // stale pointer behind in the reusable block scratch.
+  bs.got = nullptr;
+  bs.hist_applied = false;
 
   score(inst, scratch.got, out);
   return out;

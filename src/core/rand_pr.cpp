@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/simd.hpp"
 #include "util/require.hpp"
 
 namespace osp {
@@ -49,6 +50,39 @@ std::size_t top_by_priority_soa(const SetId* candidates, std::size_t n,
   return capacity;
 }
 
+namespace {
+
+/// The exact unit-capacity row argmax: scans the quantized u32 ranks —
+/// a quarter of the (key, tie) footprint, L1-resident for router-scale
+/// set counts — with conditional moves (priorities are effectively
+/// random, so a branchy max would mispredict ~ln(n) times per row), and
+/// drops to the exact (key, tie) order only when two ranks collide
+/// (quantization, or genuinely equal keys from boundary-clamped hashes).
+/// Because quantized_key_rank is monotone, the result IS the exact-order
+/// maximum of the row; the vector kernels in core/simd.hpp reproduce it
+/// bit for bit, rescanning through this loop on any rank collision.
+inline SetId exact_row_argmax(const SetId* c, std::size_t n,
+                              const double* keys, const std::uint64_t* ties,
+                              const std::uint32_t* qranks) {
+  SetId best = c[0];
+  std::uint32_t best_rank = qranks[best];
+  for (std::size_t j = 1; j < n; ++j) {
+    const SetId s = c[j];
+    const std::uint32_t r = qranks[s];
+    if (r == best_rank) {  // cold: resolve by the exact total order
+      if (keys[s] != keys[best] ? keys[s] > keys[best] : ties[s] > ties[best])
+        best = s;
+      continue;
+    }
+    const bool better = r > best_rank;
+    best = better ? s : best;
+    best_rank = better ? r : best_rank;
+  }
+  return best;
+}
+
+}  // namespace
+
 void top_by_priority_soa_block(const ArrivalBlock& block, const double* keys,
                                const std::uint64_t* ties,
                                const std::uint32_t* qranks,
@@ -58,9 +92,22 @@ void top_by_priority_soa_block(const ArrivalBlock& block, const double* keys,
   const SetId* cands = block.candidates;
   const Capacity* caps = block.capacities;
 
+  // Dispatch is hoisted per block: one cached active_isa() read and one
+  // table lookup amortized over every row.  rowsfn == nullptr is the
+  // scalar tier, whose rows resolve inline below.  On vector tiers the
+  // unit-capacity rows long enough for the lane-parallel kernel are
+  // DEFERRED — recorded as (row, slot) pairs and resolved in one batched
+  // call after the walk — so the dispatch indirection costs one call per
+  // block instead of one per row (which at sigma ~16 candidates/row would
+  // eat the lane-parallel win whole).
+  const simd::UnitRowsFn rowsfn =
+      simd::unit_rank_argmax_rows_fn(simd::active_isa());
+  std::uint32_t* const got = scratch.got;
+
   prepare_block_output(block, out);
 
   SetId* dst = out.ids.data();
+  scratch.unit_rows.clear();
   std::size_t written = 0;
   for (std::size_t i = 0; i < count; ++i) {
     const SetId* c = cands + off[i];
@@ -71,35 +118,50 @@ void top_by_priority_soa_block(const ArrivalBlock& block, const double* keys,
       continue;
     }
     if (cap == 1 && n > 1) {
-      // The hot row shape: an argmax over the record's candidates,
-      // comparing the u32 quantized ranks — a quarter of the (key, tie)
-      // footprint, L1-resident for router-scale set counts — and
-      // dropping to the exact order only when two ranks collide
-      // (quantization, or genuinely equal keys from boundary-clamped
-      // hashes).  The capacity dispatch is per row, so mixed-capacity
+      // The hot row shape: a unit-capacity argmax over the record's
+      // candidates.  The capacity dispatch is per row, so mixed-capacity
       // blocks still take this path for their unit-capacity records.
-      SetId best = c[0];
-      std::uint32_t best_rank = qranks[best];
-      for (std::size_t j = 1; j < n; ++j) {
-        const SetId s = c[j];
-        const std::uint32_t r = qranks[s];
-        if (r == best_rank) {  // cold: resolve by the exact total order
-          if (keys[s] != keys[best] ? keys[s] > keys[best]
-                                    : ties[s] > ties[best])
-            best = s;
-          continue;
-        }
-        const bool better = r > best_rank;
-        best = better ? s : best;
-        best_rank = better ? r : best_rank;
+      if (rowsfn != nullptr && n >= simd::kUnitArgmaxMinRow) {
+        scratch.unit_rows.push_back(static_cast<std::uint32_t>(i));
+        scratch.unit_rows.push_back(static_cast<std::uint32_t>(written));
+        ++written;  // slot reserved; filled by the batched kernel
+      } else {
+        const SetId best = exact_row_argmax(c, n, keys, ties, qranks);
+        dst[written++] = best;
+        if (got != nullptr) ++got[best];
       }
-      dst[written++] = best;
     } else {
-      written += top_by_priority_soa(c, n, keys, ties, cap, dst + written,
-                                     scratch.topk);
+      const std::size_t chosen = top_by_priority_soa(
+          c, n, keys, ties, cap, dst + written, scratch.topk);
+      if (got != nullptr)
+        for (std::size_t j = 0; j < chosen; ++j) ++got[dst[written + j]];
+      written += chosen;
     }
     out.offsets[i + 1] = static_cast<std::uint32_t>(written);
   }
+
+  if (!scratch.unit_rows.empty()) {
+    const std::size_t tasks = scratch.unit_rows.size() / 2;
+    scratch.row_coll.assign(tasks, 0);
+    rowsfn(cands, off, scratch.unit_rows.data(), tasks, qranks, dst,
+           scratch.row_coll.data());
+    // A reported rank collision (the row's max quantized rank may be
+    // shared) falls back to the exact scalar rescan, so decisions are
+    // bit-identical across every ISA tier.
+    for (std::size_t t = 0; t < tasks; ++t) {
+      const std::uint32_t slot = scratch.unit_rows[2 * t + 1];
+      if (scratch.row_coll[t]) {
+        const std::uint32_t row = scratch.unit_rows[2 * t];
+        dst[slot] = exact_row_argmax(cands + off[row],
+                                     off[row + 1] - off[row], keys, ties,
+                                     qranks);
+      }
+      if (got != nullptr) ++got[dst[slot]];
+    }
+  }
+  // Fused segmented reduce complete: every chosen set's histogram slot
+  // was bumped in the same pass that wrote (or patched) its row.
+  if (got != nullptr) scratch.hist_applied = true;
 }
 
 std::size_t top_by_priority_flat(const SetId* candidates, std::size_t n,

@@ -1,0 +1,349 @@
+#include "core/simd.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace osp::simd {
+
+RowArgmax unit_rank_argmax_portable(const SetId* candidates, std::size_t n,
+                                    const std::uint32_t* qranks) {
+  RowArgmax out;
+  out.best = candidates[0];
+  std::uint32_t best_rank = qranks[candidates[0]];
+  for (std::size_t i = 1; i < n; ++i) {
+    const SetId s = candidates[i];
+    const std::uint32_t r = qranks[s];
+    if (r > best_rank) {
+      best_rank = r;
+      out.best = s;
+      out.collision = false;
+    } else if (r == best_rank) {
+      out.collision = true;
+    }
+  }
+  return out;
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+namespace {
+
+/// Maps unsigned u32 order onto signed order so pcmpgtd compares
+/// unsigned ranks correctly: x ^ 0x80000000 flips the top bit.
+inline __m128i bias_epi32(__m128i v) {
+  return _mm_xor_si128(v, _mm_set1_epi32(INT32_MIN));
+}
+
+}  // namespace
+
+RowArgmax unit_rank_argmax_sse2(const SetId* candidates, std::size_t n,
+                                const std::uint32_t* qranks) {
+  // 4 lanes of running (rank, id), strided over the row.  SSE2 has no
+  // blendv/gather, so blends are and/andnot/or and rank loads go
+  // through _mm_set_epi32 (the compiler turns them into scalar loads +
+  // pinsrd-style sequences).
+  __m128i best_id = _mm_loadu_si128(reinterpret_cast<const __m128i*>(candidates));
+  __m128i best_rank =
+      _mm_set_epi32(static_cast<int>(qranks[candidates[3]]),
+                    static_cast<int>(qranks[candidates[2]]),
+                    static_cast<int>(qranks[candidates[1]]),
+                    static_cast<int>(qranks[candidates[0]]));
+  __m128i coll = _mm_setzero_si128();
+
+  std::size_t i = 4;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i ids =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(candidates + i));
+    const __m128i ranks =
+        _mm_set_epi32(static_cast<int>(qranks[candidates[i + 3]]),
+                      static_cast<int>(qranks[candidates[i + 2]]),
+                      static_cast<int>(qranks[candidates[i + 1]]),
+                      static_cast<int>(qranks[candidates[i]]));
+    // Record equal-rank observations BEFORE the blend: an equal pair in
+    // a lane means ranks alone cannot order that lane's best exactly.
+    coll = _mm_or_si128(coll, _mm_cmpeq_epi32(ranks, best_rank));
+    const __m128i gt = _mm_cmpgt_epi32(bias_epi32(ranks), bias_epi32(best_rank));
+    best_rank = _mm_or_si128(_mm_and_si128(gt, ranks),
+                             _mm_andnot_si128(gt, best_rank));
+    best_id = _mm_or_si128(_mm_and_si128(gt, ids), _mm_andnot_si128(gt, best_id));
+  }
+
+  alignas(16) std::uint32_t lr[4];
+  alignas(16) std::uint32_t li[4];
+  alignas(16) std::uint32_t lc[4];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lr), best_rank);
+  _mm_store_si128(reinterpret_cast<__m128i*>(li), best_id);
+  _mm_store_si128(reinterpret_cast<__m128i*>(lc), coll);
+
+  RowArgmax out;
+  std::uint32_t m = lr[0];
+  out.best = static_cast<SetId>(li[0]);
+  out.collision = lc[0] != 0;
+  for (int lane = 1; lane < 4; ++lane) {
+    if (lr[lane] > m) {
+      m = lr[lane];
+      out.best = static_cast<SetId>(li[lane]);
+      out.collision = lc[lane] != 0;
+    } else if (lr[lane] == m) {
+      out.collision = true;
+    }
+  }
+  for (; i < n; ++i) {
+    const SetId s = candidates[i];
+    const std::uint32_t r = qranks[s];
+    if (r > m) {
+      m = r;
+      out.best = s;
+      out.collision = false;
+    } else if (r == m) {
+      out.collision = true;
+    }
+  }
+  return out;
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+
+namespace {
+
+/// Eight independent scalar rank loads assembled into one vector.  This
+/// deliberately avoids vpgatherdd: on several deployed x86 parts
+/// (Downfall-mitigated microcode, and most virtualized hosts) the
+/// hardware gather is slower than the scalar-load equivalent, while
+/// plain loads pipeline two per cycle regardless.
+__attribute__((target("avx2"))) inline __m256i load_ranks8(
+    const SetId* ids, const std::uint32_t* qranks) {
+  return _mm256_set_epi32(
+      static_cast<int>(qranks[ids[7]]), static_cast<int>(qranks[ids[6]]),
+      static_cast<int>(qranks[ids[5]]), static_cast<int>(qranks[ids[4]]),
+      static_cast<int>(qranks[ids[3]]), static_cast<int>(qranks[ids[2]]),
+      static_cast<int>(qranks[ids[1]]), static_cast<int>(qranks[ids[0]]));
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) RowArgmax unit_rank_argmax_avx2(
+    const SetId* candidates, std::size_t n, const std::uint32_t* qranks) {
+  __m256i best_id =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(candidates));
+  __m256i best_rank = load_ranks8(candidates, qranks);
+  __m256i coll = _mm256_setzero_si256();
+
+  std::size_t i = 8;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i ids =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(candidates + i));
+    const __m256i ranks = load_ranks8(candidates + i, qranks);
+    // Equal-rank observations are recorded BEFORE the update; on a tie
+    // the blend below may take either candidate, which is harmless
+    // because the reported collision forces an exact rescan anyway.
+    coll = _mm256_or_si256(coll, _mm256_cmpeq_epi32(ranks, best_rank));
+    best_rank = _mm256_max_epu32(best_rank, ranks);
+    const __m256i took = _mm256_cmpeq_epi32(best_rank, ranks);
+    best_id = _mm256_blendv_epi8(best_id, ids, took);
+  }
+
+  // Cross-lane merge without a scalar loop: broadcast the maximum rank
+  // to every lane (three max/shuffle steps), then movemask which lanes
+  // attain it.  Two or more lanes at the max means two distinct
+  // candidates share the winning rank — a collision by definition (lanes
+  // hold disjoint stride subsets of a duplicate-free row).
+  __m256i m = _mm256_max_epu32(
+      best_rank, _mm256_permute2x128_si256(best_rank, best_rank, 1));
+  m = _mm256_max_epu32(m, _mm256_shuffle_epi32(m, 0x4e));
+  m = _mm256_max_epu32(m, _mm256_shuffle_epi32(m, 0xb1));
+  const __m256i at_max = _mm256_cmpeq_epi32(best_rank, m);
+  const unsigned max_lanes = static_cast<unsigned>(
+      _mm256_movemask_ps(_mm256_castsi256_ps(at_max)));
+  const bool lane_coll =
+      _mm256_movemask_epi8(coll) != 0 || (max_lanes & (max_lanes - 1)) != 0;
+
+  alignas(32) std::uint32_t li[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(li), best_id);
+  RowArgmax out;
+  out.best = static_cast<SetId>(
+      li[static_cast<unsigned>(__builtin_ctz(max_lanes))]);
+  out.collision = lane_coll;
+
+  std::uint32_t mr = static_cast<std::uint32_t>(
+      _mm_cvtsi128_si32(_mm256_castsi256_si128(m)));
+  for (; i < n; ++i) {
+    const SetId s = candidates[i];
+    const std::uint32_t r = qranks[s];
+    if (r > mr) {
+      mr = r;
+      out.best = s;
+      out.collision = false;
+    } else if (r == mr) {
+      out.collision = true;
+    }
+  }
+  return out;
+}
+
+#endif  // GNUC/clang (AVX2 target attribute)
+
+namespace {
+
+// Batched drivers.  Same translation unit + same target attribute as the
+// row kernels, so the per-row scan inlines into these loops and the only
+// indirect call left is the one per block in the dispatcher's caller.
+void unit_rank_argmax_rows_sse2(const SetId* cands_base,
+                                const std::size_t* offsets,
+                                const std::uint32_t* tasks,
+                                std::size_t num_tasks,
+                                const std::uint32_t* qranks, SetId* dst,
+                                std::uint8_t* coll) {
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    const std::uint32_t row = tasks[2 * t];
+    const std::size_t lo = offsets[row];
+    const RowArgmax r =
+        unit_rank_argmax_sse2(cands_base + lo, offsets[row + 1] - lo, qranks);
+    dst[tasks[2 * t + 1]] = r.best;
+    coll[t] = r.collision ? 1 : 0;
+  }
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((target("avx2"))) void unit_rank_argmax_rows_avx2(
+    const SetId* cands_base, const std::size_t* offsets,
+    const std::uint32_t* tasks, std::size_t num_tasks,
+    const std::uint32_t* qranks, SetId* dst, std::uint8_t* coll) {
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    const std::uint32_t row = tasks[2 * t];
+    const std::size_t lo = offsets[row];
+    const RowArgmax r =
+        unit_rank_argmax_avx2(cands_base + lo, offsets[row + 1] - lo, qranks);
+    dst[tasks[2 * t + 1]] = r.best;
+    coll[t] = r.collision ? 1 : 0;
+  }
+}
+#endif
+
+}  // namespace
+
+#endif  // x86
+
+#if defined(__aarch64__)
+
+RowArgmax unit_rank_argmax_neon(const SetId* candidates, std::size_t n,
+                                const std::uint32_t* qranks) {
+  uint32x4_t best_id = vld1q_u32(candidates);
+  uint32x4_t best_rank = {qranks[candidates[0]], qranks[candidates[1]],
+                          qranks[candidates[2]], qranks[candidates[3]]};
+  uint32x4_t coll = vdupq_n_u32(0);
+
+  std::size_t i = 4;
+  for (; i + 4 <= n; i += 4) {
+    const uint32x4_t ids = vld1q_u32(candidates + i);
+    const uint32x4_t ranks = {qranks[candidates[i]], qranks[candidates[i + 1]],
+                              qranks[candidates[i + 2]],
+                              qranks[candidates[i + 3]]};
+    coll = vorrq_u32(coll, vceqq_u32(ranks, best_rank));
+    const uint32x4_t gt = vcgtq_u32(ranks, best_rank);
+    best_rank = vbslq_u32(gt, ranks, best_rank);
+    best_id = vbslq_u32(gt, ids, best_id);
+  }
+
+  std::uint32_t lr[4];
+  std::uint32_t li[4];
+  std::uint32_t lc[4];
+  vst1q_u32(lr, best_rank);
+  vst1q_u32(li, best_id);
+  vst1q_u32(lc, coll);
+
+  RowArgmax out;
+  std::uint32_t m = lr[0];
+  out.best = static_cast<SetId>(li[0]);
+  out.collision = lc[0] != 0;
+  for (int lane = 1; lane < 4; ++lane) {
+    if (lr[lane] > m) {
+      m = lr[lane];
+      out.best = static_cast<SetId>(li[lane]);
+      out.collision = lc[lane] != 0;
+    } else if (lr[lane] == m) {
+      out.collision = true;
+    }
+  }
+  for (; i < n; ++i) {
+    const SetId s = candidates[i];
+    const std::uint32_t r = qranks[s];
+    if (r > m) {
+      m = r;
+      out.best = s;
+      out.collision = false;
+    } else if (r == m) {
+      out.collision = true;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void unit_rank_argmax_rows_neon(const SetId* cands_base,
+                                const std::size_t* offsets,
+                                const std::uint32_t* tasks,
+                                std::size_t num_tasks,
+                                const std::uint32_t* qranks, SetId* dst,
+                                std::uint8_t* coll) {
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    const std::uint32_t row = tasks[2 * t];
+    const std::size_t lo = offsets[row];
+    const RowArgmax r =
+        unit_rank_argmax_neon(cands_base + lo, offsets[row + 1] - lo, qranks);
+    dst[tasks[2 * t + 1]] = r.best;
+    coll[t] = r.collision ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+#endif  // aarch64
+
+UnitArgmaxFn unit_rank_argmax_fn(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return nullptr;
+#if defined(__x86_64__) || defined(__i386__)
+    case Isa::kSse2:
+      return &unit_rank_argmax_sse2;
+#if defined(__GNUC__) || defined(__clang__)
+    case Isa::kAvx2:
+      return &unit_rank_argmax_avx2;
+#endif
+#endif
+#if defined(__aarch64__)
+    case Isa::kNeon:
+      return &unit_rank_argmax_neon;
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+UnitRowsFn unit_rank_argmax_rows_fn(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return nullptr;
+#if defined(__x86_64__) || defined(__i386__)
+    case Isa::kSse2:
+      return &unit_rank_argmax_rows_sse2;
+#if defined(__GNUC__) || defined(__clang__)
+    case Isa::kAvx2:
+      return &unit_rank_argmax_rows_avx2;
+#endif
+#endif
+#if defined(__aarch64__)
+    case Isa::kNeon:
+      return &unit_rank_argmax_rows_neon;
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace osp::simd

@@ -1,0 +1,99 @@
+// Vectorized row primitives for the block decision kernel.
+//
+// The hot row shape of top_by_priority_soa_block is a unit-capacity
+// argmax over one CSR candidate row, comparing the per-set quantized u32
+// priority ranks (quantized_key_rank in priority.hpp).  The kernels here
+// run that scan lane-parallel: each lane keeps a running (rank, id) best
+// over its stride — compare, blend, next eight (AVX2) / four (SSE2,
+// NEON) candidates — and a final cross-lane merge picks the row winner.
+//
+// Exactness contract: quantized ranks are a lossy projection of the
+// (key, tie) total order, so a row whose maximum rank is attained more
+// than once (or whose winning lane ever observed an equal-rank pair)
+// cannot be decided from ranks alone.  The kernels detect that case
+// conservatively and report `collision`; the caller must then resolve
+// the row with the exact scalar order.  When `collision` is false, the
+// returned candidate IS the unique rank maximum, which the monotonicity
+// of quantized_key_rank makes the exact (key, tie) argmax — so the
+// caller's decisions are bit-identical to the scalar kernel on every
+// path.  test_simd fuzzes this per available ISA, including crafted
+// rank-collision rows; test_engine proves whole-trace equivalence
+// through the engines.
+//
+// The AVX2 implementation is compiled with a function-level
+// `target("avx2")` attribute, so the translation unit (and the rest of
+// the library) keeps the portable baseline flags; the runtime dispatcher
+// (core/cpu_features.hpp) guarantees a kernel only runs on a CPU that
+// supports it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/cpu_features.hpp"
+#include "core/types.hpp"
+
+namespace osp::simd {
+
+/// Result of one vector unit-capacity rank-argmax row scan.
+struct RowArgmax {
+  SetId best = 0;         // candidate attaining the row's maximum rank
+  bool collision = false; // true: the max may be shared — resolve exactly
+};
+
+/// Rows shorter than this run the scalar loop even on vector ISAs: the
+/// kernels need one full init vector plus at least one blend step to
+/// beat the scalar cmov chain, and every implementation assumes
+/// n >= kUnitArgmaxMinRow.
+inline constexpr std::size_t kUnitArgmaxMinRow = 8;
+
+using UnitArgmaxFn = RowArgmax (*)(const SetId* candidates, std::size_t n,
+                                   const std::uint32_t* qranks);
+
+/// The row kernel for `isa`, or nullptr for the scalar tier (whose
+/// inline exact loop lives at the call site and needs no fn pointer).
+/// Requires isa_available(isa).  Callers hoist this lookup per block.
+UnitArgmaxFn unit_rank_argmax_fn(Isa isa);
+
+/// Batched form: the block kernel defers its unit-capacity rows and
+/// resolves them all in ONE call, so the dispatch cost (an indirect call
+/// that the row-shape rows of a sigma~16 workload would otherwise pay
+/// every ~16 elements) amortizes over the whole block and the row scan
+/// inlines into the per-ISA loop.  `tasks` holds `num_tasks` pairs
+/// (block row r, output slot): candidates of task t are
+/// `cands_base + offsets[r] .. + offsets[r + 1]`, every row at least
+/// kUnitArgmaxMinRow long; the winner goes to `dst[slot]` and
+/// `coll[t]` records the RowArgmax collision flag (caller rescans those
+/// rows exactly).
+using UnitRowsFn = void (*)(const SetId* cands_base,
+                            const std::size_t* offsets,
+                            const std::uint32_t* tasks,
+                            std::size_t num_tasks,
+                            const std::uint32_t* qranks, SetId* dst,
+                            std::uint8_t* coll);
+
+/// The batched rows kernel for `isa`, nullptr for the scalar tier.
+UnitRowsFn unit_rank_argmax_rows_fn(Isa isa);
+
+/// Reference implementation of the vector kernels' contract in portable
+/// scalar code (same RowArgmax semantics, collision detection included).
+/// Used by the dispatcher's scalar-tier tests and as the fuzz oracle;
+/// the production scalar path resolves collisions inline instead.
+RowArgmax unit_rank_argmax_portable(const SetId* candidates, std::size_t n,
+                                    const std::uint32_t* qranks);
+
+#if defined(__x86_64__) || defined(__i386__)
+RowArgmax unit_rank_argmax_sse2(const SetId* candidates, std::size_t n,
+                                const std::uint32_t* qranks);
+#if defined(__GNUC__) || defined(__clang__)
+RowArgmax unit_rank_argmax_avx2(const SetId* candidates, std::size_t n,
+                                const std::uint32_t* qranks);
+#endif
+#endif
+
+#if defined(__aarch64__)
+RowArgmax unit_rank_argmax_neon(const SetId* candidates, std::size_t n,
+                                const std::uint32_t* qranks);
+#endif
+
+}  // namespace osp::simd

@@ -11,10 +11,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
 
 #include "algos/baselines.hpp"
 #include "api/policy_registry.hpp"
+#include "core/cpu_features.hpp"
 #include "core/game.hpp"
 #include "core/priority.hpp"
 #include "core/rand_pr.hpp"
@@ -414,6 +416,88 @@ TEST(GoldenEquivalence, DecideBatchMatchesPerElementDecideForAllPolicies) {
       }
     }
   }
+}
+
+TEST(GoldenEquivalence, DecideBatchIsaTiersMatchScalarForAllPolicies) {
+  // The dispatch contract of core/cpu_features.hpp: every ISA tier of
+  // the block kernel is decision-identical to the scalar path.  Each
+  // available ISA is forced exactly the way a fresh process would see it
+  // (OSP_FORCE_ISA in the environment, then the startup selection re-run)
+  // and swept over every policy × block sizes 1/3/64/whole, comparing
+  // outcomes AND full decision traces against the flat per-element
+  // engine.  Instances here are wider than the generic fuzz (k up to 24
+  // candidates per element) so rows actually reach the lane-parallel
+  // kernel, and the policy population includes hashPr/const — all keys
+  // equal, every comparison a rank collision — plus a nearly-equal-keys
+  // hash whose ranks collide while the exact keys differ, forcing the
+  // exact (key, tie) fallback on both of its flavors.
+  std::vector<Maker> makers = all_policy_makers();
+  makers.push_back(
+      {"hashPr/nearly-equal", [](Rng) {
+         // Hash outputs 2^-50 apart: far below the u32 rank resolution
+         // (~2^-32 relative), so quantized ranks collide in droves while
+         // the doubles stay distinct — the vector kernels must report
+         // the collision and the caller must rescan exactly.
+         return std::make_unique<HashedRandPr>(
+             [](std::uint64_t key) {
+               return 0.5 + static_cast<double>(key % 64) * 0x1p-50;
+             },
+             "hashPr/nearly-equal");
+       }});
+
+  const char* prev_force = std::getenv("OSP_FORCE_ISA");
+  const std::string saved = prev_force != nullptr ? prev_force : "";
+
+  Rng master(0x15a);
+  PlayScratch flat_scratch;
+  PlayScratch block_scratch;
+  for (std::size_t round = 0; round < 6; ++round) {
+    Rng gen = master.split(round);
+    const std::size_t m = 26 + gen.below(30);
+    const std::size_t n = 30 + gen.below(60);
+    const std::size_t k = std::vector<std::size_t>{2, 8, 17, 24}[round % 4];
+    const WeightModel wm =
+        round % 2 == 0 ? WeightModel::unit() : WeightModel::zipf(1.3);
+    Instance inst = round % 2 == 0
+                        ? random_instance(m, n, k, wm, gen)
+                        : random_capacity_instance(m, n, k, 3, wm, gen);
+
+    for (const Maker& mk : makers) {
+      // Scalar flat reference: the per-element path never dispatches, so
+      // one trace serves as the golden answer for every tier.
+      Rng seed_rng = master.split(9000 + round);
+      auto flat_alg = mk.make(seed_rng);
+      Recording flat_rec(*flat_alg);
+      Outcome flat = play_flat(inst, flat_rec, flat_scratch);
+
+      for (simd::Isa isa : simd::available_isas()) {
+        setenv("OSP_FORCE_ISA", simd::isa_name(isa), /*overwrite=*/1);
+        simd::refresh_active_isa();
+        ASSERT_EQ(simd::active_isa(), isa);
+
+        for (std::size_t block_size :
+             {std::size_t{1}, std::size_t{3}, std::size_t{64},
+              inst.num_elements()}) {
+          auto block_alg = mk.make(seed_rng);
+          Recording block_rec(*block_alg);
+          Outcome block =
+              play_flat_blocks(inst, block_rec, block_scratch, block_size);
+          const std::string what =
+              mk.label + " isa " + simd::isa_name(isa) + " round " +
+              std::to_string(round) + " block_size " +
+              std::to_string(block_size);
+          expect_same_outcome(flat, block, what);
+          EXPECT_EQ(flat_rec.trace, block_rec.trace) << what << " trace";
+        }
+      }
+    }
+  }
+
+  if (prev_force != nullptr)
+    setenv("OSP_FORCE_ISA", saved.c_str(), /*overwrite=*/1);
+  else
+    unsetenv("OSP_FORCE_ISA");
+  simd::refresh_active_isa();
 }
 
 TEST(DecideBatch, EmptyAndDegenerateBlocksMatchScalarAndDoNotAllocate) {

@@ -1,0 +1,378 @@
+// Tests for the SIMD row kernels and the runtime ISA dispatcher: every
+// available vector kernel must honour the RowArgmax contract against the
+// exact scalar order (collision == false implies the returned candidate
+// is the unique rank maximum; a genuinely shared maximum must always be
+// reported), the block selection kernel must be decision-identical
+// across every ISA tier — including crafted rank-collision rows that
+// force the exact (key, tie) fallback — and OSP_FORCE_ISA must pin (or
+// loudly reject) the selection exactly as a fresh process would.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/cpu_features.hpp"
+#include "core/csr.hpp"
+#include "core/priority.hpp"
+#include "core/rand_pr.hpp"
+#include "core/simd.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace osp {
+namespace {
+
+using simd::Isa;
+using simd::RowArgmax;
+
+/// Restores OSP_FORCE_ISA and the dispatcher selection on scope exit, so
+/// a failing assertion cannot leak a pinned ISA into later tests.
+class ScopedForceIsa {
+ public:
+  explicit ScopedForceIsa(const char* value) {
+    const char* prev = std::getenv("OSP_FORCE_ISA");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    if (value != nullptr)
+      setenv("OSP_FORCE_ISA", value, /*overwrite=*/1);
+    else
+      unsetenv("OSP_FORCE_ISA");
+  }
+  ~ScopedForceIsa() {
+    if (had_prev_)
+      setenv("OSP_FORCE_ISA", prev_.c_str(), /*overwrite=*/1);
+    else
+      unsetenv("OSP_FORCE_ISA");
+    simd::refresh_active_isa();
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+/// Exact oracle: the true (rank-max, multiplicity) of a row.
+struct RowTruth {
+  SetId best;          // smallest-index candidate attaining the max rank
+  bool max_duplicated; // the max rank is attained more than once
+};
+
+RowTruth row_truth(const std::vector<SetId>& row,
+                   const std::vector<std::uint32_t>& qranks) {
+  RowTruth t{row[0], false};
+  std::uint32_t m = qranks[row[0]];
+  for (std::size_t i = 1; i < row.size(); ++i) {
+    const std::uint32_t r = qranks[row[i]];
+    if (r > m) {
+      m = r;
+      t.best = row[i];
+      t.max_duplicated = false;
+    } else if (r == m) {
+      t.max_duplicated = true;
+    }
+  }
+  return t;
+}
+
+std::vector<Isa> vector_isas() {
+  std::vector<Isa> v;
+  for (Isa isa : simd::available_isas())
+    if (simd::unit_rank_argmax_fn(isa) != nullptr) v.push_back(isa);
+  return v;
+}
+
+// ------------------------------------------------------------------
+// Kernel-level contract
+
+TEST(UnitArgmaxKernel, PortableOracleMatchesTruthExactly) {
+  Rng rng(11);
+  for (int it = 0; it < 2000; ++it) {
+    const std::size_t num_sets = 1 + rng.below(64);
+    std::vector<std::uint32_t> qranks(num_sets);
+    // Small rank alphabet: duplicates (incl. duplicated maxima) are common.
+    for (auto& r : qranks) r = static_cast<std::uint32_t>(rng.below(8));
+    const std::size_t n = 1 + rng.below(40);
+    std::vector<SetId> row(n);
+    for (auto& s : row) s = static_cast<SetId>(rng.below(num_sets));
+    const RowTruth t = row_truth(row, qranks);
+    const RowArgmax got =
+        simd::unit_rank_argmax_portable(row.data(), n, qranks.data());
+    // The portable reference is exact, not conservative: its collision
+    // flag equals "the max is duplicated", and without duplication its
+    // winner is the unique maximum.
+    EXPECT_EQ(got.collision, t.max_duplicated);
+    if (!t.max_duplicated) {
+      EXPECT_EQ(got.best, t.best);
+    } else {
+      EXPECT_EQ(qranks[got.best], qranks[t.best]);
+    }
+  }
+}
+
+TEST(UnitArgmaxKernel, VectorKernelsHonourContractOnRandomRows) {
+  const std::vector<Isa> isas = vector_isas();
+  for (Isa isa : isas) {
+    simd::UnitArgmaxFn fn = simd::unit_rank_argmax_fn(isa);
+    Rng rng(23 + static_cast<std::uint64_t>(isa));
+    for (int it = 0; it < 4000; ++it) {
+      const std::size_t num_sets = 8 + rng.below(256);
+      std::vector<std::uint32_t> qranks(num_sets);
+      const bool dense_ranks = it % 2 == 0;  // force collisions half the time
+      for (auto& r : qranks)
+        r = dense_ranks ? static_cast<std::uint32_t>(rng.below(6))
+                        : static_cast<std::uint32_t>(rng() >> 32);
+      // Row lengths straddle the min-row gate, the lane width, and the
+      // scalar tail (n not a lane multiple).
+      const std::size_t n = simd::kUnitArgmaxMinRow + rng.below(60);
+      std::vector<SetId> row(n);
+      for (auto& s : row) s = static_cast<SetId>(rng.below(num_sets));
+
+      const RowTruth t = row_truth(row, qranks);
+      const RowArgmax got = fn(row.data(), n, qranks.data());
+      // Conservative contract: no collision report means the winner is
+      // the unique exact maximum; a duplicated maximum must be reported.
+      if (!got.collision) {
+        EXPECT_FALSE(t.max_duplicated) << simd::isa_name(isa);
+        EXPECT_EQ(got.best, t.best) << simd::isa_name(isa);
+      }
+      if (t.max_duplicated) {
+        EXPECT_TRUE(got.collision) << simd::isa_name(isa);
+      }
+      // Even on collision the reported best attains the maximum rank.
+      EXPECT_EQ(qranks[got.best], qranks[t.best]) << simd::isa_name(isa);
+    }
+  }
+}
+
+TEST(UnitArgmaxKernel, CraftedRankCollisionsAreAlwaysReported) {
+  // Keys one 2^-40 step apart share a quantized rank (the rank keeps only
+  // the top 32 bits of the order-preserving u64 image) while remaining
+  // distinct doubles — exactly the rows that force the exact (key, tie)
+  // fallback in the block kernel.
+  const std::size_t num_sets = 64;
+  std::vector<double> keys(num_sets);
+  std::vector<std::uint32_t> qranks(num_sets);
+  for (SetId s = 0; s < num_sets; ++s) {
+    keys[s] = -1.0 - static_cast<double>(s) * 0x1p-40;
+    qranks[s] = quantized_key_rank(keys[s]);
+  }
+  ASSERT_EQ(qranks[0], qranks[num_sets - 1]) << "keys drifted out of one rank";
+  ASSERT_NE(keys[0], keys[num_sets - 1]);
+
+  std::vector<SetId> row(num_sets);
+  for (SetId s = 0; s < num_sets; ++s) row[s] = s;
+  for (Isa isa : vector_isas()) {
+    const RowArgmax got =
+        simd::unit_rank_argmax_fn(isa)(row.data(), row.size(), qranks.data());
+    EXPECT_TRUE(got.collision) << simd::isa_name(isa);
+  }
+  EXPECT_TRUE(
+      simd::unit_rank_argmax_portable(row.data(), row.size(), qranks.data())
+          .collision);
+}
+
+TEST(UnitArgmaxKernel, DuplicatedMaxInTailOrAcrossLanesIsReported) {
+  // Place the duplicated maximum at every pair of positions of a
+  // 19-element row (covers same-lane, cross-lane, and scalar-tail pairs
+  // for both 4- and 8-lane kernels).
+  const std::size_t n = 19;
+  const std::size_t num_sets = n;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      std::vector<std::uint32_t> qranks(num_sets);
+      std::vector<SetId> row(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        row[i] = static_cast<SetId>(i);
+        qranks[i] = static_cast<std::uint32_t>(i % 5);
+      }
+      qranks[a] = 1000;
+      qranks[b] = 1000;
+      for (Isa isa : vector_isas()) {
+        const RowArgmax got =
+            simd::unit_rank_argmax_fn(isa)(row.data(), n, qranks.data());
+        EXPECT_TRUE(got.collision)
+            << simd::isa_name(isa) << " pair (" << a << "," << b << ")";
+        EXPECT_EQ(qranks[got.best], 1000u) << simd::isa_name(isa);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------
+// Block-kernel equivalence across ISA tiers
+
+/// Builds a random mixed-capacity block over SoA priorities and returns
+/// the block kernel's output under the given ISA pin.
+struct BlockCase {
+  std::vector<Capacity> caps;
+  std::vector<std::size_t> offsets;
+  std::vector<SetId> cands;
+  std::vector<double> keys;
+  std::vector<std::uint64_t> ties;
+  std::vector<std::uint32_t> qranks;
+
+  ArrivalBlock block() const {
+    ArrivalBlock b;
+    b.first = 0;
+    b.count = caps.size();
+    b.capacities = caps.data();
+    b.candidates = cands.data();
+    b.offsets = offsets.data();
+    return b;
+  }
+};
+
+BlockCase random_block_case(Rng& rng, bool craft_collisions) {
+  BlockCase c;
+  const std::size_t num_sets = 32 + rng.below(256);
+  c.keys.resize(num_sets);
+  c.ties.resize(num_sets);
+  c.qranks.resize(num_sets);
+  for (SetId s = 0; s < num_sets; ++s) {
+    if (craft_collisions) {
+      // A handful of base keys, each shifted below rank resolution:
+      // equal ranks, distinct keys — the exact-fallback shape.
+      const double base = -1.0 - static_cast<double>(rng.below(4));
+      c.keys[s] = base - static_cast<double>(rng.below(16)) * 0x1p-40;
+    } else {
+      c.keys[s] = -1.0 - rng.uniform();
+    }
+    c.ties[s] = rng();
+    c.qranks[s] = quantized_key_rank(c.keys[s]);
+  }
+  const std::size_t count = 1 + rng.below(40);
+  c.offsets.push_back(0);
+  for (std::size_t i = 0; i < count; ++i) {
+    c.caps.push_back(static_cast<Capacity>(rng.below(4)));  // incl. cap 0
+    const std::size_t n = rng.below(30);                    // incl. empty rows
+    // Sorted distinct candidates, as the engine guarantees.
+    std::vector<bool> used(num_sets, false);
+    std::vector<SetId> row;
+    for (std::size_t j = 0; j < n; ++j) {
+      const SetId s = static_cast<SetId>(rng.below(num_sets));
+      if (!used[s]) {
+        used[s] = true;
+        row.push_back(s);
+      }
+    }
+    std::sort(row.begin(), row.end());
+    c.cands.insert(c.cands.end(), row.begin(), row.end());
+    c.offsets.push_back(c.cands.size());
+  }
+  return c;
+}
+
+TEST(BlockKernelIsaEquivalence, AllTiersDecideIdenticallyWithFusedHistogram) {
+  const std::vector<Isa> isas = simd::available_isas();
+  ASSERT_GE(isas.size(), 1u);
+  Rng rng(77);
+  for (int it = 0; it < 300; ++it) {
+    const BlockCase c = random_block_case(rng, it % 3 == 0);
+
+    std::vector<BlockChoices> outs(isas.size());
+    std::vector<std::vector<std::uint32_t>> hists(isas.size());
+    for (std::size_t k = 0; k < isas.size(); ++k) {
+      simd::set_active_isa(isas[k]);
+      BlockScratch scratch;
+      hists[k].assign(c.keys.size(), 0);
+      scratch.got = hists[k].data();
+      top_by_priority_soa_block(c.block(), c.keys.data(), c.ties.data(),
+                                c.qranks.data(), scratch, outs[k]);
+      EXPECT_TRUE(scratch.hist_applied) << simd::isa_name(isas[k]);
+    }
+    simd::refresh_active_isa();
+
+    const std::size_t written = outs[0].offsets.back();
+    for (std::size_t k = 1; k < isas.size(); ++k) {
+      ASSERT_EQ(outs[k].offsets, outs[0].offsets)
+          << simd::isa_name(isas[k]) << " vs " << simd::isa_name(isas[0]);
+      // ids is a grow-only capacity buffer; only the offsets-covered
+      // prefix is meaningful.
+      ASSERT_TRUE(std::equal(outs[k].ids.begin(),
+                             outs[k].ids.begin() + written,
+                             outs[0].ids.begin()))
+          << simd::isa_name(isas[k]) << " vs " << simd::isa_name(isas[0]);
+      EXPECT_EQ(hists[k], hists[0]);
+    }
+    // The fused histogram equals a recount over the written rows.
+    std::vector<std::uint32_t> recount(c.keys.size(), 0);
+    for (std::size_t j = 0; j < written; ++j) ++recount[outs[0].ids[j]];
+    EXPECT_EQ(hists[0], recount);
+  }
+}
+
+TEST(BlockKernel, HistogramChannelStaysOffWithoutOptIn) {
+  Rng rng(5);
+  const BlockCase c = random_block_case(rng, false);
+  BlockScratch scratch;  // got stays nullptr
+  BlockChoices out;
+  top_by_priority_soa_block(c.block(), c.keys.data(), c.ties.data(),
+                            c.qranks.data(), scratch, out);
+  EXPECT_FALSE(scratch.hist_applied);
+}
+
+// ------------------------------------------------------------------
+// Dispatcher / OSP_FORCE_ISA
+
+TEST(CpuFeatures, ScalarIsAlwaysAvailableAndListedFirst) {
+  EXPECT_TRUE(simd::isa_available(Isa::kScalar));
+  const std::vector<Isa> isas = simd::available_isas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), Isa::kScalar);
+  EXPECT_EQ(simd::best_isa(), isas.back());
+  for (Isa isa : isas) EXPECT_TRUE(simd::isa_available(isa));
+}
+
+TEST(CpuFeatures, ParseIsaRoundTripsAndRejectsUnknownNames) {
+  for (Isa isa : {Isa::kScalar, Isa::kSse2, Isa::kAvx2, Isa::kNeon})
+    EXPECT_EQ(simd::parse_isa(simd::isa_name(isa)), isa);
+  EXPECT_THROW(simd::parse_isa("bogus"), RequireError);
+  EXPECT_THROW(simd::parse_isa("AVX2"), RequireError);  // names are lower-case
+  EXPECT_THROW(simd::parse_isa(""), RequireError);
+}
+
+TEST(CpuFeatures, ForceIsaPinsEveryAvailableTier) {
+  for (Isa isa : simd::available_isas()) {
+    ScopedForceIsa guard(simd::isa_name(isa));
+    simd::refresh_active_isa();
+    EXPECT_EQ(simd::active_isa(), isa);
+    EXPECT_STREQ(simd::active_isa_name(), simd::isa_name(isa));
+    EXPECT_NE(simd::isa_selection_note().find("OSP_FORCE_ISA"),
+              std::string::npos);
+  }
+}
+
+TEST(CpuFeatures, ForcingUnknownOrUnavailableIsaIsAHardError) {
+  {
+    ScopedForceIsa guard("definitely-not-an-isa");
+    EXPECT_THROW(simd::refresh_active_isa(), RequireError);
+  }
+  // Find an ISA this CPU cannot run; skip silently on a machine that
+  // somehow supports all four.
+  for (Isa isa : {Isa::kSse2, Isa::kAvx2, Isa::kNeon}) {
+    if (simd::isa_available(isa)) continue;
+    ScopedForceIsa guard(simd::isa_name(isa));
+    EXPECT_THROW(simd::refresh_active_isa(), RequireError)
+        << simd::isa_name(isa);
+    break;
+  }
+}
+
+TEST(CpuFeatures, SetActiveIsaPinsInProcessAndRefreshRestores) {
+  ScopedForceIsa guard(nullptr);  // clear any ambient force for this test
+  simd::refresh_active_isa();
+  const Isa before = simd::active_isa();
+  EXPECT_EQ(before, simd::best_isa());
+  simd::set_active_isa(Isa::kScalar);
+  EXPECT_EQ(simd::active_isa(), Isa::kScalar);
+  if (before != Isa::kScalar) {
+    EXPECT_NE(simd::isa_selection_note().find("pinned"), std::string::npos);
+  }
+  simd::refresh_active_isa();
+  EXPECT_EQ(simd::active_isa(), before);
+}
+
+}  // namespace
+}  // namespace osp
