@@ -10,6 +10,8 @@
 //   osp_cli solve <file|->
 //   osp_cli bench [--scenario NAMES] [--config FILE] [--alg SPECS]
 //                 [--ranker NAMES] [--trials T] [--seed S] [--json NAME]
+//                 [--dry-run] [--shard i/N --out PART]
+//   osp_cli merge PART... (--json NAME | --out FILE)
 //   osp_cli version
 //
 // `list` enumerates everything the registries know; adding a policy, a
@@ -21,9 +23,18 @@
 // loads a scenario (axes included) from a key=value file, and
 // `bench --ranker` sweeps the buffered-router FrameRankers over a video
 // scenario instead of packing policies.
+//
+// Sharded grids: `bench --dry-run` prints the expanded cell list without
+// running anything; `bench --shard i/N --out PART` runs only shard i's
+// contiguous slice of the cells and writes a partial-result file; `merge`
+// validates that partial files tile the grid exactly (matching
+// fingerprints, no gaps, no overlaps — enumerated errors otherwise) and
+// replays the rows through JsonSink, producing a BENCH_*.json that is
+// bit-identical to the unsharded `bench --json` run.
 #include <unistd.h>
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -36,6 +47,7 @@
 #include "api/result_sink.hpp"
 #include "api/scenario.hpp"
 #include "api/session.hpp"
+#include "api/shard.hpp"
 #include "engine/batch_runner.hpp"
 #include "core/bounds.hpp"
 #include "core/cpu_features.hpp"
@@ -51,9 +63,14 @@ namespace {
 
 struct Args {
   std::string command;
-  std::string positional;
+  std::vector<std::string> positionals;
   std::map<std::string, std::string> options;
 
+  /// The single file/name argument most commands take (`merge` is the
+  /// one command that accepts several).
+  std::string positional() const {
+    return positionals.empty() ? std::string() : positionals.front();
+  }
   bool has(const std::string& key) const { return options.count(key) != 0; }
   std::string get(const std::string& key, const std::string& fallback) const {
     auto it = options.find(key);
@@ -71,7 +88,7 @@ struct Args {
 /// Flags that are pure switches (no value follows them).
 bool is_boolean_flag(const std::string& name) {
   return name == "policies" || name == "scenarios" || name == "rankers" ||
-         name == "markdown";
+         name == "markdown" || name == "dry-run";
 }
 
 Args parse(int argc, char** argv) {
@@ -88,9 +105,7 @@ Args parse(int argc, char** argv) {
       OSP_REQUIRE_MSG(i + 1 < argc, "missing value for " << word);
       args.options[word.substr(2)] = argv[++i];
     } else {
-      OSP_REQUIRE_MSG(args.positional.empty(),
-                      "unexpected extra argument " << word);
-      args.positional = word;
+      args.positionals.push_back(word);
     }
   }
   return args;
@@ -112,7 +127,7 @@ api::ScenarioSpec& apply_overrides(api::ScenarioSpec& spec,
   for (const auto& [key, value] : args.options) {
     if (key == "out" || key == "seed" || key == "trials" || key == "alg" ||
         key == "scenario" || key == "json" || key == "config" ||
-        key == "ranker")
+        key == "ranker" || key == "shard" || key == "dry-run")
       continue;  // run plumbing, not generator parameters
     spec.set(key, value);
   }
@@ -183,10 +198,10 @@ int cmd_list(const Args& args) {
 }
 
 int cmd_gen(const Args& args) {
-  OSP_REQUIRE_MSG(!args.positional.empty(),
+  OSP_REQUIRE_MSG(!args.positional().empty(),
                   "gen needs a scenario name; registered scenarios:\n"
                       << api::scenarios().render_catalog());
-  api::ScenarioSpec spec = scenario_from(args, args.positional);
+  api::ScenarioSpec spec = scenario_from(args, args.positional());
   if (!spec.sweep.empty())
     std::cerr << "note: scenario '" << spec.name
               << "' declares sweep axes; gen builds the base cell only "
@@ -204,9 +219,9 @@ int cmd_gen(const Args& args) {
 }
 
 int cmd_stats(const Args& args) {
-  OSP_REQUIRE_MSG(!args.positional.empty(),
+  OSP_REQUIRE_MSG(!args.positional().empty(),
                   "stats needs a file (or '-' for stdin)");
-  Instance inst = load_from(args.positional);
+  Instance inst = load_from(args.positional());
   InstanceStats st = inst.stats();
   Table t({"quantity", "value"});
   t.row({"sets (m)", fmt(st.num_sets)});
@@ -237,9 +252,9 @@ int cmd_run(const Args& args) {
   const api::PolicyInfo& policy = api::policies().at(name);
   // A bare `run` on a terminal would block forever waiting for an
   // instance; only read stdin implicitly when something is piped in.
-  OSP_REQUIRE_MSG(!args.positional.empty() || !isatty(fileno(stdin)),
+  OSP_REQUIRE_MSG(!args.positional().empty() || !isatty(fileno(stdin)),
                   "run needs a file (or pipe an instance in / pass '-')");
-  Instance inst = load_from(args.positional);
+  Instance inst = load_from(args.positional());
 
   RunningStat benefit;
   std::size_t completed = 0;
@@ -261,9 +276,9 @@ int cmd_run(const Args& args) {
 }
 
 int cmd_solve(const Args& args) {
-  OSP_REQUIRE_MSG(!args.positional.empty(),
+  OSP_REQUIRE_MSG(!args.positional().empty(),
                   "solve needs a file (or '-' for stdin)");
-  Instance inst = load_from(args.positional);
+  Instance inst = load_from(args.positional());
   OfflineResult greedy = greedy_offline(inst);
   OfflineResult opt = exact_optimum(inst);
   double lp = inst.num_sets() <= 120 ? lp_upper_bound(inst) : -1;
@@ -421,6 +436,17 @@ int cmd_bench(const Args& args) {
   }
   OSP_REQUIRE_MSG(trials >= 1, "flag --trials must be at least 1");
 
+  // --shard i/N slices the expanded (instance × policy) cell grid; --out
+  // names the partial-result file the slice is written to.  Parse the
+  // plan before any work so a malformed spec is a one-line error.
+  const bool sharded = args.has("shard");
+  api::ShardPlan plan;
+  if (sharded)
+    plan = api::ShardPlan::parse("flag --shard", args.get("shard", ""));
+  OSP_REQUIRE_MSG(sharded || !args.has("out"),
+                  "bench --out writes a shard's partial-result file and "
+                  "needs --shard i/N next to it");
+
   api::Session session;
   if (args.has("ranker")) {
     // A policy grid and a ranker sweep are different experiments; a
@@ -428,6 +454,9 @@ int cmd_bench(const Args& args) {
     OSP_REQUIRE_MSG(!args.has("alg"),
                     "--ranker and --alg are mutually exclusive: rankers "
                     "drive the buffered router, --alg runs a packing grid");
+    OSP_REQUIRE_MSG(!sharded && !args.has("dry-run"),
+                    "--shard/--dry-run slice the packing-policy grid; "
+                    "--ranker sweeps are not shardable (run them whole)");
     return bench_rankers(args, session, cells, trials, seed);
   }
 
@@ -455,6 +484,37 @@ int cmd_bench(const Args& args) {
                        "columns differ only in label (use --ranker for "
                        "the router knobs)\n";
 
+  // Resolve the policy specs once: canonical names feed the dry-run
+  // listing, the grid fingerprint, and the grid columns alike, so alias
+  // spellings of the same policy fingerprint identically.
+  std::vector<const api::PolicyInfo*> policy_infos;
+  for (const std::string& spec : alg_specs)
+    policy_infos.push_back(&api::policies().at(spec));
+  const std::size_t num_algs = policy_infos.size();
+  const std::size_t total_cells = cells.size() * num_algs;
+
+  if (args.has("dry-run")) {
+    // The expanded cell list, one line per grid cell in canonical
+    // row-major order, restricted to the shard's slice when --shard is
+    // given; nothing is built or run.
+    std::size_t begin = 0, end = total_cells;
+    if (sharded) {
+      const auto slice = plan.slice(total_cells);
+      begin = slice.first;
+      end = slice.second;
+    }
+    Table t({"cell", "shard", "instance", "policy"});
+    for (std::size_t c = begin; c < end; ++c)
+      t.row({fmt(c), fmt(plan.owner(c, total_cells)),
+             cells[c / num_algs].display_label(),
+             policy_infos[c % num_algs]->name});
+    t.print(std::cout);
+    std::cout << total_cells << " cells (" << cells.size() << " instances x "
+              << num_algs << " policies), trials=" << trials
+              << "; dry run, nothing executed\n";
+    return 0;
+  }
+
   std::vector<Instance> instances;
   std::vector<const Instance*> instance_ptrs;
   std::vector<std::string> labels;
@@ -467,20 +527,108 @@ int cmd_bench(const Args& args) {
 
   engine::GridSpec grid;
   grid.instances = instance_ptrs;
-  for (const std::string& spec : alg_specs)
-    grid.algorithms.push_back(api::grid_column(api::policies().at(spec)));
+  for (const api::PolicyInfo* info : policy_infos)
+    grid.algorithms.push_back(api::grid_column(*info));
   grid.trials = trials;
   grid.master_seed = seed;
 
   api::TableSink table;
   session.attach(table);
-  std::unique_ptr<api::JsonSink> json = open_json_sink(args, session);
+  std::unique_ptr<api::JsonSink> json;
+  std::unique_ptr<api::ShardSink> shard;
+  if (sharded) {
+    // A sharded run writes a partial-result file instead of BENCH JSON;
+    // --json only records the artifact name in the manifest, so `merge`
+    // can produce the same BENCH_<name>.json the unsharded run would.
+    const std::string out = args.get("out", "");
+    OSP_REQUIRE_MSG(!out.empty(),
+                    "--shard needs --out FILE naming the partial-result "
+                    "file this slice is written to");
+    const auto slice = plan.slice(total_cells);
+    grid.cell_begin = slice.first;
+    grid.cell_end = slice.second;
+    std::vector<std::string> policy_names;
+    for (const api::PolicyInfo* info : policy_infos)
+      policy_names.push_back(info->name);
+    api::ShardManifest manifest;
+    manifest.bench = args.get("json", "cli");
+    manifest.fingerprint =
+        api::grid_fingerprint(cells, policy_names, trials, seed);
+    manifest.shard_index = plan.index;
+    manifest.shard_count = plan.count;
+    manifest.cell_begin = slice.first;
+    manifest.cell_end = slice.second;
+    manifest.total_cells = total_cells;
+    manifest.threads = session.threads();
+    shard = std::make_unique<api::ShardSink>(out, manifest);
+    session.attach(*shard);
+  } else {
+    json = open_json_sink(args, session);
+  }
 
   session.run_grid(grid, labels);
   session.close_sinks();
   table.print(std::cout);
+  if (shard != nullptr)
+    std::cerr << "wrote shard " << plan.index << "/" << plan.count
+              << " (cells " << grid.cell_begin << ".." << grid.cell_end
+              << " of " << total_cells << ") to " << args.get("out", "")
+              << "\n";
   if (json != nullptr)
     std::cerr << "wrote BENCH_" << args.get("json", "cli") << ".json\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------
+// merge
+
+/// `merge PART... (--json NAME | --out FILE)`: validates that the
+/// partial-result files tile one grid exactly and replays their rows, in
+/// canonical cell order, through the same JsonSink `bench --json` uses —
+/// so the merged artifact is bit-identical to an unsharded run's.
+int cmd_merge(const Args& args) {
+  OSP_REQUIRE_MSG(!args.positionals.empty(),
+                  "merge needs partial-result files: osp_cli merge PART... "
+                  "(--json NAME | --out FILE)");
+  OSP_REQUIRE_MSG(args.has("json") != args.has("out"),
+                  "merge needs exactly one of --json NAME (write "
+                  "BENCH_NAME.json) or --out FILE (write an explicit path)");
+
+  std::vector<api::ShardPartial> partials;
+  for (const std::string& path : args.positionals) {
+    std::ifstream in(path);
+    OSP_REQUIRE_MSG(in.good(),
+                    "cannot open partial-result file '" << path << "'");
+    partials.push_back(api::parse_shard_partial(in, path));
+  }
+  api::MergedShards merged = api::merge_shards(std::move(partials));
+
+  if (args.has("json")) {
+    const std::string name = args.get("json", "");
+    OSP_REQUIRE_MSG(name == merged.bench,
+                    "--json '" << name << "' does not match the bench name '"
+                               << merged.bench
+                               << "' recorded in the shard manifests");
+    const std::string path = "BENCH_" + name + ".json";
+    OSP_REQUIRE_MSG(!std::ifstream(path).good(),
+                    path << " already exists; refusing to overwrite "
+                            "— pick another name or remove it first");
+    api::JsonSink sink(name, merged.threads);
+    for (const api::Row& row : merged.rows) sink.write(row);
+    sink.close();
+    std::cerr << "wrote " << path << " (" << merged.rows.size()
+              << " rows from " << args.positionals.size() << " partials)\n";
+  } else {
+    const std::string path = args.get("out", "");
+    std::ofstream os(path);
+    OSP_REQUIRE_MSG(os.good(), "cannot open '" << path << "' for writing");
+    api::JsonSink sink(os, merged.bench, merged.threads);
+    for (const api::Row& row : merged.rows) sink.write(row);
+    sink.close();
+    os << '\n';  // the file form's trailing newline, for byte-parity
+    std::cerr << "wrote " << path << " (" << merged.rows.size()
+              << " rows from " << args.positionals.size() << " partials)\n";
+  }
   return 0;
 }
 
@@ -548,6 +696,8 @@ int usage() {
   osp_cli solve <file|->
   osp_cli bench [--scenario NAMES] [--config FILE] [--alg SPECS]
                 [--ranker NAMES] [--trials T] [--seed S] [--json NAME]
+                [--dry-run] [--shard i/N --out PART]
+  osp_cli merge PART... (--json NAME | --out FILE)
   osp_cli version
 
 stats/run/solve read the instance from a file, from '-', or from a pipe
@@ -557,6 +707,10 @@ per cell.  `bench --config FILE` loads a key=value scenario file
 (scenario = <base>, field overrides, sweep.<key> = values — see
 docs/EXPERIMENTS.md); `bench --ranker` sweeps buffered-router rankers
 over a video scenario; `list --markdown` emits docs/CATALOG.md.
+`bench --dry-run` prints the expanded cell grid without running;
+`bench --shard i/N --out PART` runs shard i's slice of the cells into a
+partial-result file, and `merge` fuses partials into the bit-identical
+BENCH artifact (see docs/EXPERIMENTS.md, "Sharding a sweep").
 
 )" << "policies:\n"
             << osp::api::policies().render_catalog() << "\nscenarios:\n"
@@ -570,12 +724,18 @@ int main(int argc, char** argv) {
   try {
     if (argc < 2) return usage();
     Args args = parse(argc, argv);
+    // Only merge takes several positionals; everywhere else a second one
+    // is a typo (e.g. a flag value that lost its --flag).
+    if (args.command != "merge")
+      OSP_REQUIRE_MSG(args.positionals.size() <= 1,
+                      "unexpected extra argument " << args.positionals[1]);
     if (args.command == "list") return cmd_list(args);
     if (args.command == "gen") return cmd_gen(args);
     if (args.command == "stats") return cmd_stats(args);
     if (args.command == "run") return cmd_run(args);
     if (args.command == "solve") return cmd_solve(args);
     if (args.command == "bench") return cmd_bench(args);
+    if (args.command == "merge") return cmd_merge(args);
     if (args.command == "version") return cmd_version(args);
     return usage();
   } catch (const std::exception& e) {

@@ -64,6 +64,36 @@ printf '%s\n' 'scenario = regular' 'm = 12' 'sigma = 3' 'sweep.k = 2,3' \
 ./build/quickstart > /dev/null
 
 echo
+echo "== shard smoke: bench --shard / merge bit-identity =="
+# The sharding contract end to end: the dry-run cell list, a 3-shard
+# split of a small sweep, the partial-format validator, and a merge that
+# must reproduce the unsharded BENCH artifact byte for byte.  CI's
+# shard-matrix job runs the same check over the larger catalog sweeps.
+rm -f BENCH_shardsmoke.json build/shardsmoke_*.part build/shardsmoke_merged.json
+./build/osp_cli bench --scenario engine/ladder --alg randpr,greedy:maxw \
+  --trials 3 --seed 11 --dry-run > /dev/null
+./build/osp_cli bench --scenario engine/ladder --alg randpr,greedy:maxw \
+  --trials 3 --seed 11 --json shardsmoke > /dev/null
+for i in 0 1 2; do
+  ./build/osp_cli bench --scenario engine/ladder --alg randpr,greedy:maxw \
+    --trials 3 --seed 11 --json shardsmoke \
+    --shard "$i/3" --out "build/shardsmoke_$i.part" > /dev/null
+done
+python3 scripts/check_bench_json.py build/shardsmoke_*.part
+./build/osp_cli merge build/shardsmoke_*.part --out build/shardsmoke_merged.json
+cmp BENCH_shardsmoke.json build/shardsmoke_merged.json
+# Overlapping partials must fail with an enumerated error, not merge.
+if ./build/osp_cli merge build/shardsmoke_0.part build/shardsmoke_0.part \
+    build/shardsmoke_1.part build/shardsmoke_2.part \
+    --out build/shardsmoke_bad.json 2> build/shardsmoke_err.txt; then
+  echo "overlapping-partials merge unexpectedly succeeded" >&2
+  exit 1
+fi
+grep -q "overlap" build/shardsmoke_err.txt
+rm -f BENCH_shardsmoke.json build/shardsmoke_*.part \
+  build/shardsmoke_merged.json build/shardsmoke_err.txt
+
+echo
 echo "== sanitizers: ASan/UBSan build of fuzz + engine + queue tests =="
 cmake -B build-asan -S . -DOSP_SANITIZE=ON
 cmake --build build-asan -j "${jobs}" --target test_fuzz test_engine test_game test_instance test_rand_pr test_net test_queue test_simd bench_router

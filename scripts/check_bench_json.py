@@ -27,6 +27,16 @@ validates, with the standard library only:
   * ISA names are one of scalar/sse2/avx2/neon;
   * every numeric value is finite.
 
+Files beginning with the "osp-shard 1" magic are validated as sharded
+partial-result files instead (`osp_cli bench --shard i/N --out PART`):
+manifest header (bench, 16-hex fingerprint, shard i/N with i < N, cell
+range begin..end/total, threads >= 1), `---` separator, row blocks
+(`row <cell>` with sequential global cell indices, typed `<tag> k=v`
+cell lines with finite hexfloat doubles, `end`), and a `total <rows>`
+footer matching the slice size — docs/BENCHMARKS.md documents the
+grammar.  Directories only glob BENCH_*.json; pass partial files
+explicitly.
+
 Usage: scripts/check_bench_json.py [file-or-dir ...]
        (defaults to the repository root; exits non-zero on any violation)
        scripts/check_bench_json.py --describe
@@ -38,6 +48,7 @@ Usage: scripts/check_bench_json.py [file-or-dir ...]
 import json
 import math
 import pathlib
+import re
 import sys
 
 ENGINE_WORKLOAD_KEYS = (
@@ -181,9 +192,121 @@ def reject_constant(value):
     raise ValueError(f"non-finite JSON literal {value!r}")
 
 
+# ----------------------------------------------------------------------
+# Sharded partial-result files (osp_cli bench --shard i/N --out PART).
+
+SHARD_MAGIC = "osp-shard 1"
+SHARD_TAGS = "biuds"
+SHARD_HEX_FINGERPRINT = re.compile(r"^[0-9a-f]{16}$")
+
+
+def check_wire_payload(path, lineno, tag, payload):
+    where = f"line {lineno}"
+    if tag == "b":
+        if payload not in ("true", "false"):
+            fail(path, f"{where}: bool payload must be true/false, "
+                       f"got {payload!r}")
+    elif tag in ("i", "u"):
+        if not re.fullmatch(r"-?\d+" if tag == "i" else r"\d+", payload):
+            fail(path, f"{where}: malformed integer payload {payload!r}")
+    elif tag == "d":
+        try:
+            value = float.fromhex(payload)
+        except ValueError:
+            fail(path, f"{where}: double payload {payload!r} is not C "
+                       f"hexfloat")
+        if not math.isfinite(value):
+            fail(path, f"{where}: double payload {payload!r} is not finite")
+    # tag "s": any escaped one-line text is fine; escapes checked below.
+    if tag == "s" and re.search(r"\\(?![\\nr])", payload):
+        fail(path, f"{where}: string payload {payload!r} has an unknown "
+                   f"or dangling escape")
+
+
+def check_partial(path, text):
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    pos = 0
+
+    def take(prefix):
+        nonlocal pos
+        if pos >= len(lines) or not lines[pos].startswith(prefix):
+            got = lines[pos] if pos < len(lines) else "<eof>"
+            fail(path, f"line {pos + 1}: expected '{prefix}...', got {got!r}")
+        value = lines[pos][len(prefix):]
+        pos += 1
+        return value
+
+    if take("") != SHARD_MAGIC:  # full first line must be the magic
+        fail(path, f"line 1: first line is not '{SHARD_MAGIC}'")
+    bench = take("bench ")
+    if not bench:
+        fail(path, "line 2: empty bench name")
+    fingerprint = take("fingerprint ")
+    if not SHARD_HEX_FINGERPRINT.fullmatch(fingerprint):
+        fail(path, f"line 3: fingerprint {fingerprint!r} is not 16 "
+                   f"lowercase hex digits")
+    shard = take("shard ")
+    m = re.fullmatch(r"(\d+)/(\d+)", shard)
+    if not m or not int(m.group(1)) < int(m.group(2)):
+        fail(path, f"line 4: shard {shard!r} is not i/N with 0 <= i < N")
+    cells = take("cells ")
+    m = re.fullmatch(r"(\d+)\.\.(\d+)/(\d+)", cells)
+    if not m:
+        fail(path, f"line 5: cells {cells!r} is not begin..end/total")
+    begin, end, total = (int(g) for g in m.groups())
+    if not begin <= end <= total:
+        fail(path, f"line 5: cell range violates begin <= end <= total")
+    threads = take("threads ")
+    if not threads.isdigit() or int(threads) < 1:
+        fail(path, f"line 6: threads {threads!r} is not a positive integer")
+    if take("") != "---":
+        fail(path, "line 7: missing '---' header separator")
+
+    rows = 0
+    while pos < len(lines) and lines[pos].startswith("row "):
+        cell = lines[pos][4:]
+        if not cell.isdigit() or int(cell) != begin + rows:
+            fail(path, f"line {pos + 1}: row cell {cell!r} breaks the "
+                       f"sequential order from {begin}")
+        pos += 1
+        cells_in_row = 0
+        while pos < len(lines) and lines[pos] != "end":
+            line = lines[pos]
+            if len(line) < 2 or line[0] not in SHARD_TAGS or line[1] != " ":
+                fail(path, f"line {pos + 1}: malformed cell line {line!r}")
+            key, eq, payload = line[2:].partition("=")
+            if not key or eq != "=":
+                fail(path, f"line {pos + 1}: cell line has no key=payload")
+            check_wire_payload(path, pos + 1, line[0], payload)
+            cells_in_row += 1
+            pos += 1
+        if pos >= len(lines):
+            fail(path, "row block is missing its 'end' line (truncated?)")
+        if cells_in_row == 0:
+            fail(path, f"line {pos + 1}: row block has no cell lines")
+        pos += 1  # consume "end"
+        rows += 1
+
+    footer = take("total ")
+    if not footer.isdigit() or int(footer) != rows:
+        fail(path, f"footer 'total {footer}' does not match the {rows} "
+                   f"row blocks present (truncated file?)")
+    if rows != end - begin:
+        fail(path, f"{rows} rows but the manifest slice holds "
+                   f"{end - begin} cells")
+    if pos != len(lines):
+        fail(path, f"line {pos + 1}: trailing content after the footer")
+    return rows
+
+
 def check_file(path):
+    text = path.read_text()
+    if text.startswith(SHARD_MAGIC):
+        return check_partial(path, text)
     try:
-        doc = json.loads(path.read_text(), parse_constant=reject_constant)
+        doc = json.loads(text, parse_constant=reject_constant)
     except ValueError as err:
         fail(path, f"does not parse as strict JSON: {err}")
     if not isinstance(doc, dict):
@@ -235,6 +358,15 @@ def describe():
     for workload, floor in sorted(BLOCK_VS_FLAT_FLOORS.items()):
         print(f"    {workload}: >= {floor}")
     print("  every numeric value finite; strict JSON (no NaN/Infinity)")
+    print("partial-result files (magic '%s'):" % SHARD_MAGIC)
+    print("  header: bench <name>, fingerprint <16 hex>, shard i/N (i < N),")
+    print("          cells begin..end/total (begin <= end <= total),")
+    print("          threads <int >= 1>, then '---'")
+    print("  rows: 'row <cell>' blocks with sequential cells from begin,")
+    print("        cell lines '<tag> key=payload' with tag in '%s',"
+          % SHARD_TAGS)
+    print("        doubles as finite C hexfloat; then 'end'")
+    print("  footer: 'total <rows>' matching both the blocks and the slice")
     return 0
 
 

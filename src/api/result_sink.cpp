@@ -32,6 +32,8 @@ std::string render(const Row::Value& value, int precision) {
 
 JsonSink::JsonSink(const std::string& name, std::size_t threads)
     : file_("BENCH_" + name + ".json"), writer_(file_) {
+  OSP_REQUIRE_MSG(file_.good(), "cannot open BENCH_" << name
+                                                     << ".json for writing");
   writer_.begin_object()
       .kv("bench", name)
       .kv("threads", static_cast<std::uint64_t>(threads))

@@ -75,7 +75,10 @@ class ResultSink {
 
 /// Streams rows into BENCH_<name>.json (working directory) in the schema
 /// scripts/check_bench_json.py validates.  `threads` records the batch
-/// runner's worker count; pass Session::threads().
+/// runner's worker count; pass Session::threads().  A sink closed with
+/// zero rows still finishes a complete, valid document
+/// ({"…","results":[]}) — an empty grid slice must never leave a
+/// malformed body behind.
 class JsonSink final : public ResultSink {
  public:
   JsonSink(const std::string& name, std::size_t threads);

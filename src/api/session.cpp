@@ -73,22 +73,32 @@ std::vector<engine::CellStats> Session::run_grid(
     const engine::GridSpec& spec,
     const std::vector<std::string>& instance_labels) {
   std::vector<engine::CellStats> cells = engine::run_grid(*runner_, spec);
-  for (std::size_t i = 0; i < spec.instances.size(); ++i) {
+  // Rows follow the canonical row-major cell order over the executed
+  // slice; a sharded slice emits exactly the rows the full run would
+  // emit for those cells (same labels, same aggregates), which is what
+  // makes merged shards bit-identical to the unsharded artifact.
+  const std::size_t num_algs = spec.algorithms.size();
+  const std::size_t total_cells = spec.instances.size() * num_algs;
+  const std::size_t begin = spec.cell_begin;
+  const std::size_t end = spec.cell_end == engine::GridSpec::kAllCells
+                              ? total_cells
+                              : spec.cell_end;
+  for (std::size_t c = begin; c < end; ++c) {
+    const std::size_t i = c / num_algs;
+    const std::size_t a = c % num_algs;
     const std::string label = i < instance_labels.size()
                                   ? instance_labels[i]
                                   : "instance" + std::to_string(i);
-    for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
-      const engine::CellStats& cell = cells[i * spec.algorithms.size() + a];
-      Row row;
-      row.add("instance", label)
-          .add("policy", spec.algorithms[a].name)
-          .add("trials", cell.benefit.count())
-          .add("benefit_mean", cell.benefit.mean())
-          .add("benefit_ci95", cell.benefit.ci95_halfwidth())
-          .add("decisions_mean", cell.decisions.mean())
-          .add("elements", cell.elements);
-      emit(row);
-    }
+    const engine::CellStats& cell = cells[c - begin];
+    Row row;
+    row.add("instance", label)
+        .add("policy", spec.algorithms[a].name)
+        .add("trials", cell.benefit.count())
+        .add("benefit_mean", cell.benefit.mean())
+        .add("benefit_ci95", cell.benefit.ci95_halfwidth())
+        .add("decisions_mean", cell.decisions.mean())
+        .add("elements", cell.elements);
+    emit(row);
   }
   return cells;
 }

@@ -61,7 +61,10 @@ class Session {
   ///   {instance, policy, trials, benefit_mean, benefit_ci95,
   ///    decisions_mean, elements}.
   /// `instance_labels` (optional) names the rows; defaults to indices.
-  /// Returns the cells in row-major (instance, policy) order.
+  /// Returns the cells in row-major (instance, policy) order.  A grid
+  /// with a cell slice (spec.cell_begin / cell_end — what a shard runs)
+  /// executes and emits only those cells, in the same canonical order
+  /// and with the exact values the full run would produce for them.
   std::vector<engine::CellStats> run_grid(
       const engine::GridSpec& spec,
       const std::vector<std::string>& instance_labels = {});

@@ -1,0 +1,182 @@
+#include "api/wire.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "util/require.hpp"
+
+namespace osp::api {
+
+namespace {
+
+std::string escape_wire_string(const std::string& s) {
+  // Keys and payloads must stay on one line; everything else passes
+  // through verbatim so the escaping is minimal and self-inverse.
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_wire_string(const std::string& s,
+                                 const std::string& where) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    OSP_REQUIRE_MSG(i + 1 < s.size(),
+                    where << ": string payload ends in a dangling '\\'");
+    ++i;
+    switch (s[i]) {
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      default:
+        OSP_REQUIRE_MSG(false, where << ": unknown string escape '\\"
+                                     << s[i] << "'");
+    }
+  }
+  return out;
+}
+
+std::int64_t parse_wire_i64(const std::string& text,
+                            const std::string& where) {
+  OSP_REQUIRE_MSG(!text.empty(), where << ": empty int64 payload");
+  errno = 0;
+  char* endp = nullptr;
+  const long long v = std::strtoll(text.c_str(), &endp, 10);
+  OSP_REQUIRE_MSG(errno == 0 && endp == text.c_str() + text.size(),
+                  where << ": malformed int64 payload '" << text << "'");
+  return static_cast<std::int64_t>(v);
+}
+
+std::uint64_t parse_wire_u64(const std::string& text,
+                             const std::string& where) {
+  // strtoull silently accepts a '-' and wraps; forbid it up front.
+  OSP_REQUIRE_MSG(!text.empty() && text.find('-') == std::string::npos,
+                  where << ": malformed uint64 payload '" << text << "'");
+  errno = 0;
+  char* endp = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &endp, 10);
+  OSP_REQUIRE_MSG(errno == 0 && endp == text.c_str() + text.size(),
+                  where << ": malformed uint64 payload '" << text << "'");
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_wire_double(const std::string& text, const std::string& where) {
+  // The canonical grammar is closed over hexfloats only: an optional
+  // sign, then "0x…".  That rejects "nan", "inf", and decimal spellings
+  // outright instead of trusting strtod's looser language.
+  const std::size_t sign = (!text.empty() && text[0] == '-') ? 1 : 0;
+  OSP_REQUIRE_MSG(text.size() >= sign + 2 && text[sign] == '0' &&
+                      text[sign + 1] == 'x',
+                  where << ": double payload '" << text
+                        << "' is not a hexfloat (expected [-]0x…)");
+  errno = 0;
+  char* endp = nullptr;
+  const double v = std::strtod(text.c_str(), &endp);
+  OSP_REQUIRE_MSG(endp == text.c_str() + text.size(),
+                  where << ": malformed double payload '" << text << "'");
+  OSP_REQUIRE_MSG(std::isfinite(v), where << ": double payload '" << text
+                                          << "' is not finite");
+  return v;
+}
+
+}  // namespace
+
+char wire_tag(const Row::Value& value) {
+  switch (value.index()) {
+    case 0: return 'b';
+    case 1: return 'i';
+    case 2: return 'u';
+    case 3: return 'd';
+    default: return 's';
+  }
+}
+
+std::string encode_wire_value(const Row::Value& value) {
+  switch (value.index()) {
+    case 0:
+      return std::get<bool>(value) ? "true" : "false";
+    case 1:
+      return std::to_string(std::get<std::int64_t>(value));
+    case 2:
+      return std::to_string(std::get<std::uint64_t>(value));
+    case 3: {
+      const double v = std::get<double>(value);
+      // Hexfloat is the round-trip format: every finite double (negative
+      // zero and denormals included) survives encode → strtod bit-exact,
+      // so the merged JsonSink "%.17g" bytes match the unsharded run.
+      OSP_REQUIRE_MSG(std::isfinite(v),
+                      "cannot serialize non-finite double " << v
+                          << " into a partial-result row");
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%a", v);
+      return buf;
+    }
+    default:
+      return escape_wire_string(std::get<std::string>(value));
+  }
+}
+
+Row::Value parse_wire_value(char tag, const std::string& payload,
+                            const std::string& where) {
+  switch (tag) {
+    case 'b':
+      OSP_REQUIRE_MSG(payload == "true" || payload == "false",
+                      where << ": bool payload must be 'true' or 'false', "
+                               "got '"
+                            << payload << "'");
+      return Row::Value(payload == "true");
+    case 'i': return Row::Value(parse_wire_i64(payload, where));
+    case 'u': return Row::Value(parse_wire_u64(payload, where));
+    case 'd': return Row::Value(parse_wire_double(payload, where));
+    case 's': return Row::Value(unescape_wire_string(payload, where));
+    default:
+      OSP_REQUIRE_MSG(false, where << ": unknown value tag '" << tag
+                                   << "' (valid: b i u d s)");
+      return Row::Value(false);
+  }
+}
+
+std::pair<std::string, Row::Value> parse_wire_line(const std::string& line,
+                                                   const std::string& where) {
+  OSP_REQUIRE_MSG(line.size() >= 4 && line[1] == ' ',
+                  where << ": expected '<tag> <key>=<value>', got '" << line
+                        << "'");
+  const std::size_t eq = line.find('=', 2);
+  OSP_REQUIRE_MSG(eq != std::string::npos && eq > 2,
+                  where << ": expected '<tag> <key>=<value>', got '" << line
+                        << "'");
+  return {line.substr(2, eq - 2),
+          parse_wire_value(line[0], line.substr(eq + 1), where)};
+}
+
+void write_wire_row(std::ostream& os, std::size_t cell, const Row& row) {
+  os << "row " << cell << '\n';
+  for (const auto& [key, value] : row.cells) {
+    OSP_REQUIRE_MSG(!key.empty() && key.find('=') == std::string::npos &&
+                        key.find('\n') == std::string::npos,
+                    "row key '" << key
+                                << "' cannot be serialized (empty, '=', or "
+                                   "newline)");
+    os << wire_tag(value) << ' ' << key << '=' << encode_wire_value(value)
+       << '\n';
+  }
+  os << "end\n";
+}
+
+}  // namespace osp::api

@@ -1,0 +1,65 @@
+// Canonical text serialization for experiment Rows — the wire format the
+// sharded grid pipeline (and any future router-runtime / trace-replay
+// transport) moves results through.
+//
+// One Row cell becomes one line:
+//
+//   <tag> <key>=<payload>
+//
+// where <tag> is a single character naming the Row::Value variant arm
+// (b bool, i int64, u uint64, d double, s string) and the payload encodes
+// the value EXACTLY:
+//
+//   b   "true" / "false" — nothing else;
+//   i   decimal int64 (strict strtoll, full consumption);
+//   u   decimal uint64 (no sign, strict);
+//   d   C hexfloat ("%a": 0x1.91eb851eb851fp+6, -0x0p+0, denormals
+//       included) — bit-exact round trips by construction, so replaying a
+//       parsed row through JsonSink reproduces the unsharded "%.17g"
+//       bytes.  NaN and infinities are rejected on both sides: a partial
+//       result file must never carry a value JSON cannot;
+//   s   the string with backslash escapes for '\\', '\n', '\r' (values
+//       live on one line; keys may not contain '=' or newlines).
+//
+// A whole Row is a block tagged with its global grid-cell index:
+//
+//   row <cell>
+//   <tag> <key>=<payload>
+//   ...
+//   end
+//
+// Parsing is strict: unknown tags, malformed payloads, trailing junk,
+// non-canonical grammar all throw RequireError naming the offending text
+// (callers prefix file:line).  Serialize-then-parse is the identity on
+// every representable Row.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+
+#include "api/result_sink.hpp"
+
+namespace osp::api {
+
+/// The single-character variant tag of a cell value.
+char wire_tag(const Row::Value& value);
+
+/// Canonical payload text for one cell value.  Throws RequireError for
+/// non-finite doubles (JSON downstream has no representation for them).
+std::string encode_wire_value(const Row::Value& value);
+
+/// Strict inverse of encode_wire_value for variant arm `tag`.  `where`
+/// prefixes error messages ("file.part:12").
+Row::Value parse_wire_value(char tag, const std::string& payload,
+                            const std::string& where);
+
+/// Parses one "<tag> <key>=<payload>" cell line.
+std::pair<std::string, Row::Value> parse_wire_line(const std::string& line,
+                                                   const std::string& where);
+
+/// Writes a Row as its "row <cell> … end" block (cell is the row's global
+/// grid-cell index; what ties a partial file's rows to the merge order).
+void write_wire_row(std::ostream& os, std::size_t cell, const Row& row);
+
+}  // namespace osp::api

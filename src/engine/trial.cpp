@@ -55,15 +55,28 @@ std::vector<CellStats> run_grid(const BatchRunner& runner,
   OSP_REQUIRE(spec.trials >= 1);
   const std::size_t num_algs = spec.algorithms.size();
   const std::size_t trials = static_cast<std::size_t>(spec.trials);
-  const std::size_t total = spec.instances.size() * num_algs * trials;
+  const std::size_t total_cells = spec.instances.size() * num_algs;
+  const std::size_t begin = spec.cell_begin;
+  const std::size_t end =
+      spec.cell_end == GridSpec::kAllCells ? total_cells : spec.cell_end;
+  OSP_REQUIRE_MSG(begin <= end && end <= total_cells,
+                  "grid cell slice [" << begin << ", " << end
+                                      << ") does not fit a grid of "
+                                      << total_cells << " cells");
+  const std::size_t active = end - begin;
+  const std::size_t total = active * trials;
 
-  // Flat trial index -> (instance, algorithm, trial); trial varies fastest
-  // so neighbouring indices share an instance and stay cache-warm.
+  // Flat trial index -> (cell, trial); trial varies fastest so
+  // neighbouring indices share an instance and stay cache-warm.  The
+  // (instance, algorithm) coordinates and the seed come from the GLOBAL
+  // cell index, so a slice computes exactly what the full run computes
+  // for those cells.
   auto results = runner.map<TrialResult>(
       total, [&](std::size_t idx, TrialContext& ctx) {
         const std::size_t t = idx % trials;
-        const std::size_t a = (idx / trials) % num_algs;
-        const std::size_t i = idx / (trials * num_algs);
+        const std::size_t cell = begin + idx / trials;
+        const std::size_t a = cell % num_algs;
+        const std::size_t i = cell / num_algs;
         return run_play_trial_cached(*spec.instances[i], spec.algorithms[a],
                                      a,
                                      trial_seed(spec.master_seed, i, a, t),
@@ -71,11 +84,11 @@ std::vector<CellStats> run_grid(const BatchRunner& runner,
       });
 
   // Serial aggregation in index order: deterministic for any thread count.
-  std::vector<CellStats> cells(spec.instances.size() * num_algs);
+  std::vector<CellStats> cells(active);
   for (std::size_t idx = 0; idx < total; ++idx) {
-    const std::size_t a = (idx / trials) % num_algs;
-    const std::size_t i = idx / (trials * num_algs);
-    CellStats& cell = cells[i * num_algs + a];
+    const std::size_t local = idx / trials;
+    const std::size_t i = (begin + local) / num_algs;
+    CellStats& cell = cells[local];
     cell.benefit.add(results[idx].benefit);
     cell.decisions.add(static_cast<double>(results[idx].decisions));
     cell.elements += spec.instances[i]->num_elements();

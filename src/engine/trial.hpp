@@ -82,6 +82,9 @@ struct CellStats {
 
 /// An (instances × algorithms × trials) experiment grid.
 struct GridSpec {
+  /// cell_end sentinel: run every cell.
+  static constexpr std::size_t kAllCells = ~static_cast<std::size_t>(0);
+
   std::vector<const Instance*> instances;
   std::vector<AlgSpec> algorithms;
   int trials = 1;
@@ -91,10 +94,21 @@ struct GridSpec {
   /// block stepping is decision-preserving — so this is a pure tuning
   /// knob.
   std::size_t block_size = 0;
+  /// Contiguous slice [cell_begin, cell_end) of the row-major cell
+  /// enumeration (cell = instance_idx * algorithms.size() + alg_idx) to
+  /// execute — what a grid shard runs.  Seeds still derive from the
+  /// GLOBAL coordinates through trial_seed(), so every cell's per-trial
+  /// Rng stream is independent of the slice that executes it, and
+  /// recombined shards are bit-identical to the full run.  The default
+  /// (0, kAllCells) runs everything.
+  std::size_t cell_begin = 0;
+  std::size_t cell_end = kAllCells;
 };
 
-/// Runs the whole grid on `runner`; cell (i, a) of the result is at index
-/// i * algorithms.size() + a.  Deterministic for any worker count.
+/// Runs the grid's [cell_begin, cell_end) slice on `runner`; the result
+/// holds one CellStats per executed cell in slice order, so the full-grid
+/// default puts cell (i, a) at index i * algorithms.size() + a.
+/// Deterministic for any worker count.
 std::vector<CellStats> run_grid(const BatchRunner& runner,
                                 const GridSpec& spec);
 

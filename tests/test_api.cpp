@@ -7,9 +7,12 @@
 // repository's BENCH_*.json schema validator.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "api/policy_registry.hpp"
@@ -17,6 +20,8 @@
 #include "api/result_sink.hpp"
 #include "api/scenario.hpp"
 #include "api/session.hpp"
+#include "api/shard.hpp"
+#include "api/wire.hpp"
 #include "core/game.hpp"
 #include "core/rand_pr.hpp"
 #include "gen/random_instances.hpp"
@@ -646,6 +651,380 @@ TEST(JsonSink, GoldenOutputPassesTheSchemaChecker) {
                           " > /dev/null";
   EXPECT_EQ(std::system(cmd.c_str()), 0);
 #endif
+}
+
+TEST(JsonSink, ZeroRowsStillFinishACompleteDocument) {
+  // An empty shard slice must never leave a malformed body behind.
+  std::ostringstream text;
+  {
+    api::JsonSink sink(text, "empty", 2);
+    sink.close();
+  }
+  EXPECT_EQ(text.str(), "{\"bench\":\"empty\",\"threads\":2,\"results\":[]}");
+}
+
+// ---------------------------------------------------------------------
+// Wire format: the canonical Row text codec the shard pipeline rides on.
+
+/// Runs `fn`, expecting a RequireError, and returns its message.
+template <class Fn>
+std::string error_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const RequireError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a RequireError";
+  return {};
+}
+
+TEST(Wire, EveryVariantArmRoundTripsExactly) {
+  const api::Row::Value values[] = {
+      api::Row::Value(true),
+      api::Row::Value(false),
+      api::Row::Value(std::int64_t{0}),
+      api::Row::Value(std::int64_t{-7}),
+      api::Row::Value(std::numeric_limits<std::int64_t>::min()),
+      api::Row::Value(std::numeric_limits<std::int64_t>::max()),
+      api::Row::Value(std::uint64_t{0}),
+      api::Row::Value(std::numeric_limits<std::uint64_t>::max()),
+      api::Row::Value(0.0),
+      api::Row::Value(1.0 / 3.0),
+      api::Row::Value(-123.456789),
+      api::Row::Value(std::numeric_limits<double>::max()),
+      api::Row::Value(std::numeric_limits<double>::denorm_min()),
+      api::Row::Value(5e-324),
+      api::Row::Value(std::string("")),
+      api::Row::Value(std::string("plain words")),
+      api::Row::Value(std::string("esc \\ back\nnew\rret key=val")),
+  };
+  for (const api::Row::Value& v : values) {
+    const char tag = api::wire_tag(v);
+    const std::string payload = api::encode_wire_value(v);
+    const api::Row::Value back = api::parse_wire_value(tag, payload, "t");
+    EXPECT_EQ(back.index(), v.index()) << payload;
+    EXPECT_EQ(back, v) << payload;
+  }
+}
+
+TEST(Wire, NegativeZeroKeepsItsSignBit) {
+  const api::Row::Value v(-0.0);
+  const api::Row::Value back =
+      api::parse_wire_value('d', api::encode_wire_value(v), "t");
+  ASSERT_EQ(back.index(), 3u);
+  EXPECT_TRUE(std::signbit(std::get<double>(back)));
+}
+
+TEST(Wire, NonFiniteDoublesAreRejectedBothWays) {
+  for (double bad : {std::numeric_limits<double>::quiet_NaN(),
+                     std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity()})
+    EXPECT_THROW(api::encode_wire_value(api::Row::Value(bad)), RequireError);
+  for (const char* text : {"nan", "inf", "-inf", "0x1p+2000000"})
+    EXPECT_THROW(api::parse_wire_value('d', text, "t"), RequireError);
+}
+
+TEST(Wire, ParsingIsStrict) {
+  // Unknown tags, malformed payloads, trailing junk, broken escapes.
+  EXPECT_THROW(api::parse_wire_value('x', "1", "t"), RequireError);
+  EXPECT_THROW(api::parse_wire_value('b', "yes", "t"), RequireError);
+  EXPECT_THROW(api::parse_wire_value('i', "12abc", "t"), RequireError);
+  EXPECT_THROW(api::parse_wire_value('i', "", "t"), RequireError);
+  EXPECT_THROW(api::parse_wire_value('u', "-3", "t"), RequireError);
+  EXPECT_THROW(api::parse_wire_value('d', "1.5", "t"), RequireError);
+  EXPECT_THROW(api::parse_wire_value('s', "dangling\\", "t"), RequireError);
+  EXPECT_THROW(api::parse_wire_value('s', "bad\\q", "t"), RequireError);
+  EXPECT_THROW(api::parse_wire_line("i novalue", "t"), RequireError);
+  EXPECT_THROW(api::parse_wire_line("i=5", "t"), RequireError);
+  const std::string msg =
+      error_of([] { api::parse_wire_value('i', "12abc", "here:7"); });
+  EXPECT_NE(msg.find("here:7"), std::string::npos) << msg;
+}
+
+TEST(Wire, LineRoundTripPreservesKeyAndValue) {
+  const api::Row::Value v(std::string("a=b\nc"));
+  const std::string line = std::string(1, api::wire_tag(v)) + " label=" +
+                           api::encode_wire_value(v);
+  const auto [key, back] = api::parse_wire_line(line, "t");
+  EXPECT_EQ(key, "label");
+  EXPECT_EQ(back, v);
+}
+
+// ---------------------------------------------------------------------
+// ShardPlan: the deterministic cell-slice assignment.
+
+TEST(ShardPlan, ParseAcceptsCanonicalSpecsOnly) {
+  const api::ShardPlan p = api::ShardPlan::parse("flag --shard", "2/5");
+  EXPECT_EQ(p.index, 2u);
+  EXPECT_EQ(p.count, 5u);
+  for (const char* bad : {"3/2", "2/2", "0/0", "x/2", "1/", "/4", "1/2/3",
+                          "", "1", "-1/4", "1/-4", "1 / 4"}) {
+    const std::string msg = error_of(
+        [bad] { api::ShardPlan::parse("flag --shard", bad); });
+    EXPECT_NE(msg.find("flag --shard"), std::string::npos) << bad;
+  }
+}
+
+TEST(ShardPlan, SlicesTileEveryGridExactly) {
+  // Property check: for any (total, N) the N slices are contiguous,
+  // ordered, sized within one of each other, and owner() agrees.
+  for (std::size_t total : {0u, 1u, 2u, 5u, 12u, 17u, 64u}) {
+    for (std::size_t count : {1u, 2u, 3u, 5u, 16u}) {
+      std::size_t covered = 0;
+      std::size_t lo = total / count;
+      for (std::size_t i = 0; i < count; ++i) {
+        const api::ShardPlan plan{i, count};
+        const auto [begin, end] = plan.slice(total);
+        ASSERT_EQ(begin, covered) << total << " " << count << " " << i;
+        ASSERT_LE(begin, end);
+        const std::size_t size = end - begin;
+        ASSERT_TRUE(size == lo || size == lo + 1)
+            << total << " " << count << " " << i;
+        for (std::size_t c = begin; c < end; ++c)
+          ASSERT_EQ(plan.owner(c, total), i) << total << " " << count;
+        covered = end;
+      }
+      ASSERT_EQ(covered, total);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// ShardSink / parse_shard_partial / merge_shards.
+
+api::Row mixed_row(std::size_t salt) {
+  return api::Row{}
+      .add("instance", "cell-" + std::to_string(salt))
+      .add("policy", "randpr")
+      .add("trials", std::uint64_t{3 + salt})
+      .add("benefit_mean", 1.25 + static_cast<double>(salt) / 3.0)
+      .add("benefit_ci95", 0.0)
+      .add("ok", salt % 2 == 0)
+      .add("delta", static_cast<std::int64_t>(salt) - 2);
+}
+
+api::ShardManifest manifest_for(std::size_t index, std::size_t count,
+                                std::size_t begin, std::size_t end) {
+  api::ShardManifest m;
+  m.bench = "t";
+  m.fingerprint = 0xfeedfacecafebeefULL;
+  m.shard_index = index;
+  m.shard_count = count;
+  m.cell_begin = begin;
+  m.cell_end = end;
+  m.total_cells = 4;
+  m.threads = 2;
+  return m;
+}
+
+std::string partial_text(std::size_t index, std::size_t count,
+                         std::size_t begin, std::size_t end) {
+  std::ostringstream os;
+  api::ShardSink sink(os, manifest_for(index, count, begin, end));
+  for (std::size_t c = begin; c < end; ++c) sink.write(mixed_row(c));
+  sink.close();
+  return os.str();
+}
+
+TEST(ShardSink, PartialRoundTripsThroughTheParser) {
+  const std::string text = partial_text(0, 2, 0, 2);
+  std::istringstream in(text);
+  const api::ShardPartial part = api::parse_shard_partial(in, "mem");
+  EXPECT_EQ(part.manifest.bench, "t");
+  EXPECT_EQ(part.manifest.fingerprint, 0xfeedfacecafebeefULL);
+  EXPECT_EQ(part.manifest.shard_index, 0u);
+  EXPECT_EQ(part.manifest.shard_count, 2u);
+  EXPECT_EQ(part.manifest.cell_begin, 0u);
+  EXPECT_EQ(part.manifest.cell_end, 2u);
+  EXPECT_EQ(part.manifest.total_cells, 4u);
+  EXPECT_EQ(part.manifest.threads, 2u);
+  ASSERT_EQ(part.rows.size(), 2u);
+  for (std::size_t c = 0; c < 2; ++c) {
+    const api::Row want = mixed_row(c);
+    ASSERT_EQ(part.rows[c].cells.size(), want.cells.size());
+    for (std::size_t k = 0; k < want.cells.size(); ++k) {
+      EXPECT_EQ(part.rows[c].cells[k].first, want.cells[k].first);
+      EXPECT_EQ(part.rows[c].cells[k].second, want.cells[k].second);
+    }
+  }
+}
+
+TEST(ShardSink, EmptySliceIsAValidMergeablePartial) {
+  // N > cells: a shard can legitimately own nothing and its file must
+  // still parse and merge (skipped by the tiling check, not an overlap).
+  std::vector<api::ShardPartial> partials;
+  for (const std::string& text :
+       {partial_text(0, 3, 0, 4), partial_text(1, 3, 4, 4),
+        partial_text(2, 3, 4, 4)}) {
+    std::istringstream in(text);
+    partials.push_back(api::parse_shard_partial(in, "mem"));
+  }
+  const api::MergedShards merged = api::merge_shards(std::move(partials));
+  EXPECT_EQ(merged.bench, "t");
+  EXPECT_EQ(merged.threads, 2u);
+  EXPECT_EQ(merged.rows.size(), 4u);
+}
+
+TEST(ShardSink, CloseRequiresExactlyTheSlicesRows) {
+  std::ostringstream os;
+  api::ShardSink sink(os, manifest_for(0, 2, 0, 2));
+  sink.write(mixed_row(0));
+  EXPECT_THROW(sink.close(), RequireError);  // one row short
+}
+
+TEST(ShardPartial, TruncatedFilesAreRejected) {
+  std::string text = partial_text(0, 2, 0, 2);
+  // Chop the footer off: simulates a partial upload / killed shard.
+  const std::size_t cut = text.rfind("total ");
+  ASSERT_NE(cut, std::string::npos);
+  std::istringstream in(text.substr(0, cut));
+  EXPECT_THROW(api::parse_shard_partial(in, "mem"), RequireError);
+  // Corrupt the footer count.
+  std::string bad = text;
+  bad.replace(text.rfind("total 2"), 7, "total 9");
+  std::istringstream in2(bad);
+  EXPECT_THROW(api::parse_shard_partial(in2, "mem"), RequireError);
+}
+
+TEST(MergeShards, EnumeratedErrorsNameTheProblem) {
+  auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return api::parse_shard_partial(in, "mem");
+  };
+  const std::string lo = partial_text(0, 2, 0, 2);
+  const std::string hi = partial_text(1, 2, 2, 4);
+
+  {  // overlap: the same slice twice
+    std::vector<api::ShardPartial> parts{parse(lo), parse(lo), parse(hi)};
+    const std::string msg = error_of(
+        [&] { api::merge_shards(std::move(parts)); });
+    EXPECT_NE(msg.find("overlap"), std::string::npos) << msg;
+  }
+  {  // gap: missing middle slice
+    std::vector<api::ShardPartial> parts{parse(lo)};
+    const std::string msg = error_of(
+        [&] { api::merge_shards(std::move(parts)); });
+    EXPECT_NE(msg.find("gap"), std::string::npos) << msg;
+  }
+  {  // fingerprint mismatch
+    api::ShardPartial other = parse(hi);
+    other.manifest.fingerprint ^= 1;
+    std::vector<api::ShardPartial> parts{parse(lo), std::move(other)};
+    const std::string msg = error_of(
+        [&] { api::merge_shards(std::move(parts)); });
+    EXPECT_NE(msg.find("fingerprint mismatch"), std::string::npos) << msg;
+  }
+  {  // bench-name mismatch
+    api::ShardPartial other = parse(hi);
+    other.manifest.bench = "u";
+    std::vector<api::ShardPartial> parts{parse(lo), std::move(other)};
+    const std::string msg = error_of(
+        [&] { api::merge_shards(std::move(parts)); });
+    EXPECT_NE(msg.find("bench"), std::string::npos) << msg;
+  }
+  {  // threads mismatch (the merged preamble records one worker count)
+    api::ShardPartial other = parse(hi);
+    other.manifest.threads = 7;
+    std::vector<api::ShardPartial> parts{parse(lo), std::move(other)};
+    const std::string msg = error_of(
+        [&] { api::merge_shards(std::move(parts)); });
+    EXPECT_NE(msg.find("threads"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(api::merge_shards({}), RequireError);
+}
+
+// ---------------------------------------------------------------------
+// The headline guarantee: shard → merge → JsonSink replay is
+// byte-identical to the unsharded run, for every shard count.
+
+TEST(ShardedGrid, MergedJsonIsByteIdenticalForAnyShardCount) {
+  Rng gen(77);
+  Instance a = random_instance(12, 20, 3, WeightModel::unit(), gen);
+  Instance b = random_instance(8, 12, 2, WeightModel::unit(), gen);
+
+  api::Session session;
+  auto base_grid = [&] {
+    engine::GridSpec grid;
+    grid.instances = {&a, &b};
+    grid.algorithms.push_back(
+        api::grid_column(api::policies().at("randpr")));
+    grid.algorithms.push_back(
+        api::grid_column(api::policies().at("greedy:maxw")));
+    grid.trials = 5;
+    grid.master_seed = 99;
+    return grid;
+  };
+  const std::size_t total = 4;  // 2 instances × 2 policies
+
+  // Unsharded baseline through the ordinary JSON sink.
+  std::ostringstream want;
+  {
+    api::JsonSink sink(want, "grid", session.threads());
+    api::Session s;
+    s.attach(sink);
+    s.run_grid(base_grid(), {"A", "B"});
+    s.close_sinks();
+  }
+
+  for (std::size_t count : {1u, 2u, 3u}) {
+    std::vector<api::ShardPartial> partials;
+    for (std::size_t i = 0; i < count; ++i) {
+      const api::ShardPlan plan{i, count};
+      const auto [begin, end] = plan.slice(total);
+      api::ShardManifest m;
+      m.bench = "grid";
+      m.fingerprint = 0xabc;  // same grid, same constant
+      m.shard_index = i;
+      m.shard_count = count;
+      m.cell_begin = begin;
+      m.cell_end = end;
+      m.total_cells = total;
+      m.threads = session.threads();
+
+      std::ostringstream text;
+      {
+        api::ShardSink sink(text, m);
+        api::Session s;
+        s.attach(sink);
+        engine::GridSpec grid = base_grid();
+        grid.cell_begin = begin;
+        grid.cell_end = end;
+        s.run_grid(grid, {"A", "B"});
+        s.close_sinks();
+      }
+      std::istringstream in(text.str());
+      partials.push_back(api::parse_shard_partial(in, "mem"));
+    }
+    const api::MergedShards merged = api::merge_shards(std::move(partials));
+    std::ostringstream got;
+    {
+      api::JsonSink sink(got, merged.bench, merged.threads);
+      for (const api::Row& row : merged.rows) sink.write(row);
+      sink.close();
+    }
+    EXPECT_EQ(got.str(), want.str()) << "shard count " << count;
+  }
+}
+
+// ---------------------------------------------------------------------
+// grid_fingerprint: same grid hashes equal, any knob change hashes apart.
+
+TEST(GridFingerprint, SensitiveToEveryGridKnobButNotTheShardPlan) {
+  std::vector<api::ScenarioSpec> cells = {api::scenarios().at("random")};
+  const std::vector<std::string> policies = {"randpr", "greedy:maxw"};
+  const std::uint64_t base =
+      api::grid_fingerprint(cells, policies, 5, 1);
+  EXPECT_EQ(base, api::grid_fingerprint(cells, policies, 5, 1));
+
+  EXPECT_NE(base, api::grid_fingerprint(cells, policies, 6, 1));
+  EXPECT_NE(base, api::grid_fingerprint(cells, policies, 5, 2));
+  EXPECT_NE(base,
+            api::grid_fingerprint(cells, {"randpr", "hashpr"}, 5, 1));
+  EXPECT_NE(base, api::grid_fingerprint(cells, {"randpr"}, 5, 1));
+
+  std::vector<api::ScenarioSpec> bigger = cells;
+  bigger[0].set("m", "99");
+  EXPECT_NE(base, api::grid_fingerprint(bigger, policies, 5, 1));
 }
 
 }  // namespace
