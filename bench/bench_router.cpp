@@ -14,7 +14,12 @@
 //      heap queue (net/queue.hpp) exists for;
 //  (e) queue-structure throughput: slots/sec of the indexed-heap router
 //      vs the full-sort reference on the largest buffered workload, with
-//      a decision-identity cross-check between the two paths.
+//      a decision-identity cross-check between the two paths;
+//  (f) sustained multi-link serving (net/serve.hpp): the event-machine
+//      runtime on the sustained/* scenarios — steady state across worker
+//      counts plus a saturation ramp, every run proven stats-identical
+//      to the serial reference oracle before its timing is reported, and
+//      a packets/sec summary gate.
 //
 // The workload draws run as independent trials on the shared batch
 // runner: per-draw Rngs are split from the master serially in the seed
@@ -41,6 +46,7 @@
 #include "gen/traffic.hpp"
 #include "gen/video.hpp"
 #include "net/router_sim.hpp"
+#include "net/serve.hpp"
 
 namespace osp {
 namespace {
@@ -539,6 +545,171 @@ void throughput_section(api::JsonSink& json, bool smoke) {
             << ".\n";
 }
 
+// Floor for the sustained packets/sec gate, mirrored by
+// scripts/check_bench_json.py (the validator's copy is the source of
+// truth); sized well below the reference-container measurement so
+// scheduler noise cannot flap the gate while a real runtime regression
+// still trips it.  Judged on the full-size run: smoke workloads are far
+// too small for steady-state throughput.
+constexpr double kSustainedMinPacketsPerSec = 2.0e6;
+
+ServeSpec serve_spec_of(const api::ScenarioSpec& cell, std::size_t workers) {
+  return ServeSpec{.links = cell.links,
+                   .service_rate = cell.service_rate,
+                   .buffer = cell.buffer,
+                   .work_conserving = true,
+                   .drop_dead_frames = true,
+                   .workers = workers,
+                   .window = cell.window};
+}
+
+void emit_sustained_row(api::JsonSink& json, Table& table,
+                        const api::ScenarioSpec& cell, const char* ranker,
+                        std::size_t workers, const VideoWorkload& vw,
+                        const SustainedStats& st, double secs) {
+  const double packets = static_cast<double>(st.router.packets_arrived);
+  const double pps = packets / secs;
+  const double starved_share =
+      cell.streams > 0
+          ? static_cast<double>(st.streams_starved()) /
+                static_cast<double>(cell.streams)
+          : 0.0;
+  table.row({cell.display_label(), ranker, fmt(workers), fmt(cell.links),
+             fmt(cell.service_rate), fmt(st.router.goodput(), 3),
+             fmt(st.serve_latency.percentile(99)),
+             fmt(st.streams_starved()), fmt(pps, 0), "pass"});
+  json.write(api::Row{}
+                 .add("sweep", "sustained")
+                 .add("scenario", cell.display_label())
+                 .add("ranker", ranker)
+                 .add("links", cell.links)
+                 .add("workers", workers)
+                 .add("streams", cell.streams)
+                 .add("service_rate", cell.service_rate)
+                 .add("buffer", cell.buffer)
+                 .add("window", cell.window)
+                 .add("slots", vw.schedule.horizon)
+                 .add("packets", st.router.packets_arrived)
+                 .add("served", st.router.packets_served)
+                 .add("dropped", st.router.packets_dropped)
+                 .add("refused_dead", st.refused_dead)
+                 .add("evictions", st.evictions)
+                 .add("cascade_drops", st.cascade_drops)
+                 .add("leftover", st.leftover)
+                 .add("goodput", st.router.goodput())
+                 .add("window_goodput_mean", st.window_goodput_mean())
+                 .add("window_goodput_min", st.window_goodput_min())
+                 .add("serve_p50", st.serve_latency.percentile(50))
+                 .add("serve_p90", st.serve_latency.percentile(90))
+                 .add("serve_p99", st.serve_latency.percentile(99))
+                 .add("drop_p50", st.drop_latency.percentile(50))
+                 .add("drop_p90", st.drop_latency.percentile(90))
+                 .add("drop_p99", st.drop_latency.percentile(99))
+                 .add("streams_starved", st.streams_starved())
+                 .add("starved_slots_max", st.starved_slots_max())
+                 .add("starved_share", starved_share)
+                 .add("seconds", secs)
+                 .add("packets_per_sec", pps)
+                 .add("cross_check", "pass"));
+}
+
+void sustained_section(api::JsonSink& json, bool smoke) {
+  std::cout << "-- (f) sustained multi-link serving runtime --\n";
+  Table table({"scenario", "ranker", "wrk", "links", "rate", "goodput",
+               "p99 lat", "starved", "pkts/sec", "check"});
+  Rng master(500);
+
+  double best_pps = 0.0;
+  std::size_t best_workers = 1;
+
+  // (f1) steady state: one workload draw, randPr and drop-tail, each at
+  // several worker counts.  Every run must be stats-identical to the
+  // serial reference oracle before its timing means anything (the trace
+  // identity half of the contract lives in test_serve.cpp).
+  const api::ScenarioSpec& steady = api::scenarios().at(
+      smoke ? "sustained/steady-smoke" : "sustained/steady");
+  const std::vector<std::size_t> worker_counts =
+      smoke ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4};
+  {
+    Rng wl_rng = master.split(1);
+    const VideoWorkload vw = api::build_video(steady, wl_rng);
+    const Rng ranker_seed = master.split(2);
+    for (const char* name : {"randPr", "drop-tail"}) {
+      auto ranker = api::rankers().make(name, Rng(0));
+      ranker->reseed(ranker_seed);
+      const SustainedStats ref = serve_sustained_reference(
+          vw.schedule, vw.stream_of, *ranker, serve_spec_of(steady, 1));
+      for (std::size_t workers : worker_counts) {
+        ranker->reseed(ranker_seed);
+        auto t0 = std::chrono::steady_clock::now();
+        const SustainedStats st =
+            serve_sustained(vw.schedule, vw.stream_of, *ranker,
+                            serve_spec_of(steady, workers));
+        const double secs = seconds_since(t0);
+        OSP_REQUIRE_MSG(st == ref, "sustained runtime diverged from the "
+                                   "serial reference (ranker "
+                                       << name << ", workers " << workers
+                                       << ")");
+        const double pps =
+            static_cast<double>(st.router.packets_arrived) / secs;
+        if (std::strcmp(name, "randPr") == 0 && pps > best_pps) {
+          best_pps = pps;
+          best_workers = workers;
+        }
+        emit_sustained_row(json, table, steady, name, workers, vw, st, secs);
+      }
+    }
+  }
+
+  // (f2) saturation ramp: service-rate rising through the knee, workers
+  // fixed, every cell reference-checked.
+  const api::ScenarioSpec& ramp = api::scenarios().at(
+      smoke ? "sustained/ramp-smoke" : "sustained/ramp");
+  std::size_t ci = 0;
+  for (const api::ScenarioSpec& cell : api::expand(ramp)) {
+    Rng wl_rng = master.split(1000 + ci);
+    const VideoWorkload vw = api::build_video(cell, wl_rng);
+    auto ranker = api::rankers().make("randPr", Rng(0));
+    const Rng ranker_seed = master.split(2000 + ci);
+    ranker->reseed(ranker_seed);
+    const SustainedStats ref = serve_sustained_reference(
+        vw.schedule, vw.stream_of, *ranker, serve_spec_of(cell, 1));
+    ranker->reseed(ranker_seed);
+    auto t0 = std::chrono::steady_clock::now();
+    const SustainedStats st = serve_sustained(vw.schedule, vw.stream_of,
+                                              *ranker, serve_spec_of(cell, 2));
+    const double secs = seconds_since(t0);
+    OSP_REQUIRE_MSG(st == ref, "sustained ramp cell '" << cell.display_label()
+                                                       << "' diverged from "
+                                                          "the reference");
+    emit_sustained_row(json, table, cell, "randPr", 2, vw, st, secs);
+    ++ci;
+  }
+  table.print(std::cout);
+
+  json.write(api::Row{}
+                 .add("sweep", "sustained_summary")
+                 .add("label", steady.name)
+                 .add("ranker", "randPr")
+                 .add("workers", best_workers)
+                 .add("packets_per_sec", best_pps)
+                 .add("min_packets_per_sec", kSustainedMinPacketsPerSec)
+                 .add("gate", best_pps >= kSustainedMinPacketsPerSec
+                                  ? "MET"
+                                  : "NOT MET"));
+  std::cout << "Cross-check: every sustained run stats-identical to the "
+               "serial reference.  Gate (randPr steady >= "
+            << fmt(kSustainedMinPacketsPerSec, 0) << " packets/sec): "
+            << (best_pps >= kSustainedMinPacketsPerSec ? "MET" : "NOT MET")
+            << " (" << fmt(best_pps, 0) << " at workers=" << best_workers
+            << ")"
+            << (smoke ? " — gate is judged on the full-size run; smoke "
+                        "workloads are too small for steady state"
+                      : "")
+            << ".\n";
+}
+
 }  // namespace
 }  // namespace osp
 
@@ -562,5 +733,6 @@ int main(int argc, char** argv) {
   osp::burstiness_sweep(json, smoke);
   osp::overload_sweep(json, smoke);
   osp::throughput_section(json, smoke);
+  osp::sustained_section(json, smoke);
   return 0;
 }

@@ -33,6 +33,7 @@
 // bit-identical to the unsharded `bench --json` run.
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -49,6 +50,7 @@
 #include "api/session.hpp"
 #include "api/shard.hpp"
 #include "engine/batch_runner.hpp"
+#include "net/serve.hpp"
 #include "core/bounds.hpp"
 #include "core/cpu_features.hpp"
 #include "core/game.hpp"
@@ -88,7 +90,7 @@ struct Args {
 /// Flags that are pure switches (no value follows them).
 bool is_boolean_flag(const std::string& name) {
   return name == "policies" || name == "scenarios" || name == "rankers" ||
-         name == "markdown" || name == "dry-run";
+         name == "markdown" || name == "dry-run" || name == "sustained";
 }
 
 Args parse(int argc, char** argv) {
@@ -127,7 +129,8 @@ api::ScenarioSpec& apply_overrides(api::ScenarioSpec& spec,
   for (const auto& [key, value] : args.options) {
     if (key == "out" || key == "seed" || key == "trials" || key == "alg" ||
         key == "scenario" || key == "json" || key == "config" ||
-        key == "ranker" || key == "shard" || key == "dry-run")
+        key == "ranker" || key == "shard" || key == "dry-run" ||
+        key == "sustained" || key == "workers")
       continue;  // run plumbing, not generator parameters
     spec.set(key, value);
   }
@@ -390,6 +393,98 @@ int bench_rankers(const Args& args, api::Session& session,
   return 0;
 }
 
+/// `bench --sustained`: runs the multi-link serving runtime over the
+/// expanded video scenario cells.  Each (cell, ranker) pair is one long
+/// deterministic run (seed picks the workload draw), cross-checked
+/// against the serial reference runner before its row is emitted — the
+/// `cross_check` column records that the multi-worker run reproduced the
+/// reference stats exactly.
+int bench_sustained(const Args& args, api::Session& session,
+                    const std::vector<api::ScenarioSpec>& cells,
+                    std::uint64_t seed) {
+  const std::vector<std::string> ranker_names =
+      args.has("ranker") ? split_commas(args.get("ranker", ""))
+                         : std::vector<std::string>{"randPr"};
+  OSP_REQUIRE_MSG(!ranker_names.empty(),
+                  "--ranker needs ranker names; registered rankers:\n"
+                      << api::rankers().render_catalog());
+  const std::size_t workers = args.get_num("workers", 1);
+  OSP_REQUIRE_MSG(workers >= 1 && workers <= 256,
+                  "flag --workers must be in [1, 256], got " << workers);
+  // Resolve every name and validate every cell up front, so an unknown
+  // ranker or a non-video scenario fails before any work runs — and
+  // before the --json sink creates its never-overwrite artifact file.
+  for (const std::string& name : ranker_names) api::rankers().at(name);
+  for (const api::ScenarioSpec& cell : cells)
+    OSP_REQUIRE_MSG(cell.family == api::ScenarioFamily::kVideo,
+                    "--sustained serves video workloads; '"
+                        << cell.name << "' is not one");
+
+  api::TableSink table;
+  session.attach(table);
+  std::unique_ptr<api::JsonSink> json = open_json_sink(args, session);
+
+  Rng master(seed);
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const api::ScenarioSpec& cell = cells[c];
+    // One workload draw per cell; the ranker stream lives in a disjoint
+    // split range so adding rankers never perturbs the workload.
+    Rng cell_master = master.split(c);
+    Rng wl_rng = cell_master.split(0);
+    const VideoWorkload vw = api::build_video(cell, wl_rng);
+    const ServeSpec spec{.links = cell.links,
+                         .service_rate = cell.service_rate,
+                         .buffer = cell.buffer,
+                         .work_conserving = true,
+                         .drop_dead_frames = true,
+                         .workers = workers,
+                         .window = cell.window};
+    for (std::size_t r = 0; r < ranker_names.size(); ++r) {
+      const api::RankerInfo& info = api::rankers().at(ranker_names[r]);
+      const Rng rk_rng = cell_master.split(1000000000 + r);
+      auto ranker = info.make(rk_rng);
+      const SustainedStats ref =
+          serve_sustained_reference(vw.schedule, vw.stream_of, *ranker, spec);
+      ranker->reseed(rk_rng);
+      const auto t0 = std::chrono::steady_clock::now();
+      const SustainedStats st =
+          serve_sustained(vw.schedule, vw.stream_of, *ranker, spec);
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      OSP_REQUIRE_MSG(st == ref,
+                      "sustained run diverged from the serial reference "
+                      "(scenario '"
+                          << cell.display_label() << "', ranker " << info.name
+                          << ", workers " << workers << ")");
+      session.emit(
+          api::Row{}
+              .add("scenario", cell.display_label())
+              .add("ranker", info.name)
+              .add("links", cell.links)
+              .add("workers", workers)
+              .add("service_rate", cell.service_rate)
+              .add("buffer", cell.buffer)
+              .add("packets", st.router.packets_arrived)
+              .add("goodput", st.router.goodput())
+              .add("window_goodput_min", st.window_goodput_min())
+              .add("serve_p50", st.serve_latency.percentile(50))
+              .add("serve_p99", st.serve_latency.percentile(99))
+              .add("streams_starved", st.streams_starved())
+              .add("packets_per_sec",
+                   secs > 0
+                       ? static_cast<double>(st.router.packets_arrived) / secs
+                       : 0.0)
+              .add("cross_check", "pass"));
+    }
+  }
+  session.close_sinks();
+  table.print(std::cout);
+  if (json != nullptr)
+    std::cerr << "wrote BENCH_" << args.get("json", "cli") << ".json\n";
+  return 0;
+}
+
 int cmd_bench(const Args& args) {
   // Scenario columns: named registry entries and/or a config file, each
   // expanded through its sweep axes into one column per cell.
@@ -448,6 +543,24 @@ int cmd_bench(const Args& args) {
                   "needs --shard i/N next to it");
 
   api::Session session;
+  if (args.has("sustained")) {
+    // The serving runtime is its own experiment: --alg's packing grid and
+    // --ranker's trial sweep answer different questions, and a sustained
+    // run is one deterministic pass, so trial/shard plumbing is refused
+    // rather than silently ignored.
+    OSP_REQUIRE_MSG(!args.has("alg"),
+                    "--sustained and --alg are mutually exclusive: "
+                    "--sustained drives the serving runtime, --alg runs a "
+                    "packing grid");
+    OSP_REQUIRE_MSG(!sharded && !args.has("dry-run"),
+                    "--shard/--dry-run slice the packing-policy grid; "
+                    "--sustained runs are not shardable (one deterministic "
+                    "run per cell)");
+    OSP_REQUIRE_MSG(!args.has("trials"),
+                    "--sustained is one long deterministic run per cell; "
+                    "vary --seed for a different draw instead of --trials");
+    return bench_sustained(args, session, cells, seed);
+  }
   if (args.has("ranker")) {
     // A policy grid and a ranker sweep are different experiments; a
     // silently ignored --alg would read as "the policy ran too".
@@ -696,6 +809,7 @@ int usage() {
   osp_cli solve <file|->
   osp_cli bench [--scenario NAMES] [--config FILE] [--alg SPECS]
                 [--ranker NAMES] [--trials T] [--seed S] [--json NAME]
+                [--sustained [--workers W]]
                 [--dry-run] [--shard i/N --out PART]
   osp_cli merge PART... (--json NAME | --out FILE)
   osp_cli version
@@ -706,7 +820,10 @@ comma-separated.  Scenarios with sweep axes expand into one bench column
 per cell.  `bench --config FILE` loads a key=value scenario file
 (scenario = <base>, field overrides, sweep.<key> = values — see
 docs/EXPERIMENTS.md); `bench --ranker` sweeps buffered-router rankers
-over a video scenario; `list --markdown` emits docs/CATALOG.md.
+over a video scenario; `bench --sustained` runs the multi-link serving
+runtime (sustained/* scenarios, --workers picks the worker count, every
+run is cross-checked against the serial reference); `list --markdown`
+emits docs/CATALOG.md.
 `bench --dry-run` prints the expanded cell grid without running;
 `bench --shard i/N --out PART` runs shard i's slice of the cells into a
 partial-result file, and `merge` fuses partials into the bit-identical

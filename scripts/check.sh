@@ -59,6 +59,18 @@ printf '%s\n' 'scenario = regular' 'm = 12' 'sigma = 3' 'sweep.k = 2,3' \
 ./build/osp_cli bench --config build/check_demo.cfg --alg randpr --trials 20
 ./build/osp_cli bench --scenario router/buffered-smoke \
   --ranker randPr,drop-tail --trials 4
+# Sustained serving runtime: a multi-worker smoke run (each row carries a
+# serial-reference cross-check) and the unknown-scenario error path,
+# which must enumerate the catalog rather than fail bare.
+./build/osp_cli bench --scenario sustained/steady-smoke --sustained \
+  --workers 2
+if ./build/osp_cli bench --scenario sustained/no-such --sustained \
+    2> build/check_sustained_err.txt; then
+  echo "unknown sustained scenario unexpectedly succeeded" >&2
+  exit 1
+fi
+grep -q "registered scenarios" build/check_sustained_err.txt
+rm -f build/check_sustained_err.txt
 # docs/CATALOG.md is generated output: regenerate and fail on drift.
 ./build/osp_cli list --markdown | diff -u docs/CATALOG.md -
 ./build/quickstart > /dev/null
@@ -96,8 +108,8 @@ rm -f BENCH_shardsmoke.json build/shardsmoke_*.part \
 echo
 echo "== sanitizers: ASan/UBSan build of fuzz + engine + queue tests =="
 cmake -B build-asan -S . -DOSP_SANITIZE=ON
-cmake --build build-asan -j "${jobs}" --target test_fuzz test_engine test_game test_instance test_rand_pr test_net test_queue test_simd bench_router
-(cd build-asan && ctest --output-on-failure -R 'test_(fuzz|engine|game|instance|rand_pr|net|queue|simd)')
+cmake --build build-asan -j "${jobs}" --target test_fuzz test_engine test_game test_instance test_rand_pr test_net test_queue test_serve test_simd bench_router
+(cd build-asan && ctest --output-on-failure -R 'test_(fuzz|engine|game|instance|rand_pr|net|queue|serve|simd)')
 
 echo
 echo "== sanitizers: forced-ISA decision equivalence smoke =="

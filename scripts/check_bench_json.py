@@ -23,7 +23,14 @@ validates, with the standard library only:
                  `bench_perf --isa-sweep`, each with a passing cross_check
                  and a scalar row to anchor vs_scalar;
       - router:  "throughput" sweep rows carry speedup_vs_sort,
-                 cross_check, and the ISA tier;
+                 cross_check, and the ISA tier; "sustained" rows (the
+                 multi-link serving runtime) carry the full steady-state
+                 counter set — drop taxonomy summing to the drop total,
+                 window-goodput aggregates, serve/drop latency
+                 percentiles, per-stream starvation counters — with a
+                 passing serial-reference cross_check, and exactly one
+                 sustained_summary row whose packets_per_sec gate is MET
+                 against SUSTAINED_MIN_PACKETS_PER_SEC;
   * ISA names are one of scalar/sse2/avx2/neon;
   * every numeric value is finite.
 
@@ -72,6 +79,20 @@ ROUTER_THROUGHPUT_KEYS = (
     "path", "buffer", "slots", "packets", "seconds", "slots_per_sec",
     "speedup_vs_sort", "cross_check", "isa",
 )
+ROUTER_SUSTAINED_KEYS = (
+    "scenario", "ranker", "links", "workers", "streams", "service_rate",
+    "buffer", "window", "slots", "packets", "served", "dropped",
+    "refused_dead", "evictions", "cascade_drops", "leftover",
+    "goodput", "window_goodput_mean", "window_goodput_min",
+    "serve_p50", "serve_p90", "serve_p99",
+    "drop_p50", "drop_p90", "drop_p99",
+    "streams_starved", "starved_slots_max", "starved_share",
+    "seconds", "packets_per_sec", "cross_check",
+)
+ROUTER_SUSTAINED_SUMMARY_KEYS = (
+    "label", "ranker", "workers", "packets_per_sec",
+    "min_packets_per_sec", "gate",
+)
 
 VALID_ISAS = ("scalar", "sse2", "avx2", "neon")
 
@@ -94,6 +115,13 @@ BLOCK_VS_FLAT_FLOORS = {
     "overload/256k": 1.5,
 }
 BLOCK_VS_FLAT_DEFAULT_FLOOR = 0.9
+
+# Floor for the sustained runtime's steady-state packet rate (the best
+# randPr worker count on the full sustained/steady scenario), sized well
+# below the reference-container measurement for the same noise headroom
+# as the block_vs_flat floors.  This constant is the source of truth;
+# bench_router.cpp mirrors it to print the gate line.
+SUSTAINED_MIN_PACKETS_PER_SEC = 2.0e6
 
 
 def fail(path, message):
@@ -182,6 +210,44 @@ def check_router(path, results):
         if not row["cross_check"]:
             fail(path, "throughput row records a failed heap-vs-sort "
                        "cross_check")
+
+    sustained = [r for r in results if r.get("sweep") == "sustained"]
+    if not sustained:
+        fail(path, "router bench has no sustained runtime rows")
+    for row in sustained:
+        context = (f"sustained row {row.get('scenario')!r}"
+                   f"/{row.get('ranker')!r}")
+        require_keys(path, row, ROUTER_SUSTAINED_KEYS, context)
+        if row["cross_check"] != "pass":
+            fail(path, f"{context} records a failed serial-reference "
+                       f"cross_check")
+        if row["packets"] != row["served"] + row["dropped"]:
+            fail(path, f"{context}: served + dropped != packets")
+        taxonomy = (row["refused_dead"] + row["evictions"]
+                    + row["cascade_drops"] + row["leftover"])
+        if taxonomy != row["dropped"]:
+            fail(path, f"{context}: drop taxonomy sums to {taxonomy}, "
+                       f"not the {row['dropped']} dropped packets")
+        for key in ("goodput", "starved_share"):
+            if not 0.0 <= row[key] <= 1.0:
+                fail(path, f"{context}: {key} {row[key]!r} outside [0, 1]")
+        # Window ratios are >= 0 but can exceed 1: a frame offered at the
+        # end of one window may complete (deliver) early in the next.
+        for key in ("window_goodput_mean", "window_goodput_min"):
+            if row[key] < 0.0:
+                fail(path, f"{context}: {key} {row[key]!r} is negative")
+    summaries = [r for r in results if r.get("sweep") == "sustained_summary"]
+    if len(summaries) != 1:
+        fail(path, f"expected exactly one sustained_summary row, "
+                   f"found {len(summaries)}")
+    require_keys(path, summaries[0], ROUTER_SUSTAINED_SUMMARY_KEYS,
+                 "sustained_summary row")
+    if summaries[0]["gate"] != "MET":
+        fail(path, f"sustained_summary gate is {summaries[0]['gate']!r}")
+    if summaries[0]["packets_per_sec"] < SUSTAINED_MIN_PACKETS_PER_SEC:
+        fail(path, f"sustained packets_per_sec "
+                   f"{summaries[0]['packets_per_sec']:.3g} is below the "
+                   f"floor {SUSTAINED_MIN_PACKETS_PER_SEC:.3g}")
 
 
 BENCH_CHECKS = {"engine": check_engine, "engine_isa": check_engine_isa,
@@ -352,11 +418,16 @@ def describe():
           + ", ".join(ENGINE_SUMMARY_KEYS))
     print("  engine_isa row keys: " + ", ".join(ENGINE_ISA_KEYS))
     print("  router throughput row keys: " + ", ".join(ROUTER_THROUGHPUT_KEYS))
+    print("  router sustained row keys: " + ", ".join(ROUTER_SUSTAINED_KEYS))
+    print("  router sustained_summary row keys: "
+          + ", ".join(ROUTER_SUSTAINED_SUMMARY_KEYS))
     print("  valid isa values: " + ", ".join(VALID_ISAS))
     print("  block_vs_flat per-workload floors "
           "(default %s):" % BLOCK_VS_FLAT_DEFAULT_FLOOR)
     for workload, floor in sorted(BLOCK_VS_FLAT_FLOORS.items()):
         print(f"    {workload}: >= {floor}")
+    print("  sustained packets_per_sec floor: >= %.3g"
+          % SUSTAINED_MIN_PACKETS_PER_SEC)
     print("  every numeric value finite; strict JSON (no NaN/Infinity)")
     print("partial-result files (magic '%s'):" % SHARD_MAGIC)
     print("  header: bench <name>, fingerprint <16 hex>, shard i/N (i < N),")

@@ -312,6 +312,8 @@ ScenarioSpec& ScenarioSpec::set(const std::string& key,
   else if (key == "service-rate")
     service_rate = static_cast<Capacity>(parse_size(what, value));
   else if (key == "buffer") buffer = parse_size(what, value);
+  else if (key == "links") links = parse_size(what, value);
+  else if (key == "window") window = parse_size(what, value);
   else if (key == "weights") weights = weight_model_from(value);
   else
     OSP_REQUIRE_MSG(false,
@@ -319,7 +321,7 @@ ScenarioSpec& ScenarioSpec::set(const std::string& key,
                         << key
                         << "' (known: m n k sigma cap-max ell t streams "
                            "frames packets switches capacity service-rate "
-                           "buffer weights)");
+                           "buffer links window weights)");
   return *this;
 }
 
@@ -688,6 +690,71 @@ ScenarioRegistry build_catalog() {
     s.buffer = 16;
     s.default_trials = 2;
     s.vary(sweep_axis("buffer", "16,64"));
+    reg.add(s);
+  }
+
+  // The sustained serving runtime's workloads (bench_router section (f)
+  // and `osp_cli bench --sustained`): one long deterministic run each,
+  // not trial means — default_trials = 1 picks the seed stream.
+  {
+    ScenarioSpec s;
+    s.name = "sustained/steady";
+    s.description =
+        "2048 streams over 8 links at ~1/3 offered load, ~4.8M packets";
+    s.family = ScenarioFamily::kVideo;
+    s.streams = 2048;
+    s.frames = 900;
+    s.links = 8;
+    s.service_rate = 64;
+    s.buffer = 1024;
+    s.window = 256;
+    s.default_trials = 1;
+    reg.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "sustained/ramp";
+    s.description =
+        "saturation ramp: 1024 streams over 4 links, service-rate rising "
+        "through the knee";
+    s.family = ScenarioFamily::kVideo;
+    s.streams = 1024;
+    s.frames = 300;
+    s.links = 4;
+    s.service_rate = 16;
+    s.buffer = 512;
+    s.window = 128;
+    s.default_trials = 1;
+    s.vary(sweep_axis("service-rate", "16,32,64,128,256"));
+    reg.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "sustained/steady-smoke";
+    s.description = "toy-size sustained run for sanitized smoke runs";
+    s.family = ScenarioFamily::kVideo;
+    s.streams = 32;
+    s.frames = 40;
+    s.links = 4;
+    s.service_rate = 4;
+    s.buffer = 32;
+    s.window = 16;
+    s.default_trials = 1;
+    reg.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "sustained/ramp-smoke";
+    s.description = "toy-size saturation ramp for sanitized smoke runs";
+    s.family = ScenarioFamily::kVideo;
+    s.streams = 16;
+    s.frames = 30;
+    s.links = 2;
+    s.service_rate = 2;
+    s.buffer = 16;
+    s.window = 16;
+    s.default_trials = 1;
+    s.vary(sweep_axis("service-rate", "2,8"));
     reg.add(s);
   }
 

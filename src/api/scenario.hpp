@@ -103,6 +103,8 @@ struct ScenarioSpec {
   Capacity capacity = 1;         // kVideo→instance link capacity
   Capacity service_rate = 1;     // router benches: packets served per slot
   std::size_t buffer = 0;        // router benches: packets that can wait
+  std::size_t links = 1;         // sustained runtime: parallel links
+  std::size_t window = 256;      // sustained runtime: slots per goodput window
 
   // Bench plumbing.
   std::string label;         // table/JSON label; name when empty

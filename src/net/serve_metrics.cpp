@@ -1,0 +1,38 @@
+#include "net/serve_metrics.hpp"
+
+#include <cmath>
+
+namespace osp {
+
+void LatencyHistogram::add(std::size_t latency) {
+  if (latency >= counts_.size()) counts_.resize(latency + 1, 0);
+  ++counts_[latency];
+  ++total_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+std::size_t LatencyHistogram::percentile(double p) const {
+  if (total_ == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(total_)));
+  if (rank < 1) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t latency = 0; latency < counts_.size(); ++latency) {
+    seen += counts_[latency];
+    if (seen >= rank) return latency;
+  }
+  return counts_.size() - 1;  // unreachable: seen reaches total_ >= rank
+}
+
+}  // namespace osp

@@ -1,0 +1,52 @@
+// Steady-state metrics for the sustained serving runtime (net/serve.hpp).
+//
+// LatencyHistogram is an exact counting histogram over integer slot
+// latencies: add() is O(1) amortised, merge() is linear in the larger
+// support, and percentile() is the nearest-rank estimator over the full
+// sample — no reservoir, no decay, so two runs that made the same
+// decisions produce bit-identical histograms and operator== is a valid
+// equivalence check for the multi-worker-vs-serial oracle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace osp {
+
+class LatencyHistogram {
+ public:
+  void clear() {
+    counts_.clear();
+    total_ = 0;
+  }
+
+  void add(std::size_t latency);
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return total_; }
+  bool empty() const { return total_ == 0; }
+
+  // Largest latency observed; 0 when empty.
+  std::size_t max_latency() const {
+    return counts_.empty() ? 0 : counts_.size() - 1;
+  }
+
+  // Nearest-rank percentile: the smallest latency L such that at least
+  // ceil(p/100 * count) samples are <= L.  p is clamped to [0, 100];
+  // returns 0 on an empty histogram.
+  std::size_t percentile(double p) const;
+
+  bool operator==(const LatencyHistogram& other) const {
+    return total_ == other.total_ && counts_ == other.counts_;
+  }
+  bool operator!=(const LatencyHistogram& other) const {
+    return !(*this == other);
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;  // counts_[L] = samples at latency L
+  std::uint64_t total_ = 0;            // sum of counts_
+};
+
+}  // namespace osp
