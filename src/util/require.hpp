@@ -38,13 +38,16 @@ namespace detail {
       ::osp::detail::require_fail(#expr, __FILE__, __LINE__, {});      \
   } while (0)
 
-/// Precondition check with an explanatory message (streamed).
+/// Precondition check with an explanatory message (streamed).  The local
+/// stream carries a macro-private name: a plain `os_` shadows same-named
+/// members in classes whose methods use the macro (ShardSink::os_ did).
 #define OSP_REQUIRE_MSG(expr, msg)                                     \
   do {                                                                 \
     if (!(expr)) {                                                     \
-      std::ostringstream os_;                                          \
-      os_ << msg;                                                      \
-      ::osp::detail::require_fail(#expr, __FILE__, __LINE__, os_.str()); \
+      std::ostringstream osp_require_os_;                              \
+      osp_require_os_ << msg;                                          \
+      ::osp::detail::require_fail(#expr, __FILE__, __LINE__,           \
+                                  osp_require_os_.str());              \
     }                                                                  \
   } while (0)
 
