@@ -189,7 +189,6 @@ void tally_frames(const FrameSchedule& schedule,
 // (when tracing) the canonical trace — shared by the runtime and the
 // reference so the accumulation order is identical.
 SustainedStats finalize(const FrameSchedule& schedule, const Prepared& prep,
-                        const ServeSpec& spec,
                         const std::vector<std::size_t>& served_per_frame,
                         std::vector<LinkTally>& tallies,
                         std::vector<std::uint64_t>&& starved,
@@ -467,7 +466,7 @@ SustainedStats serve_sustained(const FrameSchedule& schedule,
       if (e) std::rethrow_exception(e);
   }
 
-  return finalize(schedule, prep, spec, served_per_frame, tallies,
+  return finalize(schedule, prep, served_per_frame, tallies,
                   std::move(starved), trace);
 }
 
@@ -589,7 +588,7 @@ SustainedStats serve_sustained_reference(
     tallies[l].dropped += tallies[l].leftover;
   }
 
-  return finalize(schedule, prep, spec, served_per_frame, tallies,
+  return finalize(schedule, prep, served_per_frame, tallies,
                   std::move(starved), trace);
 }
 
