@@ -2,35 +2,55 @@
 # Repository check.
 #
 # Full mode (default, what CI always runs):
-#   1. tier-1 verify: configure + build + ctest;
+#   1. tier-1 verify: configure + build + ctest (includes the osp_lint
+#      selftest + clean-tree pass registered as ctest tests);
 #   2. bench-JSON schema check: every BENCH_*.json artifact parses and
 #      carries the keys the perf trajectory depends on;
-#   3. examples smoke: runs osp_cli end to end off the policy/scenario
+#   3. invariant lint: scripts/osp_lint.py fixture selftest + the src/
+#      tree pass (redundant with ctest when GTest/Python are present —
+#      explicit here so a missing interpreter can't silently drop it);
+#   4. clang-tidy baseline: scripts/run_tidy.sh diffs the curated check
+#      set against scripts/tidy_baseline.txt (SKIPs with a notice when
+#      clang-tidy is not installed; the CI analysis job requires it);
+#   5. examples smoke: runs osp_cli end to end off the policy/scenario
 #      registries (list, gen | run pipe, a small bench grid) plus
 #      quickstart, so the examples cannot silently rot;
-#   4. ASan/UBSan build of the engine-critical tests (the fuzz suite, the
-#      flat/block-engine golden tests, and the router-queue suites) plus a
-#      sanitized `bench_router --smoke` run, so the indexed-heap queue is
-#      exercised against the full-sort reference cross-check on every
-#      repository check.
+#   6. shard smoke: bench --shard / merge bit-identity round trip;
+#   7. ASan/UBSan build of the engine-critical tests plus a sanitized
+#      `bench_router --smoke`, and the forced-ISA equivalence sweep;
+#   8. TSan: a -DOSP_SANITIZE=thread build of the threaded suites
+#      (test_engine's 1/2/5-thread batch determinism, test_serve's
+#      workers-1/2/4 equivalence) and the sustained serving smoke at
+#      --workers 4, under scripts/tsan.supp — a data race in the barrier
+#      or tally-merge paths fails the check even when the deterministic
+#      output happens to look right.
 #
 # Quick mode (scripts/check.sh --quick, for local iteration):
-#   runs steps 1-2 only, skipping the examples smoke and the sanitizer
-#   rebuild — a few seconds of
-#   configure + incremental build instead of a second full tree.  CI never
-#   uses --quick; a change is not green until the full script passes.
+#   runs stages 1-3 only and PRINTS the stages it skipped, so what CI
+#   will additionally run is always visible.  CI never uses --quick; a
+#   change is not green until the full script passes.
+#
+# Tidy mode (scripts/check.sh --tidy): stage 4 alone, for iterating on
+#   tidy findings without rebuilding the world.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-quick=0
+mode=full
 for arg in "$@"; do
   case "$arg" in
-    --quick) quick=1 ;;
-    *) echo "usage: scripts/check.sh [--quick]" >&2; exit 2 ;;
+    --quick) mode=quick ;;
+    --tidy) mode=tidy ;;
+    *) echo "usage: scripts/check.sh [--quick | --tidy]" >&2; exit 2 ;;
   esac
 done
 
 jobs="$(nproc 2>/dev/null || echo 2)"
+
+if [[ "${mode}" == "tidy" ]]; then
+  echo "== clang-tidy baseline (scripts/run_tidy.sh) =="
+  scripts/run_tidy.sh
+  exit 0
+fi
 
 echo "== tier-1: configure + build + ctest =="
 cmake -B build -S .
@@ -41,12 +61,26 @@ echo
 echo "== bench artifacts: BENCH_*.json schema check =="
 python3 scripts/check_bench_json.py
 
-if [[ "${quick}" -eq 1 ]]; then
+echo
+echo "== invariant lint: osp_lint selftest + src/ tree =="
+python3 scripts/osp_lint.py --selftest
+python3 scripts/osp_lint.py
+
+if [[ "${mode}" == "quick" ]]; then
   echo
-  echo "== quick mode: skipping sanitizer rebuild (CI runs it) =="
+  echo "== quick mode: SKIPPED stages (CI runs them all) =="
+  echo "   - clang-tidy baseline (scripts/run_tidy.sh; or check.sh --tidy)"
+  echo "   - examples smoke (osp_cli + quickstart)"
+  echo "   - shard smoke (bench --shard / merge bit-identity)"
+  echo "   - ASan/UBSan suites + forced-ISA sweep + bench_router --smoke"
+  echo "   - TSan threaded suites + sustained smoke"
   echo "== all quick checks passed =="
   exit 0
 fi
+
+echo
+echo "== clang-tidy baseline (scripts/run_tidy.sh) =="
+scripts/run_tidy.sh
 
 echo
 echo "== examples smoke: osp_cli (registry-driven) + quickstart =="
@@ -132,6 +166,21 @@ fi
 echo
 echo "== sanitizers: bench_router --smoke (heap vs sort cross-check) =="
 (cd build-asan && ./bench_router --smoke)
+
+echo
+echo "== TSan: threaded suites + sustained smoke (race detection) =="
+# The determinism proofs (batch runner at 1/2/5 threads, serve workers
+# 1/2/4 vs the serial reference) assert equal OUTPUT; ThreadSanitizer
+# asserts the stronger property that no heap cell is ever touched by two
+# threads without a happens-before edge, so a benign-looking race cannot
+# hide behind a lucky schedule.  scripts/tsan.supp is empty on purpose.
+cmake -B build-tsan -S . -DOSP_SANITIZE=thread
+cmake --build build-tsan -j "${jobs}" --target test_engine test_serve osp_cli
+export TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp"
+(cd build-tsan && ctest --output-on-failure -R 'test_(engine|serve)')
+./build-tsan/osp_cli bench --scenario sustained/steady-smoke --sustained \
+  --workers 4
+unset TSAN_OPTIONS
 
 echo
 echo "== all checks passed =="

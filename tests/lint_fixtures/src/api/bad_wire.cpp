@@ -1,0 +1,33 @@
+// Known-bad fixture: unsanctioned float formatting in the wire layer.
+// "%f" truncates, "%.10g" loses bits, and stream manipulators depend on
+// locale/state — any of them breaks the byte-identity guarantee the
+// sharded merge and the JsonSink artifacts are proven against.
+//
+// osp-lint-expect: wire-float-format
+// osp-lint-expect: wire-float-format
+// osp-lint-expect: wire-float-format
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace osp::api {
+
+void emit_cell(char* buf, std::size_t cap, double v) {
+  std::snprintf(buf, cap, "%f", v);     // wire-float-format: %f
+  std::snprintf(buf, cap, "%.10g", v);  // wire-float-format: %.10g
+}
+
+std::string emit_stream(double v) {
+  std::ostringstream os;
+  os << std::setprecision(12) << v;  // wire-float-format: manipulator
+  return os.str();
+}
+
+// The sanctioned forms must NOT fire.
+void emit_sanctioned(char* buf, std::size_t cap, double v) {
+  std::snprintf(buf, cap, "%a", v);
+  std::snprintf(buf, cap, "%.17g", v);
+  std::snprintf(buf, cap, "%04x", static_cast<unsigned>(cap));
+}
+
+}  // namespace osp::api

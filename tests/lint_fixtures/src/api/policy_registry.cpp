@@ -1,0 +1,22 @@
+// Fixture registry: calls a force-link anchor no translation unit
+// defines (a "stale anchor" — the registrar file it pointed at was
+// deleted or renamed, so the registry would still link but the chain is
+// dead).  Also the call target for the well-formed clean registrar
+// fixture, which must NOT fire.
+//
+// osp-lint-expect: registrar-anchor
+namespace osp::api {
+
+void link_clean_policies();
+void link_stale_policies();
+
+struct PolicyRegistry {};
+
+PolicyRegistry& policies() {
+  link_clean_policies();
+  link_stale_policies();  // registrar-anchor: defined nowhere
+  static PolicyRegistry registry;
+  return registry;
+}
+
+}  // namespace osp::api

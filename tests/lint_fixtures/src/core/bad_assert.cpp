@@ -1,0 +1,32 @@
+// Known-bad fixture: asserts whose arguments mutate state.  An NDEBUG
+// build compiles the whole argument out — the pop never happens, the
+// counter never advances — so the "checked" build and the release build
+// run different programs.
+//
+// osp-lint-expect: assert-side-effect
+// osp-lint-expect: assert-side-effect
+#include <cassert>
+#include <vector>
+
+namespace osp {
+
+int drain(std::vector<int>& queue, int budget) {
+  int taken = 0;
+  assert(++taken <= budget);  // assert-side-effect: increment
+  while (!queue.empty() && taken < budget) {
+    // assert-side-effect: the pop_back IS the work
+    assert((queue.pop_back(), true));
+    ++taken;
+  }
+  return taken;
+}
+
+// Pure predicates (comparisons, const calls, static_assert) must NOT
+// fire.
+void check(const std::vector<int>& queue, int budget) {
+  static_assert(sizeof(int) >= 2, "int too small");
+  assert(static_cast<int>(queue.size()) <= budget);
+  assert(budget >= 0 && budget != 3);
+}
+
+}  // namespace osp

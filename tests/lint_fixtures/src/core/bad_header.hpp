@@ -1,0 +1,16 @@
+// Known-bad fixture: a public header with no include guard, a
+// namespace dump into every includer, and a stale include path.
+//
+// osp-lint-expect: header-hygiene
+// osp-lint-expect: header-hygiene
+// osp-lint-expect: header-hygiene
+#include "core/no_such_file.hpp"  // header-hygiene: stale path
+#include <vector>
+
+using namespace std;  // header-hygiene: namespace dump
+
+namespace osp {
+
+inline vector<int> empty_frames() { return {}; }  // (and no #pragma once)
+
+}  // namespace osp

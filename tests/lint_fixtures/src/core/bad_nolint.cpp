@@ -1,0 +1,25 @@
+// Known-bad fixture: suppressions without accountability.  A bare
+// tidy-suppression marker (no check name, no reason) and a
+// justification-free osp-lint waiver are both findings — the baseline
+// contract is that every suppression names what it silences and why.
+// (The marker token is spelled out only on the offending lines below:
+// clang-tidy honors it anywhere in a comment, so even prose mentioning
+// it would act as a real suppression.)
+//
+// osp-lint-expect: nolint-justification
+// osp-lint-expect: nolint-justification
+#include <cstdint>
+
+namespace osp {
+
+inline std::uint32_t fold(std::uint64_t x) {
+  std::uint32_t lo = static_cast<std::uint32_t>(x);  // NOLINT
+  // osp-lint: allow(raw-random)
+  std::uint32_t hi = static_cast<std::uint32_t>(x >> 32);
+  return lo ^ hi;
+}
+
+// A properly justified suppression must NOT fire:
+// NOLINT(bugprone-example-check) -- fixture shows the accepted form.
+
+}  // namespace osp

@@ -1,0 +1,30 @@
+// Known-bad fixture: raw randomness and wall-clock reads in a decision
+// path.  Every call below would make a trial's outcome depend on process
+// state instead of the grid-coordinate seed.
+//
+// osp-lint-expect: raw-random
+// osp-lint-expect: raw-random
+// osp-lint-expect: raw-random
+// osp-lint-expect: raw-random
+// osp-lint-expect: raw-random
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace osp {
+
+int pick_candidate(int n) {
+  std::srand(42);                        // raw-random: srand()
+  int r = std::rand() % n;               // raw-random: rand()
+  std::random_device entropy;            // raw-random: random_device
+  r ^= static_cast<int>(entropy());
+  r ^= static_cast<int>(std::time(nullptr));  // raw-random: time()
+  r ^= static_cast<int>(clock());        // raw-random: clock()
+  return r % n;
+}
+
+// A comment mentioning rand() and a string "rand()" must NOT fire; the
+// stripped views keep rules blind to documentation.
+const char* describe() { return "uses rand() nowhere, honest"; }
+
+}  // namespace osp

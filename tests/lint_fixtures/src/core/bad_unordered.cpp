@@ -1,0 +1,36 @@
+// Known-bad fixture: hash-order iteration in a decision path.  The
+// winner depends on std::unordered_map's bucket order, which varies by
+// libstdc++ version and hash seed — exactly the nondeterminism the
+// worker-count-invariance proofs cannot survive.
+//
+// osp-lint-expect: unordered-iteration
+// osp-lint-expect: unordered-iteration
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace osp {
+
+std::size_t pick_heaviest(const std::unordered_map<int, double>& weight) {
+  std::size_t best = 0;
+  double best_w = -1.0;
+  for (const auto& entry : weight) {  // unordered-iteration: range-for
+    if (entry.second > best_w) {
+      best_w = entry.second;
+      best = static_cast<std::size_t>(entry.first);
+    }
+  }
+  return best;
+}
+
+int first_member(const std::unordered_set<int>& live) {
+  // unordered-iteration: iterator walk ("first" is bucket order, not id)
+  return live.empty() ? -1 : *live.begin();
+}
+
+// Membership tests without iteration are fine and must not fire.
+bool contains(const std::unordered_set<int>& live, int id) {
+  return live.count(id) > 0;
+}
+
+}  // namespace osp

@@ -1,0 +1,46 @@
+// Clean fixture: idiomatic code adjacent to every rule's pattern space
+// that must produce zero findings — the linter's false-positive guard.
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/clean.hpp"
+
+namespace osp {
+
+// "rand" as a substring (operand, strand) and in strings/comments: the
+// raw-random rule must stay quiet.  srand() documented here, not called.
+int operand_sum(const std::vector<int>& operands) {
+  int sum = 0;
+  for (int v : operands) sum += v;
+  return sum;
+}
+
+const char* strand_name() { return "rand() and time() spelled in text"; }
+
+// Ordered-map iteration in core is deterministic and fine.
+int heaviest(const std::map<int, int>& weight) {
+  int best = -1, best_w = -1;
+  for (const auto& entry : weight)
+    if (entry.second > best_w) {
+      best_w = entry.second;
+      best = entry.first;
+    }
+  return best;
+}
+
+// A justified waiver suppresses the finding (and the selftest would
+// flag the suppressed rule as unexercised if this were the only rand).
+std::uint32_t seed_for_tests() {
+  // osp-lint: allow(raw-random) fixture demonstrating the waiver form
+  return static_cast<std::uint32_t>(std::rand());
+}
+
+// Pure-predicate asserts and modulo arithmetic near '%' conversions.
+int checked_mod(int a, int b) {
+  assert(b > 0);
+  return a % b;
+}
+
+}  // namespace osp

@@ -1,0 +1,16 @@
+// Clean fixture header: opens with #pragma once after this comment
+// block, resolvable includes only, namespace-qualified names — zero
+// findings expected.
+#pragma once
+
+#include <cstddef>
+
+#include "core/bad_header.hpp"  // resolves (fixtures are real files)
+
+namespace osp {
+
+inline std::size_t clamp_index(std::size_t i, std::size_t n) {
+  return i < n ? i : n - 1;
+}
+
+}  // namespace osp

@@ -1,0 +1,22 @@
+// Clean registrar fixture: statics + anchor + the fixture registry
+// calls it.  Must produce no findings — proves the cross-file rule does
+// not fire on the well-formed pattern the real tree uses.
+namespace osp::api {
+
+struct PolicyInfo {
+  const char* name;
+};
+
+struct PolicyRegistrar {
+  explicit PolicyRegistrar(PolicyInfo info);
+};
+
+void link_clean_policies() {}
+
+namespace {
+
+PolicyRegistrar r_clean{{"clean:policy"}};
+
+}  // namespace
+
+}  // namespace osp::api

@@ -1,0 +1,23 @@
+// Known-bad fixture: a translation unit with registrar statics but no
+// force-link anchor.  Linked from a static archive, nothing references
+// this object file, the linker drops it, and the policy silently
+// vanishes from the registry.
+//
+// osp-lint-expect: registrar-anchor
+namespace osp::api {
+
+struct PolicyInfo {
+  const char* name;
+};
+
+struct PolicyRegistrar {
+  explicit PolicyRegistrar(PolicyInfo info);
+};
+
+namespace {
+
+PolicyRegistrar r_dropped{{"gone:policy"}};  // registrar-anchor: no anchor
+
+}  // namespace
+
+}  // namespace osp::api

@@ -1,0 +1,24 @@
+// Known-bad fixture: the anchor exists but no *_registry.cpp calls it,
+// so the force-link chain is broken at the registry end — same silent
+// drop as having no anchor at all, one step removed.
+//
+// osp-lint-expect: registrar-anchor
+namespace osp::api {
+
+struct RankerInfo {
+  const char* name;
+};
+
+struct RankerRegistrar {
+  explicit RankerRegistrar(RankerInfo info);
+};
+
+void link_orphan_rankers() {}
+
+namespace {
+
+RankerRegistrar r_orphan{{"orphan"}};  // registrar-anchor: anchor uncalled
+
+}  // namespace
+
+}  // namespace osp::api
