@@ -1,11 +1,12 @@
 // E4 — Theorem 3: every deterministic algorithm has competitive ratio at
 // least σmax^(kmax-1).
 //
-// The adaptive adversary is run against each deterministic baseline for a
-// sweep of (σ, k); the algorithm completes at most one set while a
-// feasible solution of σ^(k-1) sets exists.  As a control we replay the
-// transcript built against greedy-first obliviously to randPr, which
-// recovers Θ(opt / k√σ) of it.
+// The adaptive adversary is run against each deterministic baseline over
+// the adversarial/theorem3 catalog cells; the algorithm completes at most
+// one set while a feasible solution of σ^(k-1) sets exists.  As a control
+// we replay the transcript built against greedy-first obliviously to
+// randPr, which recovers Θ(opt / k√σ) of it.  The machine-readable
+// version of these tables is bench_adversarial's BENCH_adversarial.json.
 #include <iostream>
 
 #include "algos/baselines.hpp"
@@ -20,21 +21,22 @@ namespace {
 void adversary_table() {
   Table table({"algorithm", "sigma", "k", "alg benefit", "opt >=",
                "ratio >=", "Thm3 bound"});
-  for (std::size_t sigma : {2, 3, 4}) {
-    for (std::size_t k : {2, 3, 4}) {
-      const std::size_t num_algs = make_deterministic_baselines().size();
-      for (std::size_t ai = 0; ai < num_algs; ++ai) {
-        auto alg = std::move(make_deterministic_baselines()[ai]);
-        AdaptiveAdversaryResult r =
-            run_theorem3_adversary(*alg, sigma, k);
-        double ratio = r.alg_outcome.benefit > 0
-                           ? r.opt_lower_bound / r.alg_outcome.benefit
-                           : r.opt_lower_bound;
-        table.row({alg->name(), fmt(sigma), fmt(k),
-                   fmt(r.alg_outcome.benefit, 1), fmt(r.opt_lower_bound, 1),
-                   fmt_ratio(ratio),
-                   fmt(theorem3_lower_bound(sigma, k), 1)});
-      }
+  // The swept (sigma, k) cells live in the adversarial/theorem3 catalog
+  // entry — the same grid bench_adversarial's dashboard is keyed on.
+  for (const api::ScenarioSpec& cell :
+       api::expand(api::scenarios().at("adversarial/theorem3"))) {
+    const std::size_t num_algs = make_deterministic_baselines().size();
+    for (std::size_t ai = 0; ai < num_algs; ++ai) {
+      auto alg = std::move(make_deterministic_baselines()[ai]);
+      AdaptiveAdversaryResult r =
+          run_theorem3_adversary(*alg, cell.sigma, cell.k);
+      double ratio = r.alg_outcome.benefit > 0
+                         ? r.opt_lower_bound / r.alg_outcome.benefit
+                         : r.opt_lower_bound;
+      table.row({alg->name(), fmt(cell.sigma), fmt(cell.k),
+                 fmt(r.alg_outcome.benefit, 1), fmt(r.opt_lower_bound, 1),
+                 fmt_ratio(ratio),
+                 fmt(theorem3_lower_bound(cell.sigma, cell.k), 1)});
     }
   }
   table.print(std::cout);
@@ -46,17 +48,21 @@ void randpr_control() {
   Table table({"sigma", "k", "greedy benefit", "E[randPr]", "opt >=",
                "randPr ratio"});
   Rng master(11);
-  for (std::size_t sigma : {2, 3, 4}) {
-    for (std::size_t k : {2, 3, 4}) {
-      GreedyFirst victim;
-      AdaptiveAdversaryResult r = run_theorem3_adversary(victim, sigma, k);
-      Rng runs = master.split(sigma * 10 + k);
-      RunningStat alg = bench::measure_randpr(r.transcript, runs, 300);
-      double ratio = alg.mean() > 0 ? r.opt_lower_bound / alg.mean() : 0;
-      table.row({fmt(sigma), fmt(k), fmt(r.alg_outcome.benefit, 1),
-                 bench::fmt_mean_ci(alg), fmt(r.opt_lower_bound, 1),
-                 fmt_ratio(ratio)});
-    }
+  for (const api::ScenarioSpec& cell :
+       api::expand(api::scenarios().at("adversarial/theorem3"))) {
+    GreedyFirst victim;
+    AdaptiveAdversaryResult r =
+        run_theorem3_adversary(victim, cell.sigma, cell.k);
+    // Split key from the cell values and trials from the catalog, so the
+    // declarative sweep reproduces the historical loop's streams bit for
+    // bit (master(11), split(sigma*10 + k), 300 trials).
+    Rng runs = master.split(cell.sigma * 10 + cell.k);
+    RunningStat alg =
+        bench::measure_randpr(r.transcript, runs, cell.default_trials);
+    double ratio = alg.mean() > 0 ? r.opt_lower_bound / alg.mean() : 0;
+    table.row({fmt(cell.sigma), fmt(cell.k), fmt(r.alg_outcome.benefit, 1),
+               bench::fmt_mean_ci(alg), fmt(r.opt_lower_bound, 1),
+               fmt_ratio(ratio)});
   }
   table.print(std::cout);
 }

@@ -6,12 +6,16 @@
 // ℓ (the bound is Ω(k (loglog k/log k)² √σmax) with k = Θ(ℓ²), σmax =
 // Θ(ℓ²)), demonstrating that no online algorithm — randomized included —
 // can evade the construction.  Also prints the warm-up t²-set
-// construction of Section 4.2 (Ω(t/log t)).
+// construction of Section 4.2 (Ω(t/log t)).  Both sweeps iterate the
+// adversarial/* catalog cells; the machine-readable version is
+// bench_adversarial's BENCH_adversarial.json.
 #include <iostream>
 
 #include "algos/baselines.hpp"
+#include "api/adversarial.hpp"
 #include "bench_common.hpp"
 #include "core/bounds.hpp"
+#include "core/game.hpp"
 #include "design/lower_bounds.hpp"
 
 namespace osp {
@@ -21,24 +25,31 @@ void lemma9_table() {
   std::cout << "-- Lemma 9 distribution (Figure 1 construction) --\n";
   Table table({"ell", "sets", "elements", "k", "smax", "opt >=",
                "E[greedy]", "E[randPr]", "randPr ratio", "Thm2 bound"});
+  // The swept ell values live in the adversarial/lemma9 catalog entry.
+  // Instance and randPr split keys derive from the cell values, so the
+  // streams match the historical loop bit for bit where the grids agree
+  // (master(271828), splits ell*100+d and 7000+ell*100+d); the catalog
+  // re-baselines ell=5 from 6 draws to 12 and drops ell=7 (runtime).
   Rng master(271828);
-  for (std::size_t ell : {2, 3, 4, 5, 7}) {
-    const int draws = ell <= 4 ? 12 : 6;
+  for (const api::ScenarioSpec& cell :
+       api::expand(api::scenarios().at("adversarial/lemma9"))) {
+    const std::size_t ell = cell.ell;
+    const int draws = cell.default_trials;
     RunningStat greedy_stat, randpr_stat;
     std::size_t n_sets = 0, n_elems = 0, k = 0, smax = 0;
     for (int d = 0; d < draws; ++d) {
       Rng rng = master.split(ell * 100 + d);
-      Lemma9Instance li = build_lemma9_instance(ell, rng);
-      InstanceStats st = li.instance.stats();
+      api::AdversarialCell adv = api::build_adversarial_cell(cell, rng);
+      InstanceStats st = adv.instance.stats();
       n_sets = st.num_sets;
       n_elems = st.num_elements;
       k = st.k_max;
       smax = st.sigma_max;
 
       GreedyFirst greedy;
-      greedy_stat.add(play(li.instance, greedy).benefit);
+      greedy_stat.add(play(adv.instance, greedy).benefit);
       RandPr rp(master.split(7000 + ell * 100 + d));
-      randpr_stat.add(play(li.instance, rp).benefit);
+      randpr_stat.add(play(adv.instance, rp).benefit);
     }
     double opt_lb = static_cast<double>(ell * ell * ell);
     double ratio =
@@ -59,17 +70,21 @@ void weak_table() {
                "--\n";
   Table table({"t", "opt >=", "E[greedy]", "E[randPr]", "greedy ratio",
                "randPr ratio", "t/ln(t)"});
+  // adversarial/weak-lb cells; historical streams preserved exactly
+  // (master(314159), splits t*1000+d and 50000+t*1000+d, 40 draws).
   Rng master(314159);
-  for (std::size_t t : {4, 6, 8, 12, 16, 24}) {
-    const int draws = 40;
+  for (const api::ScenarioSpec& cell :
+       api::expand(api::scenarios().at("adversarial/weak-lb"))) {
+    const std::size_t t = cell.t;
+    const int draws = cell.default_trials;
     RunningStat greedy_stat, randpr_stat;
     for (int d = 0; d < draws; ++d) {
       Rng rng = master.split(t * 1000 + d);
-      WeakLbInstance wl = build_weak_lb_instance(t, rng);
+      api::AdversarialCell adv = api::build_adversarial_cell(cell, rng);
       GreedyFirst greedy;
-      greedy_stat.add(play(wl.instance, greedy).benefit);
+      greedy_stat.add(play(adv.instance, greedy).benefit);
       RandPr rp(master.split(50000 + t * 1000 + d));
-      randpr_stat.add(play(wl.instance, rp).benefit);
+      randpr_stat.add(play(adv.instance, rp).benefit);
     }
     double opt_lb = static_cast<double>(t);
     table.row({fmt(t), fmt(opt_lb, 0), bench::fmt_mean_ci(greedy_stat),

@@ -10,7 +10,6 @@
 #include "algos/offline.hpp"
 #include "bench_common.hpp"
 #include "core/bounds.hpp"
-#include "gen/random_instances.hpp"
 
 namespace osp {
 namespace {
@@ -19,26 +18,26 @@ void sweep(bool weighted) {
   Table table({"m", "n", "k", "smax", "opt", "E[alg]", "L4+L5 floor",
                "ratio", "Thm1 bound", "Cor6 bound"});
   Rng master(weighted ? 777 : 555);
-  const int trials = 600;
 
-  struct Row {
-    std::size_t m, n, k;
-  };
-  for (Row r : {Row{12, 30, 2}, Row{16, 30, 3}, Row{20, 30, 4},
-                Row{24, 30, 5}, Row{20, 16, 3}, Row{24, 12, 3},
-                Row{28, 10, 3}, Row{32, 8, 3}}) {
-    Rng gen = master.split(r.m * 100 + r.k);
-    WeightModel wm =
-        weighted ? WeightModel::uniform(1, 8) : WeightModel::unit();
-    Instance inst = random_instance(r.m, r.n, r.k, wm, gen);
+  // The eight (m, n, k) shapes live in the random/theorem1 catalog entry;
+  // the Rng split keys derive from the cell values (m*100+k, 909+m), so
+  // the declarative sweep reproduces the historical loop's streams bit
+  // for bit.  The weighted pass overrides the weight model in place — the
+  // generator consumes the same stream either way.
+  for (api::ScenarioSpec cell :
+       api::expand(api::scenarios().at("random/theorem1"))) {
+    if (weighted) cell.weights = WeightModel::uniform(1, 8);
+    const int trials = cell.default_trials;
+    Rng gen = master.split(cell.m * 100 + cell.k);
+    Instance inst = api::build_instance(cell, gen);
     InstanceStats st = inst.stats();
     OfflineResult opt = exact_optimum(inst);
 
-    Rng runs = master.split(909 + r.m);
+    Rng runs = master.split(909 + cell.m);
     RunningStat alg = bench::measure_randpr(inst, runs, trials);
     double ratio = alg.mean() > 0 ? opt.value / alg.mean() : 0;
 
-    table.row({fmt(r.m), fmt(inst.num_elements()), fmt(r.k),
+    table.row({fmt(cell.m), fmt(inst.num_elements()), fmt(cell.k),
                fmt(st.sigma_max), fmt(opt.value, 2),
                bench::fmt_mean_ci(alg),
                fmt(theorem1_benefit_floor(st, opt.value), 2),

@@ -16,9 +16,12 @@
 #      registries (list, gen | run pipe, a small bench grid) plus
 #      quickstart, so the examples cannot silently rot;
 #   6. shard smoke: bench --shard / merge bit-identity round trip;
-#   7. ASan/UBSan build of the engine-critical tests plus a sanitized
+#   7. adversarial dashboard: BENCH_adversarial.json regenerates byte-
+#      identically, re-passes the paper's-bounds gates, and the theorem3
+#      smoke grid shards/merges bit-identically;
+#   8. ASan/UBSan build of the engine-critical tests plus a sanitized
 #      `bench_router --smoke`, and the forced-ISA equivalence sweep;
-#   8. TSan: a -DOSP_SANITIZE=thread build of the threaded suites
+#   9. TSan: a -DOSP_SANITIZE=thread build of the threaded suites
 #      (test_engine's 1/2/5-thread batch determinism, test_serve's
 #      workers-1/2/4 equivalence) and the sustained serving smoke at
 #      --workers 4, under scripts/tsan.supp — a data race in the barrier
@@ -138,6 +141,31 @@ fi
 grep -q "overlap" build/shardsmoke_err.txt
 rm -f BENCH_shardsmoke.json build/shardsmoke_*.part \
   build/shardsmoke_merged.json build/shardsmoke_err.txt
+
+echo
+echo "== adversarial dashboard: regenerate + gates + shard smoke =="
+# BENCH_adversarial.json has no wall-clock fields: regenerating it must
+# reproduce the committed artifact byte for byte and re-pass the
+# paper's-bounds gates in check_bench_json.py.  The theorem3 smoke grid
+# then exercises the adversarial families through the generic shard
+# pipeline (CI's examples job runs the same probe at N in {1, 2}).
+# The results are thread-count-independent; OSP_THREADS pins only the
+# preamble's recorded worker count to the committed value.
+OSP_THREADS=1 ./build/bench_adversarial > /dev/null
+git diff --exit-code BENCH_adversarial.json
+python3 scripts/check_bench_json.py BENCH_adversarial.json
+rm -f BENCH_advsmoke.json build/advsmoke_*.part build/advsmoke_merged.json
+./build/osp_cli bench --scenario adversarial/theorem3-smoke \
+  --alg randpr,greedy:first --trials 25 --seed 11 --json advsmoke > /dev/null
+for i in 0 1; do
+  ./build/osp_cli bench --scenario adversarial/theorem3-smoke \
+    --alg randpr,greedy:first --trials 25 --seed 11 --json advsmoke \
+    --shard "$i/2" --out "build/advsmoke_$i.part" > /dev/null
+done
+python3 scripts/check_bench_json.py build/advsmoke_*.part
+./build/osp_cli merge build/advsmoke_*.part --out build/advsmoke_merged.json
+cmp BENCH_advsmoke.json build/advsmoke_merged.json
+rm -f BENCH_advsmoke.json build/advsmoke_*.part build/advsmoke_merged.json
 
 echo
 echo "== sanitizers: ASan/UBSan build of fuzz + engine + queue tests =="

@@ -5,6 +5,7 @@
 #include <istream>
 #include <sstream>
 
+#include "algos/baselines.hpp"
 #include "api/markdown.hpp"
 #include "design/lower_bounds.hpp"
 #include "gen/schedule.hpp"
@@ -345,6 +346,16 @@ Instance build_instance(const ScenarioSpec& spec, Rng& rng) {
       return build_weak_lb_instance(spec.t, rng).instance;
     case ScenarioFamily::kLemma9:
       return build_lemma9_instance(spec.ell, rng).instance;
+    case ScenarioFamily::kTheorem3: {
+      // The Theorem 3 adversary is adaptive: the instance depends on the
+      // policy it plays against.  As a GRID family the transcript is
+      // pinned to the canonical greedy-first victim (fully deterministic,
+      // no rng draws), so every policy in a sweep replays the same
+      // oblivious transcript and shard slices stay bit-identical.  The
+      // per-policy adaptive runs live in bench_adversarial.
+      GreedyFirst victim;
+      return run_theorem3_adversary(victim, spec.sigma, spec.k).transcript;
+    }
   }
   OSP_REQUIRE_MSG(false, "scenario '" << spec.name << "' has an unknown family");
   return InstanceBuilder{}.build();
@@ -373,6 +384,8 @@ bool affects_instance(const std::string& key, ScenarioFamily family) {
       return any_of({"t"});
     case ScenarioFamily::kLemma9:
       return any_of({"ell"});
+    case ScenarioFamily::kTheorem3:
+      return any_of({"sigma", "k"});
   }
   return true;  // unknown family: stay quiet rather than mis-warn
 }
@@ -755,6 +768,121 @@ ScenarioRegistry build_catalog() {
     s.window = 16;
     s.default_trials = 1;
     s.vary(sweep_axis("service-rate", "2,8"));
+    reg.add(s);
+  }
+
+  // ----------------------------------------------------------------
+  // Adversarial worst-case families (ROADMAP item 5): the theory half's
+  // gadget constructions as first-class grid scenarios.  bench_adversarial
+  // sweeps these to produce BENCH_adversarial.json (the competitive-ratio
+  // dashboard, gated in scripts/check_bench_json.py), and bench_det_lb /
+  // bench_rand_lb iterate the same cells for their console tables — the
+  // swept values below ARE the dashboard's row keys.
+  {
+    ScenarioSpec s;
+    s.name = "adversarial/theorem3";
+    s.description =
+        "Theorem 3 adaptive adversary (greedy-first transcript), "
+        "(sigma, k) grid";
+    s.family = ScenarioFamily::kTheorem3;
+    s.sigma = 2;
+    s.k = 2;
+    s.default_trials = 300;  // bench_det_lb's randPr-control trial count
+    s.vary(sweep_axis("sigma", "2,3,4"));
+    s.vary(sweep_axis("k", "2,3,4"));
+    reg.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "adversarial/theorem3-smoke";
+    s.description = "two small Theorem 3 cells for CI smoke + shard probes";
+    s.family = ScenarioFamily::kTheorem3;
+    s.sigma = 2;
+    s.k = 2;
+    s.default_trials = 50;
+    s.vary(sweep_axis({"sigma", "k"}, {{"2", "2"}, {"3", "2"}}));
+    reg.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "adversarial/weak-lb";
+    s.description =
+        "Section 4.2 warm-up gadget, t rising (ratio Omega(t/log t))";
+    s.family = ScenarioFamily::kWeakLb;
+    s.t = 4;
+    s.default_trials = 40;  // bench_rand_lb's draw count per t
+    s.vary(sweep_axis("t", "4,6,8,12,16,24"));
+    reg.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "adversarial/weak-lb-smoke";
+    s.description = "toy-size warm-up gadget cells for CI smoke runs";
+    s.family = ScenarioFamily::kWeakLb;
+    s.t = 4;
+    s.default_trials = 8;
+    s.vary(sweep_axis("t", "4,6"));
+    reg.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "adversarial/lemma9";
+    s.description =
+        "Lemma 9 / Figure 1 distribution, prime-power ell rising";
+    s.family = ScenarioFamily::kLemma9;
+    s.ell = 2;
+    s.default_trials = 12;  // bench_rand_lb's draw count per ell
+    s.vary(sweep_axis("ell", "2,3,4,5"));
+    reg.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "adversarial/lemma9-smoke";
+    s.description = "smallest Lemma 9 cells for CI smoke runs";
+    s.family = ScenarioFamily::kLemma9;
+    s.ell = 2;
+    s.default_trials = 4;
+    s.vary(sweep_axis("ell", "2,3"));
+    reg.add(s);
+  }
+
+  // bench_theorem1's eight random shapes (E2), one zipped (m, n, k) axis;
+  // the bench runs the expansion twice (unweighted, then weights U[1,8]).
+  {
+    ScenarioSpec s;
+    s.name = "random/theorem1";
+    s.description =
+        "Theorem 1 ladder: 8 random shapes, k then density rising";
+    s.family = ScenarioFamily::kRandom;
+    s.m = 12;
+    s.n = 30;
+    s.k = 2;
+    s.default_trials = 600;
+    s.vary(sweep_axis({"m", "n", "k"},
+                      {{"12", "30", "2"},
+                       {"16", "30", "3"},
+                       {"20", "30", "4"},
+                       {"24", "30", "5"},
+                       {"20", "16", "3"},
+                       {"24", "12", "3"},
+                       {"28", "10", "3"},
+                       {"32", "8", "3"}}));
+    reg.add(s);
+  }
+
+  // bench_ablation's (a,b,c) instance families as a weights axis.
+  {
+    ScenarioSpec s;
+    s.name = "ablation/weights";
+    s.description =
+        "randPr priority-rule ablation shapes: m=24 k=3, weight model "
+        "varying";
+    s.family = ScenarioFamily::kRandom;
+    s.m = 24;
+    s.n = 20;
+    s.k = 3;
+    s.default_trials = 800;
+    s.vary(sweep_axis("weights", "unit,uniform,zipf"));
     reg.add(s);
   }
 

@@ -8,6 +8,9 @@
 //   "random", "regular", "fixedload", "capacity"   set-system families
 //   "video", "multihop"                            traffic workloads
 //   "weaklb", "lemma9"                             lower-bound gadgets
+//   "adversarial/…"                                worst-case families for
+//                                                  the competitive-ratio
+//                                                  dashboard (bench_adversarial)
 //   "engine/…"                                     the engine-throughput
 //                                                  ladder (bench_perf)
 //   "router/overload[-smoke]"                      bench_router's big
@@ -48,6 +51,7 @@ enum class ScenarioFamily {
   kMultihop,        // make_multihop_workload(packets, switches)
   kWeakLb,          // build_weak_lb_instance(t)
   kLemma9,          // build_lemma9_instance(ell)
+  kTheorem3,        // run_theorem3_adversary(sigma, k) vs greedy-first
 };
 
 /// One swept dimension of a scenario.  An axis varies one or more spec

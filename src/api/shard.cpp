@@ -27,6 +27,7 @@ const char* family_key(ScenarioFamily family) {
     case ScenarioFamily::kMultihop: return "multihop";
     case ScenarioFamily::kWeakLb: return "weaklb";
     case ScenarioFamily::kLemma9: return "lemma9";
+    case ScenarioFamily::kTheorem3: return "theorem3";
   }
   return "unknown";
 }

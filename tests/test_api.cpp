@@ -1006,6 +1006,72 @@ TEST(ShardedGrid, MergedJsonIsByteIdenticalForAnyShardCount) {
   }
 }
 
+TEST(ShardedGrid, RatioRowsSurviveShardMergeByteIdentical) {
+  // The adversarial dashboard's rows carry awkward doubles (ratios like
+  // 1/3 and 62.5/7, tiny LP values) that only survive the shard wire
+  // because doubles travel as hexfloat.  Push such rows through the full
+  // ShardSink → parse_shard_partial → merge_shards → JsonSink pipeline
+  // and require byte-identity with the direct JsonSink document.
+  auto ratio_row = [](std::size_t i) {
+    api::Row row;
+    row.add("sweep", "theorem3");
+    row.add("scenario", "adversarial/theorem3 sigma=2 k=2");
+    row.add("sigma", std::uint64_t{2} + i);
+    row.add("policy", i % 2 ? "randpr" : "greedy-first");
+    row.add("deterministic", i % 2 == 0);
+    row.add("alg_mean", 1.0 / 3.0 + static_cast<double>(i));
+    row.add("alg_ci95", 0.0625);
+    row.add("opt", 5.217391304347826);
+    row.add("opt_exact", i % 2 == 0);
+    row.add("lp_upper", 1e-30);
+    row.add("ratio", 62.5 / 7.0);
+    return row;
+  };
+  const std::size_t total = 4;  // one row per grid cell
+
+  std::ostringstream want;
+  {
+    api::JsonSink sink(want, "adversarial", 1);
+    for (std::size_t i = 0; i < total; ++i) sink.write(ratio_row(i));
+    sink.close();
+  }
+
+  for (std::size_t count : {1u, 2u, 3u}) {
+    std::vector<api::ShardPartial> partials;
+    for (std::size_t i = 0; i < count; ++i) {
+      const api::ShardPlan plan{i, count};
+      const auto [begin, end] = plan.slice(total);
+      api::ShardManifest m;
+      m.bench = "adversarial";
+      m.fingerprint = 0x5eed;
+      m.shard_index = i;
+      m.shard_count = count;
+      m.cell_begin = begin;
+      m.cell_end = end;
+      m.total_cells = total;
+      m.threads = 1;
+
+      std::ostringstream text;
+      {
+        api::ShardSink sink(text, m);
+        for (std::size_t cell = begin; cell < end; ++cell)
+          sink.write(ratio_row(cell));
+        sink.close();
+      }
+      std::istringstream in(text.str());
+      partials.push_back(api::parse_shard_partial(in, "mem"));
+    }
+    const api::MergedShards merged = api::merge_shards(std::move(partials));
+    std::ostringstream got;
+    {
+      api::JsonSink sink(got, merged.bench, merged.threads);
+      for (const api::Row& row : merged.rows) sink.write(row);
+      sink.close();
+    }
+    EXPECT_EQ(got.str(), want.str()) << "shard count " << count;
+  }
+}
+
 // ---------------------------------------------------------------------
 // grid_fingerprint: same grid hashes equal, any knob change hashes apart.
 
@@ -1025,6 +1091,22 @@ TEST(GridFingerprint, SensitiveToEveryGridKnobButNotTheShardPlan) {
   std::vector<api::ScenarioSpec> bigger = cells;
   bigger[0].set("m", "99");
   EXPECT_NE(base, api::grid_fingerprint(bigger, policies, 5, 1));
+}
+
+TEST(GridFingerprint, SensitiveToAdversarialShapeKnobs) {
+  // The adversarial sweeps key their gadgets on sigma/k/ell/t, so a
+  // merge across shards built from different gadget shapes must be
+  // rejected by the fingerprint — each knob has to perturb the hash.
+  std::vector<api::ScenarioSpec> cells =
+      api::expand(api::scenarios().at("adversarial/theorem3"));
+  const std::vector<std::string> policies = {"randpr"};
+  const std::uint64_t base = api::grid_fingerprint(cells, policies, 3, 1);
+  EXPECT_EQ(base, api::grid_fingerprint(cells, policies, 3, 1));
+  for (const char* knob : {"sigma", "k", "ell", "t"}) {
+    std::vector<api::ScenarioSpec> changed = cells;
+    changed[0].set(knob, "9");
+    EXPECT_NE(base, api::grid_fingerprint(changed, policies, 3, 1)) << knob;
+  }
 }
 
 }  // namespace

@@ -104,6 +104,50 @@ TEST(ExactOptimum, NodeLimitTruncates) {
   EXPECT_GT(r.value, 0.0);
 }
 
+TEST(OfflineFuzz, GreedyExactLpSandwichAcrossFamilies) {
+  // Property fuzz for the dashboard's denominator chain: the exact
+  // witness is a feasible packing whose weight matches the reported
+  // value, greedy never beats it, and the LP relaxation dominates it.
+  Rng master(26);
+  for (int trial = 0; trial < 40; ++trial) {
+    Rng gen = master.split(trial);
+    WeightModel w = trial % 3 == 0   ? WeightModel::unit()
+                    : trial % 3 == 1 ? WeightModel::uniform(1, 9)
+                                     : WeightModel::zipf(1.1);
+    std::size_t m = 6 + trial % 7;
+    Instance inst =
+        trial % 2 ? random_instance(m, 3 * m / 2, 2 + trial % 3, w, gen)
+                  : random_capacity_instance(m, 12, 3, 3, w, gen);
+    OfflineResult opt = exact_optimum(inst);
+    ASSERT_TRUE(opt.exact);
+    EXPECT_TRUE(is_feasible(inst, opt.chosen)) << inst.describe();
+    Weight chosen_weight = 0;
+    for (SetId s : opt.chosen) chosen_weight += inst.weight(s);
+    EXPECT_NEAR(chosen_weight, opt.value, 1e-9);
+    EXPECT_LE(greedy_offline(inst).value, opt.value + 1e-9);
+    EXPECT_LE(opt.value, lp_upper_bound(inst) + 1e-9) << inst.describe();
+  }
+}
+
+TEST(OfflineFuzz, TinyNodeLimitHonoredWithFeasiblePartial) {
+  // A starved node budget must be reported honestly (exact=false, the
+  // opt_exact flag in BENCH_adversarial.json) while the partial answer
+  // stays a usable feasible packing no worse than the greedy seed.
+  Rng master(27);
+  for (int trial = 0; trial < 8; ++trial) {
+    Rng gen = master.split(trial);
+    Instance inst =
+        random_instance(28 + trial, 40, 3, WeightModel::unit(), gen);
+    OfflineResult r = exact_optimum(inst, /*node_limit=*/3);
+    EXPECT_FALSE(r.exact);
+    EXPECT_TRUE(is_feasible(inst, r.chosen));
+    Weight chosen_weight = 0;
+    for (SetId s : r.chosen) chosen_weight += inst.weight(s);
+    EXPECT_NEAR(chosen_weight, r.value, 1e-9);
+    EXPECT_GE(r.value + 1e-9, greedy_offline(inst).value);
+  }
+}
+
 TEST(GreedyOffline, FeasibleAndWithinK) {
   // Greedy is a k-approximation for unweighted instances with set size k.
   Rng master(24);
